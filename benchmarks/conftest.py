@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, prints it
+(through captured-output suppression, so ``pytest benchmarks/
+--benchmark-only`` shows the reproduced numbers), and asserts the paper's
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print straight to the terminal despite pytest's capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full regeneration (these are simulations, not microbenches)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

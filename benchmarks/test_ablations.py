@@ -1,0 +1,237 @@
+"""Ablations of Rivulet's design choices (beyond the paper's figures).
+
+Each ablation switches off one mechanism DESIGN.md calls out and measures
+what breaks:
+
+- **successor sync off** — a recovered process is never back-filled, so the
+  platform's post-ingest completeness degrades across crash/recovery;
+- **failure-detection threshold** — the Gap hole of Fig. 7 scales with the
+  threshold, quantifying the latency/stability trade-off;
+- **stock vs modified OpenZWave** — the Section 7 library modification:
+  host-side poll serialization delays co-located poll-based sensors.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.delivery import GAP, GAPLESS, PollingPolicy, PollMode
+from repro.core.graph import App
+from repro.core.home import Home, HomeConfig
+from repro.core.operators import Operator
+from repro.core.windows import TimeWindow
+from repro.eval.report import render_table
+from tests.integration.conftest import collector_app, five_process_home
+
+
+def _crash_recovery_run(sync_enabled: bool) -> dict:
+    config = HomeConfig(seed=11)
+    config.gapless_options.sync_enabled = sync_enabled
+    home, collected = five_process_home(
+        receiving=["p1"], guarantee=GAPLESS, config=config
+    )
+    home.run_until(1.0)
+    sensor = home.sensor("s1")
+    sensor.start_periodic(10.0)
+    home.scheduler.call_at(10.0, home.crash_process, "p0")
+    home.scheduler.call_at(20.0, home.recover_process, "p0")
+    home.run_until(60.0)
+    distinct = {e.seq for e in collected.events}
+    return {
+        "emitted": sensor.events_emitted,
+        "processed": len(distinct),
+        "p0_log": home.processes["p0"].store.total_events(),
+    }
+
+
+def test_ablation_successor_sync(benchmark, show):
+    def run():
+        return {
+            "with-sync": _crash_recovery_run(True),
+            "without-sync": _crash_recovery_run(False),
+        }
+
+    results = run_once(benchmark, run)
+    rows = [
+        [name, r["emitted"], r["processed"], r["p0_log"]]
+        for name, r in results.items()
+    ]
+    show(render_table(
+        "ablation: Gapless successor synchronization",
+        ["variant", "emitted", "processed_by_app", "p0_journal"],
+        rows,
+        ["p0 (the app-bearing process) crashes at t=10s, recovers at t=20s"],
+    ))
+
+    with_sync = results["with-sync"]
+    without = results["without-sync"]
+    # With sync, the recovered process is fully back-filled and the app
+    # misses nothing; without it, p0's journal has a hole covering its
+    # downtime and the events during the outage window are at risk.
+    assert with_sync["processed"] == with_sync["emitted"]
+    assert with_sync["p0_log"] >= with_sync["emitted"] - 1
+    assert without["p0_log"] < with_sync["p0_log"] - 50
+
+
+@pytest.mark.parametrize("threshold", [1.0, 2.0, 4.0])
+def test_ablation_detection_threshold(benchmark, show, threshold):
+    def run():
+        config = HomeConfig(seed=7, failure_detection_s=threshold)
+        home, collected = five_process_home(
+            receiving=[f"p{i}" for i in range(5)], guarantee=GAP, config=config
+        )
+        home.run_until(1.0)
+        sensor = home.sensor("s1")
+        sensor.start_periodic(10.0)
+        home.scheduler.call_at(24.0, home.crash_process, "p0")
+        home.run_until(60.0)
+        lost = sensor.events_emitted - len({e.seq for e in collected.events})
+        return lost
+
+    lost = run_once(benchmark, run)
+    show(render_table(
+        f"ablation: Gap loss vs detection threshold ({threshold:g}s)",
+        ["threshold_s", "events_lost"],
+        [[threshold, lost]],
+        ["10 events/s; the hole tracks threshold + keep-alive slack"],
+    ))
+    # The hole is roughly rate * (threshold + up to one keep-alive interval).
+    assert 10 * threshold * 0.8 <= lost <= 10 * (threshold + 1.2) + 8
+
+
+def _openzwave_run(modified: bool) -> dict:
+    home = Home(seed=4)
+    home.add_process("hub", modified_openzwave=modified)
+    home.add_process("tv", modified_openzwave=modified)
+
+    operator = Operator("Monitor", on_window=lambda ctx, c: None)
+    for name in ("za", "zb", "zc", "zd", "ze"):
+        operator.add_sensor(
+            name, GAPLESS, TimeWindow(1.8),
+            polling=PollingPolicy(epoch_s=1.8, mode=PollMode.COORDINATED),
+        )
+    operator.add_actuator("a1", GAPLESS)
+    home.add_actuator("a1", processes=["hub"])
+    for name in ("za", "zb", "zc", "zd", "ze"):
+        home.add_sensor(name, kind="temperature")
+    home.deploy(App("monitor", operator))
+    home.run_until(120.0)
+    delays = [e["delay"] for e in home.trace.of_kind("logic_delivery")]
+    return {
+        "epoch_gaps": home.trace.count("epoch_gap"),
+        "mean_delay_ms": 1000.0 * sum(delays) / max(1, len(delays)),
+        "deliveries": len(delays),
+        "polls": home.trace.count("poll_request"),
+    }
+
+
+def test_ablation_openzwave_modification(benchmark, show):
+    def run():
+        return {
+            "modified (concurrent polls)": _openzwave_run(True),
+            "stock (serialized polls)": _openzwave_run(False),
+        }
+
+    results = run_once(benchmark, run)
+    rows = [
+        [name, r["deliveries"], r["epoch_gaps"], r["polls"], r["mean_delay_ms"]]
+        for name, r in results.items()
+    ]
+    show(render_table(
+        "ablation: OpenZWave concurrency modification (Section 7)",
+        ["variant", "deliveries", "epoch_gaps", "polls", "mean_delay_ms"],
+        rows,
+        ["five co-located Z-Wave poll sensors, 1.8s epochs, 2 processes"],
+    ))
+    modified = results["modified (concurrent polls)"]
+    stock = results["stock (serialized polls)"]
+    # Serializing polls to five sensors with ~0.5s service times inside a
+    # 1.8s epoch starves epochs and triggers expensive re-polling.
+    assert stock["epoch_gaps"] > modified["epoch_gaps"]
+    assert modified["epoch_gaps"] <= 2
+    assert stock["polls"] > 1.4 * modified["polls"]
+
+
+def _replication_run(active_replicas: int) -> dict:
+    config = HomeConfig(seed=23, active_replicas=active_replicas)
+    home, collected = five_process_home(
+        receiving=[f"p{i}" for i in range(5)], guarantee=GAP, config=config
+    )
+    home.run_until(1.0)
+    sensor = home.sensor("s1")
+    sensor.start_periodic(10.0)
+    home.scheduler.call_at(24.0, home.crash_process, "p0")
+    home.run_until(48.0)
+    delivered = len({e.seq for e in collected.events})
+    return {
+        "lost": sensor.events_emitted - delivered,
+        "processings": home.trace.count("logic_delivery"),
+        "emitted": sensor.events_emitted,
+    }
+
+
+def test_ablation_active_replication(benchmark, show):
+    """Active replication (k=2) removes the Fig. 7 failover hole entirely,
+    at the price of duplicated forwarding/processing — the recovery-time
+    vs. overhead trade-off the paper's related work (Martin et al.)
+    discusses."""
+
+    def run():
+        return {f"k={k}": _replication_run(k) for k in (1, 2)}
+
+    results = run_once(benchmark, run)
+    rows = [[name, r["emitted"], r["lost"], r["processings"]]
+            for name, r in results.items()]
+    show(render_table(
+        "ablation: active replication under the Fig. 7 crash (Gap delivery)",
+        ["replicas", "emitted", "events_lost", "logic_processings"],
+        rows,
+        ["crash of the primary at t=24s, 2s detection threshold"],
+    ))
+    assert results["k=1"]["lost"] >= 15          # the Fig. 7 hole
+    assert results["k=2"]["lost"] <= 3           # no hole with a hot spare
+    # The price: roughly double the processing work across the home.
+    assert results["k=2"]["processings"] > 1.6 * results["k=1"]["processings"]
+
+
+@pytest.mark.parametrize("interval", [0.25, 0.5, 1.0])
+def test_ablation_keepalive_interval(benchmark, show, interval):
+    """The keep-alive cadence trade-off: faster heartbeats detect failures
+    sooner (smaller Gap holes) but add chatter on the shared home network
+    — the congestion effect Fig. 4a attributes to "increasing keep-alive
+    message exchange"."""
+
+    def run():
+        config = HomeConfig(
+            seed=7,
+            heartbeat_interval=interval,
+            failure_detection_s=4 * interval,
+        )
+        home, collected = five_process_home(
+            receiving=[f"p{i}" for i in range(5)], guarantee=GAP,
+            config=config,
+        )
+        home.run_until(1.0)
+        sensor = home.sensor("s1")
+        sensor.start_periodic(10.0)
+        home.scheduler.call_at(24.0, home.crash_process, "p0")
+        home.run_until(60.0)
+        keepalive_bytes = sum(
+            e["bytes"] for e in home.trace.of_kind("net_send")
+            if e["kind"] == "keepalive"
+        )
+        lost = sensor.events_emitted - len({e.seq for e in collected.events})
+        return {
+            "events_lost": lost,
+            "keepalive_bytes_per_s": keepalive_bytes / 60.0,
+        }
+
+    result = run_once(benchmark, run)
+    show(render_table(
+        f"ablation: keep-alive interval {interval:g}s "
+        f"(detection {4 * interval:g}s)",
+        ["interval_s", "events_lost_on_crash", "keepalive_bytes_per_s"],
+        [[interval, result["events_lost"], result["keepalive_bytes_per_s"]]],
+    ))
+    # The crash hole tracks the detection threshold (4x interval at 10 ev/s)
+    expected_hole = 10 * 4 * interval
+    assert expected_hole * 0.6 <= result["events_lost"] <= expected_hole * 1.6 + 8

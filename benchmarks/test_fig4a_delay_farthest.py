@@ -1,0 +1,38 @@
+"""Fig. 4a — delay vs number of processes, receiver farthest from the app.
+
+Paper: Gap delay increases only slightly with process count (keep-alive
+chatter); Gapless is ~unchanged at 2-3 processes then grows linearly to 5;
+the Gapless premium at 2-3 processes is 8-10 ms for 4/8 B events; delay
+grows with event size.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import fig4a_delay_farthest
+
+
+def test_fig4a_delay_farthest(benchmark, show):
+    table = run_once(benchmark, fig4a_delay_farthest, duration=60.0)
+    show(table.render())
+
+    def series(guarantee, size):
+        return [table.cell("delay_ms", guarantee=guarantee, event_bytes=size,
+                           processes=n) for n in (2, 3, 4, 5)]
+
+    gap4 = series("gap", 4)
+    gapless4 = series("gapless", 4)
+
+    # Gap: slight increase only.
+    assert gap4[3] - gap4[0] < 1.5
+    assert gap4[3] > gap4[0]
+    # Gapless: grows with the ring; roughly linear 3 -> 5.
+    steps = [gapless4[i + 1] - gapless4[i] for i in range(3)]
+    assert all(step > 0 for step in steps)
+    assert max(steps[1:]) / min(steps[1:]) < 1.8
+    # Premium at 2-3 processes in the high-single-digit millisecond band.
+    assert 4.0 <= gapless4[0] - gap4[0] <= 12.0
+    assert 6.0 <= gapless4[1] - gap4[1] <= 14.0
+    # Delay increases with event size for both protocols.
+    for guarantee in ("gap", "gapless"):
+        small = series(guarantee, 4)
+        large = series(guarantee, 20_480)
+        assert all(l > s for l, s in zip(large, small))

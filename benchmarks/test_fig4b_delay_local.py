@@ -1,0 +1,27 @@
+"""Fig. 4b — delay when the app-bearing process receives directly.
+
+Paper: "the delay incurred is relatively low and is approximately in the
+1 to 2 ms range", independent of the number of processes — the Gapless
+journal/ring work is off the local delivery path.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import fig4b_delay_local
+
+
+def test_fig4b_delay_local(benchmark, show):
+    table = run_once(benchmark, fig4b_delay_local, duration=60.0)
+    show(table.render())
+
+    for row in table.rows:
+        guarantee, size, processes, delay_ms = row
+        assert 0.8 <= delay_ms <= 2.2, row
+
+    # Gapless pays no local-delivery premium over Gap.
+    for size in (4, 8):
+        for n in (2, 5):
+            gap = table.cell("delay_ms", guarantee="gap", event_bytes=size,
+                             processes=n)
+            gapless = table.cell("delay_ms", guarantee="gapless",
+                                 event_bytes=size, processes=n)
+            assert abs(gapless - gap) < 0.5

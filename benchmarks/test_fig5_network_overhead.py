@@ -1,0 +1,43 @@
+"""Fig. 5 — network overhead normalized against Gap (5 processes).
+
+Paper: Gapless costs a constant amount regardless of how many processes
+receive the event directly; naive broadcast costs ~23% more at 2 receiving
+processes, ~2x at 3, ~3x at 5 (4 B events) but is cheaper at 1 (the ring's
+S/V metadata); normalized overhead is lower for large events because the
+payload amortizes headers and metadata.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import fig5_network_overhead
+
+
+def test_fig5_network_overhead(benchmark, show):
+    table = run_once(benchmark, fig5_network_overhead, duration=30.0)
+    show(table.render())
+
+    def bytes_per_event(protocol, size):
+        return {
+            row[2]: row[3]
+            for row in table.rows
+            if row[0] == protocol and row[1] == size
+        }
+
+    gapless4 = bytes_per_event("gapless", 4)
+    bcast4 = bytes_per_event("naive-broadcast", 4)
+
+    # Gapless: constant in the number of receiving processes.
+    assert max(gapless4.values()) / min(gapless4.values()) < 1.1
+    # The paper's ratios: <1x at one receiver, ~1.2x at two, ~2x at three,
+    # ~3x at five.
+    assert bcast4[1] / gapless4[1] < 1.0
+    assert 1.1 < bcast4[2] / gapless4[2] < 1.5
+    assert 1.6 < bcast4[3] / gapless4[3] < 2.4
+    assert 2.6 < bcast4[5] / gapless4[5] < 3.9
+
+    # Normalized overhead shrinks as events grow.
+    def normalized(protocol, size, m):
+        return table.cell("normalized_vs_gap", protocol=protocol,
+                          event_bytes=size, receiving=m)
+
+    for m in (1, 3, 5):
+        assert normalized("gapless", 20_480, m) < normalized("gapless", 4, m)

@@ -1,0 +1,38 @@
+"""Fig. 6 — events delivered under sensor-process link loss.
+
+Paper: at low loss Gap ~= Gapless; at 10% loss with 2 receiving processes
+Gap delivers 90% vs Gapless 99%; at 50% loss Gap delivers ~50% while
+Gapless delivers ~75/87/95% with 2/4/5 receiving processes — the percentage
+received by *at least one* process.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import fig6_link_loss
+
+
+def test_fig6_link_loss(benchmark, show):
+    table = run_once(benchmark, fig6_link_loss, duration=120.0, seeds=(42, 43))
+    show(table.render())
+
+    def pct(guarantee, m, loss):
+        return table.cell("delivered_pct", guarantee=guarantee, receiving=m,
+                          loss_rate=loss)
+
+    # Gap tracks the single forwarder's link: ~ (1 - loss).
+    for m in (1, 2, 4, 5):
+        assert 86 <= pct("gap", m, 0.10) <= 93
+        assert 45 <= pct("gap", m, 0.50) <= 55
+
+    # Gapless harvests every receiving process: ~ 1 - loss^m.
+    assert 97 <= pct("gapless", 2, 0.10) <= 100
+    assert 70 <= pct("gapless", 2, 0.50) <= 80
+    assert 88 <= pct("gapless", 4, 0.50) <= 97
+    assert 93 <= pct("gapless", 5, 0.50) <= 100
+
+    # At zero loss everyone delivers everything.
+    for guarantee in ("gap", "gapless"):
+        assert pct(guarantee, 2, 0.0) > 99.0
+
+    # Single receiving process: the protocols are equivalent.
+    for loss in (0.10, 0.50):
+        assert abs(pct("gap", 1, loss) - pct("gapless", 1, loss)) < 3.0

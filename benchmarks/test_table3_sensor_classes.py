@@ -1,0 +1,26 @@
+"""Table 3 — off-the-shelf sensor classification.
+
+Paper: small sensors emit 4-8 B events (temperature, humidity, motion,
+moisture, door/window, UV, energy, vibration); large ones 1-20 KB (camera,
+microphone).
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import table3_sensor_classes
+
+
+def test_table3_sensor_classes(benchmark, show):
+    table = run_once(benchmark, table3_sensor_classes)
+    show(table.render())
+
+    by_kind = {row[0]: row for row in table.rows}
+    for kind in ("temperature", "humidity", "motion", "moisture", "door",
+                 "uv", "energy", "vibration"):
+        assert by_kind[kind][1] == "small"
+        assert 4 <= by_kind[kind][4] <= 8
+    for kind in ("camera", "microphone"):
+        assert by_kind[kind][1] == "large"
+        assert 1024 <= by_kind[kind][4] <= 20_480
+    # Poll-based sensors of Section 8.5 are classified as such.
+    for kind in ("temperature", "luminance", "humidity", "uv"):
+        assert by_kind[kind][2] == "poll"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Intrusion detection (paper Listing 1) under cascading failures.
+
+Three door/window sensors feed an intrusion operator wired with
+``FTCombiner(n-1)`` and Gapless delivery. The scenario then gets hostile:
+
+1. a burglar opens a window — alert + siren;
+2. two of three sensors die (battery pulled) — the app stays armed;
+3. the process hosting the logic node crashes *while* the last sensor
+   fires — Gapless redelivers the event to the freshly promoted node and
+   the alarm still sounds.
+
+Run:  python examples/intrusion_detection.py
+"""
+
+from repro.apps.intrusion import intrusion_detection
+from repro.core.home import Home
+
+
+def alerts(home) -> list[str]:
+    return [f"t={e.time:6.2f}s {e['message']} {e.get('doors')}"
+            for e in home.trace.of_kind("alert")]
+
+
+def main() -> None:
+    home = Home(seed=7)
+    for host in ("hub", "tv", "fridge"):
+        home.add_process(host)
+    doors = ["front-door", "back-door", "kitchen-window"]
+    for door in doors:
+        home.add_sensor(door, kind="door")
+    home.add_actuator("siren", kind="siren", processes=["hub", "tv"])
+
+    app = intrusion_detection(doors, siren="siren")
+    home.deploy(app)
+    home.start()
+    home.run_for(1.0)
+
+    print("== 1. window opened ==")
+    home.sensor("kitchen-window").emit(True)
+    home.run_for(2.0)
+    print(f"  siren: {'SOUNDING' if home.actuator('siren').state else 'quiet'}")
+
+    print("== 2. two sensors fail; the app tolerates n-1 failures ==")
+    home.fail_sensor("front-door")
+    home.fail_sensor("kitchen-window")
+    home.run_for(2.0)
+    home.sensor("back-door").emit(True)
+    home.run_for(2.0)
+
+    print("== 3. logic host crashes as the last sensor fires ==")
+    active = [n for n, p in home.processes.items()
+              if p.alive and p.execution.runtimes[app.name].active][0]
+    print(f"  active logic node was on {active}; crashing it")
+    home.crash_process(active)
+    home.run_for(0.2)           # mid-detection-window
+    home.sensor("back-door").emit(True)
+    home.run_for(6.0)           # detection + promotion + replay
+
+    print("== alerts raised ==")
+    for line in alerts(home):
+        print("  " + line)
+    assert len(home.trace.of_kind("alert")) >= 3, "all three intrusions alerted"
+    print("OK: no intrusion was lost, despite sensor and process failures")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim for environments without wheel/PEP 660 support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Rivulet: a fault-tolerant platform for smart-home applications.
+
+A complete Python reproduction of the Middleware 2017 paper. The package is
+organised as a sans-IO protocol core (:mod:`repro.core`) running either on a
+deterministic discrete-event simulator (:mod:`repro.sim`, :mod:`repro.net`,
+:mod:`repro.devices`) or on a real asyncio TCP runtime (:mod:`repro.rt`).
+
+Typical entry points:
+
+- :class:`repro.core.home.Home` — build a simulated smart home, deploy apps.
+- :class:`repro.core.operators.Operator` — the Table 2 programming model.
+- :mod:`repro.apps` — the paper's Table 1 application catalog.
+- :mod:`repro.eval.experiments` — regenerate every table/figure of the paper.
+"""
+
+from repro.core.delivery import Delivery
+from repro.core.home import Home, HomeConfig
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow, TimeWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CountWindow",
+    "Delivery",
+    "Home",
+    "HomeConfig",
+    "Operator",
+    "TimeWindow",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""The paper's application catalog (Table 1) as runnable Rivulet apps.
+
+Every application is a builder returning a :class:`repro.core.graph.App`
+wired exactly as Table 1 prescribes: its sensors, its delivery guarantee
+(Gap for efficiency/convenience apps that tolerate short gaps, Gapless for
+elder-care/safety/billing apps that cannot), and its actuation/alerting
+behaviour.
+
+See :data:`repro.apps.catalog.TABLE1` for the full catalog with metadata.
+"""
+
+from repro.apps.catalog import TABLE1, AppSpec, build_app
+from repro.apps.hvac import occupancy_hvac, temperature_hvac, user_hvac
+from repro.apps.intrusion import intrusion_detection
+from repro.apps.elder_care import fall_alert, inactive_alert
+from repro.apps.energy import appliance_alert, energy_billing
+from repro.apps.lighting import automated_lighting
+from repro.apps.safety import air_monitoring, flood_fire_alert, surveillance
+from repro.apps.tracking import activity_tracking
+
+__all__ = [
+    "TABLE1",
+    "AppSpec",
+    "activity_tracking",
+    "air_monitoring",
+    "appliance_alert",
+    "automated_lighting",
+    "build_app",
+    "energy_billing",
+    "fall_alert",
+    "flood_fire_alert",
+    "inactive_alert",
+    "intrusion_detection",
+    "occupancy_hvac",
+    "surveillance",
+    "temperature_hvac",
+    "user_hvac",
+]

@@ -1,0 +1,79 @@
+"""Elder-care applications (Table 1: fall alert, inactive alert) — Gapless.
+
+"Panic-Button and iFall are elder-care apps that process events from a
+wearable sensor worn by an elder and notify caregivers if a fall is
+detected. ... a gap in the event stream is clearly undesirable and
+potentially catastrophic."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.combiners import CombinedWindows, FTCombiner
+from repro.core.delivery import GAPLESS
+from repro.core.graph import App
+from repro.core.operators import Operator, OperatorContext
+from repro.core.windows import CountWindow, EveryInterval, KeepAll, TimeWindow
+
+
+def fall_alert(
+    wearable: str,
+    *,
+    siren: str | None = None,
+    name: str = "fall-alert",
+) -> App:
+    """Issue an alert on every fall-detected event from the wearable."""
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        falls = [e for e in combined.all_events() if e.value == "fall"]
+        for event in falls:
+            ctx.alert("fall detected", wearable=event.sensor_id,
+                      at=event.emitted_at)
+            if siren is not None:
+                ctx.actuate(siren, "sound", True)
+
+    operator = Operator("FallAlert", on_window=on_window)
+    operator.add_sensor(wearable, GAPLESS, CountWindow(1))
+    if siren is not None:
+        operator.add_actuator(siren, GAPLESS)
+    return App(name, operator)
+
+
+def inactive_alert(
+    activity_sensors: Sequence[str],
+    *,
+    inactivity_window_s: float = 4 * 3600.0,
+    name: str = "inactive-alert",
+) -> App:
+    """Alert caregivers when no motion/door activity occurs for a while.
+
+    The operator wakes on a periodic trigger and inspects a sliding time
+    window over all activity sensors; an empty window means inactivity.
+    Gapless delivery matters here in the *other* direction: a delivery gap
+    would look like inactivity and cause a false alert.
+    """
+    if not activity_sensors:
+        raise ValueError("inactive alert needs at least one activity sensor")
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        if not combined.all_events():
+            ctx.alert("no activity detected", window_s=inactivity_window_s)
+
+    operator = Operator(
+        "InactiveAlert",
+        combiner=FTCombiner(len(activity_sensors) - 1,
+                            grace_s=min(60.0, inactivity_window_s / 4)),
+        on_window=on_window,
+    )
+    for sensor in activity_sensors:
+        operator.add_sensor(
+            sensor,
+            GAPLESS,
+            TimeWindow(
+                inactivity_window_s,
+                trigger=EveryInterval(inactivity_window_s),
+                evictor=KeepAll(),
+            ),
+        )
+    return App(name, operator)

@@ -1,0 +1,126 @@
+"""HVAC applications (Table 1: occupancy-based, user-based, temperature-based).
+
+``temperature_hvac`` is also the paper's Listing 2: Marzullo fault-tolerant
+averaging over n temperature sensors, tolerating ``floor((n-1)/3)``
+arbitrary sensor failures (or ``n-1`` fail-stop failures).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.combiners import CombinedWindows, FTCombiner
+from repro.core.delivery import GAP, GAPLESS, PollingPolicy
+from repro.core.graph import App
+from repro.core.marzullo import Interval, fuse
+from repro.core.operators import Operator, OperatorContext
+from repro.core.windows import CountWindow, TimeWindow
+
+
+def occupancy_hvac(
+    occupancy_sensor: str,
+    thermostat: str,
+    *,
+    occupied_setpoint: float = 21.5,
+    away_setpoint: float = 17.0,
+    name: str = "occupancy-hvac",
+) -> App:
+    """Set the thermostat set-point based on occupancy (Gap delivery).
+
+    Tolerates gaps by design: "when missing sensor values, the app uses
+    pre-determined policy or defaults to the last set temperature".
+    """
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        events = combined.all_events()
+        if not events:
+            return
+        occupied = bool(events[-1].value)
+        setpoint = occupied_setpoint if occupied else away_setpoint
+        ctx.actuate(thermostat, "set_point", setpoint)
+
+    operator = Operator("OccupancyHVAC", on_window=on_window)
+    operator.add_sensor(occupancy_sensor, GAP, CountWindow(1))
+    operator.add_actuator(thermostat, GAP)
+    return App(name, operator)
+
+
+def user_hvac(
+    camera: str,
+    thermostat: str,
+    *,
+    name: str = "user-hvac",
+) -> App:
+    """SPOT-style set-point from the user's clothing level (camera, Gap).
+
+    The clothing-level inference is a stand-in: image events carry a
+    payload from which a [0, 1] clothing score is derived deterministically.
+    """
+
+    def clothing_level(value: object) -> float:
+        if isinstance(value, (int, float)):
+            return max(0.0, min(1.0, float(value)))
+        return 0.5
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        events = combined.all_events()
+        if not events:
+            return
+        level = clothing_level(events[-1].value)
+        # More clothing -> lower set-point.
+        ctx.actuate(thermostat, "set_point", round(23.0 - 4.0 * level, 1))
+
+    operator = Operator("UserHVAC", on_window=on_window)
+    operator.add_sensor(camera, GAP, TimeWindow(30.0))
+    operator.add_actuator(thermostat, GAP)
+    return App(name, operator)
+
+
+def temperature_hvac(
+    temperature_sensors: Sequence[str],
+    hvac: str,
+    *,
+    threshold: float = 23.0,
+    hysteresis: float = 0.5,
+    window_s: float = 1.0,
+    epoch_s: float = 10.0,
+    arbitrary_failures: bool = True,
+    sensor_uncertainty: float = 0.5,
+    name: str = "temperature-hvac",
+) -> App:
+    """Listing 2: Marzullo-averaged temperature control (Gapless).
+
+    ``arbitrary_failures=True`` tolerates ``floor((n-1)/3)`` Byzantine
+    sensors; ``False`` tolerates ``n-1`` fail-stop sensors, exactly the two
+    settings the paper discusses.
+    """
+    n = len(temperature_sensors)
+    if n == 0:
+        raise ValueError("need at least one temperature sensor")
+    f = math.floor((n - 1) / 3) if arbitrary_failures else n - 1
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        intervals = [
+            Interval.around(float(event.value), sensor_uncertainty)
+            for event in combined.all_events()
+        ]
+        if len(intervals) <= f:
+            return  # not enough readings to fuse under the failure bound
+        fused = fuse(intervals, min(f, len(intervals) - 1))
+        midpoint = fused.midpoint
+        if midpoint > threshold + hysteresis:
+            ctx.actuate(hvac, "cooling", True)
+        elif midpoint < threshold - hysteresis:
+            ctx.actuate(hvac, "cooling", False)
+        ctx.emit(midpoint)
+
+    averaging = Operator("Averaging", combiner=FTCombiner(f, grace_s=window_s),
+                         on_window=on_window)
+    for sensor in temperature_sensors:
+        averaging.add_sensor(
+            sensor, GAPLESS, TimeWindow(window_s),
+            polling=PollingPolicy(epoch_s=epoch_s),
+        )
+    averaging.add_actuator(hvac, GAPLESS)
+    return App(name, averaging)

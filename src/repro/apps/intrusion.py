@@ -1,0 +1,61 @@
+"""Intrusion detection (paper Listing 1).
+
+"Consider an intrusion detection app setting the siren on a door open. ...
+The intruder operator uses count windows of size 1 for its input stream.
+The programmer also declares that the intruder logic can tolerate up to
+n-1 sensor failures. ... the programmer also configures Gapless delivery
+for door sensors due to the needs of intrusion detection."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.combiners import CombinedWindows, FTCombiner
+from repro.core.delivery import GAPLESS
+from repro.core.graph import App
+from repro.core.operators import Operator, OperatorContext
+from repro.core.windows import CountWindow
+
+
+def intrusion_detection(
+    door_sensors: Sequence[str],
+    *,
+    siren: str | None = "siren",
+    camera: str | None = None,
+    armed: bool = True,
+    name: str = "intrusion-detection",
+) -> App:
+    """Build the Listing 1 app over the given door/window sensors.
+
+    On any door-open event: sound the siren (if present), record an image
+    (if a camera is wired), and raise an alert. Tolerates n-1 door-sensor
+    failures via :class:`FTCombiner` — a single surviving sensor keeps the
+    app operational.
+    """
+    if not door_sensors:
+        raise ValueError("intrusion detection needs at least one door sensor")
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        opened = [e for e in combined.all_events() if e.value]
+        if not opened or not armed:
+            return
+        ctx.alert(
+            "intrusion detected",
+            doors=sorted({e.sensor_id for e in opened}),
+        )
+        if siren is not None:
+            ctx.actuate(siren, "sound", True)
+        if camera is not None:
+            ctx.emit({"record_image": True, "trigger": opened[0].sensor_id})
+
+    intruder = Operator(
+        "Intrusion",
+        combiner=FTCombiner(len(door_sensors) - 1, grace_s=0.25),
+        on_window=on_window,
+    )
+    for sensor in door_sensors:
+        intruder.add_sensor(sensor, GAPLESS, CountWindow(1))
+    if siren is not None:
+        intruder.add_actuator(siren, GAPLESS)
+    return App(name, intruder)

@@ -1,0 +1,45 @@
+"""Automated lighting (Table 1) — convenience, Gap delivery.
+
+"Apps that infer home occupancy (e.g., to automate home lighting) can
+tolerate short-lived gaps in the event stream of the occupancy sensor by
+inferring occupancy from other sensors such as door open, microphones, or
+cameras." The operator therefore fuses several presence hints and any one
+of them suffices (FTCombiner tolerating n-1 missing streams).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.combiners import CombinedWindows, FTCombiner
+from repro.core.delivery import GAP
+from repro.core.graph import App
+from repro.core.operators import Operator, OperatorContext
+from repro.core.windows import TimeWindow
+
+
+def automated_lighting(
+    presence_sensors: Sequence[str],
+    light: str,
+    *,
+    check_interval_s: float = 10.0,
+    name: str = "automated-lighting",
+) -> App:
+    """Turn the light on when anyone is present, off when nobody is."""
+    if not presence_sensors:
+        raise ValueError("automated lighting needs at least one presence sensor")
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        present = any(bool(event.value) for event in combined.all_events())
+        ctx.actuate(light, "power", present)
+
+    operator = Operator(
+        "SmartLights",
+        combiner=FTCombiner(len(presence_sensors) - 1,
+                            grace_s=check_interval_s / 2),
+        on_window=on_window,
+    )
+    for sensor in presence_sensors:
+        operator.add_sensor(sensor, GAP, TimeWindow(check_interval_s))
+    operator.add_actuator(light, GAP)
+    return App(name, operator)

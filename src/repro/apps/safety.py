@@ -1,0 +1,104 @@
+"""Safety applications (Table 1: flood/fire alert, air monitoring,
+surveillance) — all Gapless: "failing to deliver that event can have grave
+consequences"."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.combiners import CombinedWindows, FTCombiner
+from repro.core.delivery import GAPLESS, PollingPolicy
+from repro.core.graph import App
+from repro.core.operators import Operator, OperatorContext
+from repro.core.windows import CountWindow, KeepLast
+
+
+def flood_fire_alert(
+    hazard_sensors: Sequence[str],
+    *,
+    siren: str | None = None,
+    name: str = "flood-fire-alert",
+) -> App:
+    """Alert on any water-detected or smoke-detected event."""
+    if not hazard_sensors:
+        raise ValueError("need at least one water/smoke sensor")
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        for event in combined.all_events():
+            if event.value:
+                ctx.alert("hazard detected", sensor=event.sensor_id)
+                if siren is not None:
+                    ctx.actuate(siren, "sound", True)
+
+    operator = Operator(
+        "HazardAlert",
+        combiner=FTCombiner(len(hazard_sensors) - 1, grace_s=0.25),
+        on_window=on_window,
+    )
+    for sensor in hazard_sensors:
+        operator.add_sensor(sensor, GAPLESS, CountWindow(1))
+    if siren is not None:
+        operator.add_actuator(siren, GAPLESS)
+    return App(name, operator)
+
+
+def air_monitoring(
+    co2_sensor: str,
+    *,
+    threshold_ppm: float = 1000.0,
+    epoch_s: float = 10.0,
+    name: str = "air-monitoring",
+) -> App:
+    """Alert when the CO2/CO level surpasses a threshold (poll-based)."""
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        for event in combined.all_events():
+            if float(event.value) > threshold_ppm:
+                ctx.alert("air quality threshold exceeded",
+                          sensor=event.sensor_id, ppm=event.value)
+
+    def on_epoch_gap(ctx: OperatorContext, gap) -> None:
+        # The paper's exception path: no reading arrived for a whole epoch.
+        ctx.alert("air sensor reading missing", epoch=gap.epoch)
+
+    operator = Operator("AirMonitor", on_window=on_window,
+                        on_epoch_gap=on_epoch_gap)
+    operator.add_sensor(
+        co2_sensor, GAPLESS, CountWindow(1),
+        polling=PollingPolicy(epoch_s=epoch_s),
+    )
+    return App(name, operator)
+
+
+def surveillance(
+    camera: str,
+    *,
+    known_objects: frozenset = frozenset({"resident", "pet", "background"}),
+    frames_for_background: int = 5,
+    name: str = "surveillance",
+) -> App:
+    """Record an image when an unknown object appears (camera, Gapless).
+
+    A sliding count window keeps the last N frames (the paper's background-
+    estimation pattern: "computing the median of last N images' pixels ...
+    can use the sliding count window").
+    """
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        frames = combined.all_events()
+        if not frames:
+            return
+        label = frames[-1].value
+        if isinstance(label, dict):
+            label = label.get("object", "background")
+        if label not in known_objects:
+            ctx.alert("unknown object recorded", object=str(label))
+            ctx.emit({"record": True, "frames": len(frames)})
+
+    operator = Operator("Surveillance", on_window=on_window)
+    operator.add_sensor(
+        camera, GAPLESS,
+        CountWindow(frames_for_background,
+                    evictor=KeepLast(frames_for_background - 1)),
+    )
+    return App(name, operator)

@@ -1,0 +1,47 @@
+"""Activity tracking (Table 1) — microphone frames, Gap delivery.
+
+"Periodically infer physical activity using microphone frames" (SymPhoney
+[42]): 1 KB frame events, windows of frames, a lightweight energy-based
+activity classifier standing in for the original's inference pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.combiners import CombinedWindows
+from repro.core.delivery import GAP
+from repro.core.graph import App
+from repro.core.operators import Operator, OperatorContext
+from repro.core.windows import TimeWindow
+
+
+def _frame_energy(value: object) -> float:
+    """A deterministic stand-in for acoustic frame energy."""
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, (bytes, bytearray)):
+        return sum(value[:64]) / max(1, min(len(value), 64))
+    return 0.0
+
+
+def activity_tracking(
+    microphone: str,
+    *,
+    window_s: float = 30.0,
+    active_threshold: float = 0.6,
+    name: str = "activity-tracking",
+) -> App:
+    """Classify each window of microphone frames as active/quiet."""
+
+    def on_window(ctx: OperatorContext, combined: CombinedWindows) -> None:
+        frames = combined.all_events()
+        if not frames:
+            ctx.emit({"activity": "unknown", "frames": 0})
+            return
+        energy = sum(_frame_energy(f.value) for f in frames) / len(frames)
+        activity = "active" if energy >= active_threshold else "quiet"
+        ctx.emit({"activity": activity, "frames": len(frames),
+                  "energy": round(energy, 3)})
+
+    operator = Operator("ActivityTracker", on_window=on_window)
+    operator.add_sensor(microphone, GAP, TimeWindow(window_s))
+    return App(name, operator)

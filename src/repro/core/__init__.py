@@ -1,0 +1,40 @@
+"""Rivulet's core: the paper's primary contribution, sans-IO.
+
+Layout:
+
+- programming model — :mod:`.windows`, :mod:`.operators`, :mod:`.combiners`,
+  :mod:`.marzullo`, :mod:`.graph` (Section 6);
+- delivery service — :mod:`.gapless`, :mod:`.gap`, :mod:`.broadcast`,
+  :mod:`.polling`, :mod:`.delivery_service` (Section 4);
+- execution service — :mod:`.election`, :mod:`.execution`, :mod:`.placement`
+  (Section 5);
+- process/runtime glue — :mod:`.env`, :mod:`.runtime`, :mod:`.home`,
+  :mod:`.plan`, :mod:`.eventlog`, :mod:`.events`, :mod:`.intervals`.
+"""
+
+from repro.core.combiners import AllStreamsCombiner, FTCombiner, PassThroughCombiner
+from repro.core.delivery import GAP, GAPLESS, Delivery, PollingPolicy, PollMode
+from repro.core.events import Command, Event
+from repro.core.graph import App
+from repro.core.home import Home, HomeConfig
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow, TimeWindow
+
+__all__ = [
+    "AllStreamsCombiner",
+    "App",
+    "Command",
+    "CountWindow",
+    "Delivery",
+    "Event",
+    "FTCombiner",
+    "GAP",
+    "GAPLESS",
+    "Home",
+    "HomeConfig",
+    "Operator",
+    "PassThroughCombiner",
+    "PollMode",
+    "PollingPolicy",
+    "TimeWindow",
+]

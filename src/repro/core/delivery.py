@@ -1,0 +1,88 @@
+"""Delivery guarantees and per-sensor delivery configuration.
+
+The two guarantees of Section 4:
+
+- :data:`GAP` — best-effort; events may be lost on process crash, sensor-
+  process link loss, or partition. Cheap: one forwarding message per event.
+- :data:`GAPLESS` — post-ingest guarantee: "any event received from a sensor
+  by any correct process will be eventually delivered to, and processed by,
+  the applications that are interested in that event".
+
+Both are *post-ingest*: an event no process ever received is invisible to
+the platform; for poll-based sensors the lack of an event in an epoch is
+detectable and surfaces as an :class:`EpochGap` notification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Delivery(enum.Enum):
+    """Requested delivery guarantee for a sensor or actuator stream."""
+
+    GAP = "gap"
+    GAPLESS = "gapless"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+GAP = Delivery.GAP
+GAPLESS = Delivery.GAPLESS
+
+
+class PollMode(enum.Enum):
+    """How active sensor nodes schedule polls for a poll-based sensor."""
+
+    COORDINATED = "coordinated"
+    """Slot-scheduled, cancel-on-receipt (Section 4.1, Gapless default)."""
+
+    UNCOORDINATED = "uncoordinated"
+    """Every active node polls at a uniformly random time per epoch — the
+    baseline of Fig. 8."""
+
+    SINGLE = "single"
+    """Only the chain-closest active node polls (Gap default)."""
+
+
+@dataclass(frozen=True)
+class PollingPolicy:
+    """App-side polling request for one poll-based sensor.
+
+    ``epoch_s`` is the application's epoch length: "the time length of the
+    polling epoch is defined such that the app requires one event per epoch"
+    (Section 4). ``mode=None`` picks the protocol default (coordinated for
+    Gapless, single-poller for Gap).
+    """
+
+    epoch_s: float
+    mode: PollMode | None = None
+    retries: int = 1
+    """Extra in-slot poll attempts when a poll yields nothing."""
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ValueError(f"epoch_s must be positive, got {self.epoch_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass(frozen=True)
+class EpochGap:
+    """Raised-to-the-app notification: an epoch produced no event.
+
+    Section 4.1: "for poll-based sensors, Rivulet can detect a lack of event
+    delivery in an epoch, and can notify the application by throwing an
+    exception."
+    """
+
+    sensor: str
+    epoch: int
+    detected_at: float
+
+
+def strongest(a: Delivery, b: Delivery) -> Delivery:
+    """The stronger of two guarantees (GAPLESS subsumes GAP)."""
+    return GAPLESS if GAPLESS in (a, b) else GAP

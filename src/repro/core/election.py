@@ -1,0 +1,57 @@
+"""Bully-variant leader election over the placement chain (Section 5).
+
+"Rivulet uses a simple primary-secondary approach ... it employs a variant
+of the bully-based leader election algorithm for selecting the active logic
+node. Whenever a shadow logic node suspects that all its successors in the
+chain have crashed, it promotes itself ... whenever an active logic node
+detects that its immediate chain successor (if any) has recovered, it
+demotes itself."
+
+Because views are purely local (no agreement), the election is a pure
+function of ``(chain, local view)``: the active logic node is the
+highest-priority chain member the view believes alive. During a partition
+every side elects its own active node — by design (Section 5 discusses why
+this is acceptable for idempotent actuators and how Test&Set handles the
+rest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.placement import active_process
+from repro.membership.views import LocalView
+
+
+@dataclass(frozen=True)
+class ElectionDecision:
+    """What one process concludes from its local view."""
+
+    active: str | None
+    i_am_active: bool
+
+
+class AppElection:
+    """Election state for one app on one process."""
+
+    def __init__(self, me: str, chain: list[str]) -> None:
+        if me not in chain:
+            raise ValueError(f"process {me!r} missing from chain {chain}")
+        self.me = me
+        self.chain = list(chain)
+
+    def decide(self, view: LocalView) -> ElectionDecision:
+        active = active_process(self.chain, view.members)
+        return ElectionDecision(active=active, i_am_active=active == self.me)
+
+    def successors_of_me(self) -> list[str]:
+        """Chain members with higher priority than this process."""
+        index = self.chain.index(self.me)
+        return self.chain[index + 1:]
+
+    def should_promote(self, view: LocalView) -> bool:
+        """All higher-priority chain members are suspected (bully rule)."""
+        return all(peer not in view.members for peer in self.successors_of_me())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AppElection me={self.me} chain={self.chain}>"

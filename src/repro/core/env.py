@@ -1,0 +1,62 @@
+"""The sans-IO runtime environment interface.
+
+Every Rivulet protocol component (heartbeats, Gap chain, Gapless ring,
+reliable broadcast, coordinated polling, election) is written against this
+narrow interface and nothing else. Two implementations exist:
+
+- :class:`repro.core.runtime.RivuletProcess` — the deterministic simulator;
+- :class:`repro.rt.node.AsyncRuntimeEnv` — real asyncio TCP sockets.
+
+Keeping protocols IO-free is what lets the test suite drive them through
+hand-crafted message sequences, the benchmark harness replay them
+deterministically, and the asyncio runtime deploy the identical logic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Protocol
+
+from repro.net.message import Message
+from repro.sim.random import RandomSource
+
+
+class CancelHandle(Protocol):
+    """Anything with a ``cancel()`` — sim timers and asyncio timers both fit."""
+
+    def cancel(self) -> None: ...
+
+
+class RuntimeEnv(abc.ABC):
+    """What a protocol component may do to the outside world."""
+
+    name: str
+    """This process's unique name."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (simulated or monotonic wall clock)."""
+
+    @abc.abstractmethod
+    def send(self, dst: str, kind: str, **payload: Any) -> None:
+        """Send a message to another process (reliable in-order transport)."""
+
+    @abc.abstractmethod
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> CancelHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds; returns a cancellable handle."""
+
+    @abc.abstractmethod
+    def register_handler(self, kind: str, fn: Callable[[Message], None]) -> None:
+        """Dispatch incoming messages of ``kind`` to ``fn``."""
+
+    @abc.abstractmethod
+    def rng(self, stream: str) -> RandomSource:
+        """A persistent named random stream scoped to this process."""
+
+    @abc.abstractmethod
+    def trace(self, kind: str, /, **fields: Any) -> None:
+        """Record a structured trace event (metrics are functions of these)."""
+
+    @abc.abstractmethod
+    def peers(self) -> list[str]:
+        """Names of all other configured processes (static deployment set)."""

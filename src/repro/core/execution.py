@@ -1,0 +1,412 @@
+"""Fault-tolerant execution of logic nodes (Section 5).
+
+Every process instantiates a :class:`LogicRuntime` per deployed app. At any
+time the runtime is *active* (hosting the app's live operator state) or a
+*shadow* (a placeholder). Role transitions are driven by the local view
+through :class:`~repro.core.election.AppElection`:
+
+- **promotion**: operator state (windows, combiners, timers) is built fresh
+  and — for Gapless sensors — the new active replays from the durable event
+  log every event newer than the last watermark the old active advertised.
+  This is the Fig. 7 "spike": the ~20 events emitted while the failure was
+  being detected arrive at the application in one burst.
+- **demotion**: operator state is torn down (applications are stateless —
+  Section 3.2 — so nothing is migrated).
+
+The active runtime piggybacks per-sensor processed watermarks on the
+keep-alive messages, so shadows know where processing got to without any
+additional message exchange.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.delivery import EpochGap, GAPLESS, Delivery
+from repro.core.election import AppElection
+from repro.core.eventlog import EventStore
+from repro.core.events import Command, Event
+from repro.core.graph import App
+from repro.core.intervals import IntervalSet
+from repro.core.operators import Operator, SensorBinding
+from repro.core.placement import active_replica_set, placement_chain
+from repro.core.plan import DeploymentPlan
+from repro.core.windows import TriggeredWindow, WindowInstance
+from repro.membership.heartbeat import HeartbeatService
+from repro.membership.views import LocalView
+from repro.net.latency import ProcessingModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.delivery_service import DeliveryService
+    from repro.core.env import RuntimeEnv
+
+
+class _OperatorContext:
+    """The :class:`repro.core.operators.OperatorContext` implementation."""
+
+    def __init__(self, runtime: "LogicRuntime", operator: Operator) -> None:
+        self._runtime = runtime
+        self.operator = operator
+        self.process = runtime.env.name
+
+    def now(self) -> float:
+        return self._runtime.env.now()
+
+    @property
+    def state(self):
+        """The home-wide replicated key-value store (Section 3.2's
+        "existing distributed storage" for stateful apps). Reads are local;
+        writes replicate to every process, so a logic node promoted after a
+        crash sees what its predecessor persisted."""
+        kv = self._runtime.service.kv
+        if kv is None:
+            raise RuntimeError("no replicated state store configured")
+        return kv
+
+    def emit(self, value: Any, size_bytes: int = 8) -> None:
+        self._runtime.emit_derived(self.operator, value, size_bytes)
+
+    def actuate(self, actuator: str, action: str, value: Any = None) -> None:
+        self._runtime.actuate(self.operator, actuator, action, value)
+
+    def alert(self, message: str, **fields: Any) -> None:
+        self._runtime.env.trace(
+            "alert", app=self._runtime.app.name, operator=self.operator.name,
+            message=message, **fields,
+        )
+
+
+class LogicRuntime:
+    """One app's logic node on one process (active or shadow)."""
+
+    def __init__(self, service: "ExecutionService", app: App) -> None:
+        self.service = service
+        self.env = service.env
+        self.app = app
+        self.election = AppElection(
+            self.env.name, placement_chain(app, service.plan)
+        )
+        self.active = False
+        self._processed: dict[str, IntervalSet] = {}
+        self._remote_watermarks: dict[str, int] = {}
+        requirements = app.sensor_requirements()
+        self._gapless_sensors = {
+            s for s, req in requirements.items() if req.delivery is GAPLESS
+        }
+        self._sensor_bindings: dict[tuple[str, str], SensorBinding] = {
+            (op.name, b.sensor): b
+            for op in app.operators
+            for b in op.sensor_bindings
+        }
+        # Per-activation state:
+        self._op_windows: dict[str, dict[str, WindowInstance]] = {}
+        self._combiners: dict[str, Any] = {}
+        self._grace_timers: dict[str, Any] = {}
+        self._periodic_timers: list[Any] = []
+        self._emit_seq: dict[str, int] = {}
+        self._cmd_seq = 0
+
+    # -- role management ---------------------------------------------------------
+
+    def apply_view(self, view: LocalView) -> None:
+        replicas = active_replica_set(
+            self.election.chain, view.members, self.service.active_replicas
+        )
+        i_am_active = self.env.name in replicas
+        if i_am_active and not self.active:
+            self._promote()
+        elif not i_am_active and self.active:
+            self._demote(new_active=replicas[0] if replicas else None)
+
+    def _promote(self) -> None:
+        self.env.trace("promotion", app=self.app.name)
+        self.active = True
+        self._build_operator_state()
+        self._replay_outstanding()
+
+    def _demote(self, new_active: str | None) -> None:
+        self.env.trace("demotion", app=self.app.name, new_active=new_active)
+        self.active = False
+        self._teardown_operator_state()
+
+    def _replay_outstanding(self) -> None:
+        """Deliver journaled Gapless events the old active never confirmed."""
+        pending: list[tuple[str, Event]] = []
+        for sensor in sorted(self._gapless_sensors):
+            log = self.service.store.log_for(sensor)
+            watermark = self._remote_watermarks.get(sensor, 0)
+            processed = self._processed.get(sensor)
+            if processed is not None and processed.max_value is not None:
+                watermark = max(watermark, processed.max_value)
+            pending.extend((sensor, e) for e in log.events_after(watermark))
+        pending.sort(key=lambda pair: (pair[1].emitted_at, pair[0], pair[1].seq))
+        if pending:
+            self.env.trace(
+                "promotion_replay", app=self.app.name, count=len(pending)
+            )
+        for sensor, event in pending:
+            self._process(sensor, event)
+
+    # -- operator state ------------------------------------------------------------
+
+    def _build_operator_state(self) -> None:
+        self._op_windows = {}
+        self._combiners = {}
+        self._grace_timers = {}
+        self._emit_seq = {}
+        for op in self.app.topological_operators:
+            combiner = op.combiner.clone()
+            combiner.bind(op.name, op.input_streams)
+            self._combiners[op.name] = combiner
+            windows: dict[str, WindowInstance] = {}
+            for binding in op.sensor_bindings:
+                windows[binding.sensor] = self._make_window(
+                    op, binding.sensor, binding.window
+                )
+            for upstream in op.upstream_bindings:
+                stream = f"op:{upstream.operator.name}"
+                windows[stream] = self._make_window(op, stream, upstream.window)
+            self._op_windows[op.name] = windows
+
+    def _make_window(self, op: Operator, stream: str, spec) -> WindowInstance:
+        instance = WindowInstance(
+            stream=stream,
+            spec=spec,
+            on_fire=lambda snapshot, op=op: self._on_window_fired(op, snapshot),
+        )
+        interval = spec.trigger.interval
+        if interval is not None:
+            self._arm_periodic(instance, interval)
+        return instance
+
+    def _arm_periodic(self, instance: WindowInstance, interval: float) -> None:
+        def tick() -> None:
+            if not self.active:
+                return
+            instance.fire(self.env.now())
+            self._periodic_timers.append(self.env.schedule(interval, tick))
+
+        self._periodic_timers.append(self.env.schedule(interval, tick))
+
+    def _teardown_operator_state(self) -> None:
+        for handle in self._periodic_timers:
+            handle.cancel()
+        self._periodic_timers = []
+        for handle in self._grace_timers.values():
+            handle.cancel()
+        self._grace_timers = {}
+        self._op_windows = {}
+        self._combiners = {}
+
+    # -- event flow ---------------------------------------------------------------------
+
+    def on_event(self, sensor: str, event: Event) -> None:
+        if not self.active:
+            return  # shadows are placeholders; the event log is the buffer
+        self._process(sensor, event)
+
+    def _process(self, sensor: str, event: Event) -> None:
+        processed = self._processed.setdefault(sensor, IntervalSet())
+        if event.seq in processed:
+            return
+        processed.add(event.seq)
+        now = self.env.now()
+        self.env.trace(
+            "logic_delivery", app=self.app.name, sensor=sensor, seq=event.seq,
+            emitted_at=event.emitted_at, delay=now - event.emitted_at,
+        )
+        self._feed_stream(sensor, event)
+
+    def _feed_stream(self, stream: str, event: Event) -> None:
+        now = self.env.now()
+        for op in self.app.consumers_of(stream):
+            binding = self._sensor_bindings.get((op.name, stream))
+            if (
+                binding is not None
+                and binding.staleness_s is not None
+                and now - event.emitted_at > binding.staleness_s
+            ):
+                self.env.trace(
+                    "stale_dropped", app=self.app.name, operator=op.name,
+                    sensor=stream, seq=event.seq,
+                    staleness=now - event.emitted_at,
+                )
+                continue
+            windows = self._op_windows.get(op.name)
+            if windows is None:
+                continue
+            windows[stream].add(event, now)
+
+    def _on_window_fired(self, op: Operator, snapshot: TriggeredWindow) -> None:
+        if snapshot.empty and not isinstance(snapshot.events, tuple):
+            return  # pragma: no cover - defensive
+        combiner = self._combiners[op.name]
+        combined = combiner.offer(snapshot)
+        if combined is not None:
+            self._cancel_grace(op)
+            self._dispatch(op, combined)
+        elif combiner.grace is not None and op.name not in self._grace_timers:
+            self._grace_timers[op.name] = self.env.schedule(
+                combiner.grace, self._flush_combiner, op
+            )
+
+    def _flush_combiner(self, op: Operator) -> None:
+        self._grace_timers.pop(op.name, None)
+        combiner = self._combiners.get(op.name)
+        if combiner is None or not self.active:
+            return
+        combined = combiner.flush(self.env.now())
+        if combined is not None:
+            self._dispatch(op, combined)
+
+    def _cancel_grace(self, op: Operator) -> None:
+        handle = self._grace_timers.pop(op.name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _dispatch(self, op: Operator, combined) -> None:
+        ctx = _OperatorContext(self, op)
+        try:
+            op.handle_triggered_window(ctx, combined)
+        except Exception as exc:  # noqa: BLE001 - one bad operator must not
+            # take down the platform process hosting it.
+            self.env.trace(
+                "operator_error", app=self.app.name, operator=op.name,
+                error=repr(exc),
+            )
+
+    # -- downstream effects ---------------------------------------------------------------
+
+    def emit_derived(self, op: Operator, value: Any, size_bytes: int) -> None:
+        stream = f"op:{op.name}"
+        seq = self._emit_seq.get(stream, 0) + 1
+        self._emit_seq[stream] = seq
+        event = Event(
+            sensor_id=stream, seq=seq, emitted_at=self.env.now(),
+            value=value, size_bytes=size_bytes,
+        )
+        self._feed_stream(stream, event)
+
+    def actuate(self, op: Operator, actuator: str, action: str, value: Any) -> None:
+        if actuator not in self.app.actuators:
+            raise KeyError(
+                f"operator {op.name!r} actuated unbound actuator {actuator!r}"
+            )
+        self._cmd_seq += 1
+        command = Command(
+            actuator_id=actuator,
+            seq=self._cmd_seq,
+            issued_at=self.env.now(),
+            action=action,
+            value=value,
+            issued_by=f"{self.app.name}@{self.env.name}",
+        )
+        self.env.trace(
+            "command_issued", app=self.app.name, actuator=actuator, action=action,
+        )
+        self.service.send_command(command, self.app)
+
+    def on_epoch_gap(self, sensor: str, gap: EpochGap) -> None:
+        if not self.active:
+            return
+        self.env.trace(
+            "epoch_gap_delivered", app=self.app.name, sensor=sensor, epoch=gap.epoch,
+        )
+        for op in self.app.consumers_of(sensor):
+            op.handle_epoch_gap(_OperatorContext(self, op), gap)
+
+    # -- watermarks --------------------------------------------------------------------------
+
+    def watermarks(self) -> dict[str, int]:
+        """Per-sensor highest processed seq (piggybacked on keep-alives)."""
+        marks: dict[str, int] = {}
+        for sensor in self._gapless_sensors:
+            processed = self._processed.get(sensor)
+            if processed is not None and processed.max_value is not None:
+                marks[sensor] = processed.max_value
+        return marks
+
+    def note_watermark(self, sensor: str, watermark: int) -> None:
+        current = self._remote_watermarks.get(sensor, 0)
+        if watermark > current:
+            self._remote_watermarks[sensor] = watermark
+
+
+class ExecutionService:
+    """All logic runtimes of one process, plus watermark gossip."""
+
+    def __init__(
+        self,
+        env: "RuntimeEnv",
+        heartbeat: HeartbeatService,
+        plan: DeploymentPlan,
+        store: EventStore,
+        processing: ProcessingModel,
+        kv=None,
+        active_replicas: int = 1,
+    ) -> None:
+        if active_replicas < 1:
+            raise ValueError(f"active_replicas must be >= 1, got {active_replicas}")
+        self.env = env
+        self.heartbeat = heartbeat
+        self.plan = plan
+        self.store = store
+        self.processing = processing
+        self.kv = kv
+        self.active_replicas = active_replicas
+        self.runtimes: dict[str, LogicRuntime] = {}
+        self._delivery: "DeliveryService | None" = None
+
+    def bind_delivery(self, delivery: "DeliveryService") -> None:
+        self._delivery = delivery
+
+    def start(self) -> None:
+        for app in self.plan.apps:
+            self.runtimes[app.name] = LogicRuntime(self, app)
+        self.heartbeat.add_view_listener(self._on_view_change)
+        self.heartbeat.add_payload_provider("exec_wm", self._watermark_payload)
+        self.heartbeat.add_payload_consumer("exec_wm", self._on_watermarks)
+        initial_view = self.heartbeat.view
+        for runtime in self.runtimes.values():
+            runtime.apply_view(initial_view)
+
+    # -- inbound from the delivery service --------------------------------------------
+
+    def on_event(self, sensor: str, event: Event, only_app: str | None = None) -> None:
+        for app in self.plan.apps_consuming(sensor):
+            if only_app is not None and app.name != only_app:
+                continue
+            self.runtimes[app.name].on_event(sensor, event)
+
+    def on_epoch_gap(self, sensor: str, gap: EpochGap) -> None:
+        for app in self.plan.apps_consuming(sensor):
+            self.runtimes[app.name].on_epoch_gap(sensor, gap)
+
+    def send_command(self, command: Command, app: App) -> None:
+        if self._delivery is None:
+            raise RuntimeError("execution service not bound to a delivery service")
+        guarantee: Delivery = app.actuator_delivery(command.actuator_id)
+        self._delivery.send_command(command, app.name, guarantee)
+
+    # -- membership ------------------------------------------------------------------------
+
+    def _on_view_change(self, view: LocalView, added: frozenset, removed: frozenset) -> None:
+        for runtime in self.runtimes.values():
+            runtime.apply_view(view)
+
+    def _watermark_payload(self) -> dict[str, dict[str, int]]:
+        payload: dict[str, dict[str, int]] = {}
+        for name, runtime in self.runtimes.items():
+            if runtime.active:
+                marks = runtime.watermarks()
+                if marks:
+                    payload[name] = marks
+        return payload
+
+    def _on_watermarks(self, sender: str, value: dict[str, dict[str, int]]) -> None:
+        for app_name, marks in value.items():
+            runtime = self.runtimes.get(app_name)
+            if runtime is None:
+                continue
+            for sensor, watermark in marks.items():
+                runtime.note_watermark(sensor, watermark)

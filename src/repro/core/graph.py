@@ -1,0 +1,181 @@
+"""Application graphs.
+
+"Rivulet applications are built as directed acyclic graphs with three types
+of nodes: sensor, logic, and actuator" (Section 3.2). An :class:`App` wraps
+the operator DAG of one logic node (the paper simplifies to one logic node
+per application, and so do we) and derives:
+
+- the set of sensors the app consumes, with the strongest guarantee
+  requested for each (two operators may bind the same sensor differently);
+- the set of actuators it controls;
+- a validated topological order over operators (cycles are rejected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.delivery import Delivery, PollingPolicy, strongest
+from repro.core.operators import Operator
+
+
+class GraphError(ValueError):
+    """The application graph is malformed (cycle, dangling upstream, ...)."""
+
+
+@dataclass(frozen=True)
+class SensorRequirement:
+    """Aggregated app-level requirement for one sensor."""
+
+    sensor: str
+    delivery: Delivery
+    polling: PollingPolicy | None
+
+
+class App:
+    """One smart-home application: a named DAG of operators."""
+
+    def __init__(self, name: str, operators: Sequence[Operator] | Operator) -> None:
+        if not name:
+            raise ValueError("app needs a non-empty name")
+        self.name = name
+        if isinstance(operators, Operator):
+            operators = [operators]
+        if not operators:
+            raise GraphError(f"app {self.name!r} has no operators")
+        self.operators = self._close_over_upstreams(operators)
+        self._order = self._topological_order()
+
+    @staticmethod
+    def _close_over_upstreams(operators: Sequence[Operator]) -> list[Operator]:
+        """Include transitively referenced upstream operators exactly once."""
+        seen: dict[int, Operator] = {}
+        stack = list(operators)
+        result: list[Operator] = []
+        while stack:
+            op = stack.pop()
+            if id(op) in seen:
+                continue
+            seen[id(op)] = op
+            result.append(op)
+            stack.extend(b.operator for b in op.upstream_bindings)
+        names = [op.name for op in result]
+        if len(set(names)) != len(names):
+            raise GraphError(f"duplicate operator names in app: {sorted(names)}")
+        return result
+
+    def _topological_order(self) -> list[Operator]:
+        """Operators ordered upstream-first; raises on cycles."""
+        by_name = {op.name: op for op in self.operators}
+        visiting: set[str] = set()
+        done: set[str] = set()
+        order: list[Operator] = []
+
+        def visit(op: Operator) -> None:
+            if op.name in done:
+                return
+            if op.name in visiting:
+                raise GraphError(
+                    f"app {self.name!r} has a cycle through operator {op.name!r}"
+                )
+            visiting.add(op.name)
+            for binding in op.upstream_bindings:
+                upstream = by_name.get(binding.operator.name)
+                if upstream is None:  # pragma: no cover - closed over above
+                    raise GraphError(f"dangling upstream {binding.operator.name!r}")
+                visit(upstream)
+            visiting.discard(op.name)
+            done.add(op.name)
+            order.append(op)
+
+        for op in self.operators:
+            visit(op)
+        return order
+
+    # -- derived wiring ---------------------------------------------------------------
+
+    @property
+    def topological_operators(self) -> list[Operator]:
+        return list(self._order)
+
+    def sensor_requirements(self) -> dict[str, SensorRequirement]:
+        """Per-sensor guarantee: the strongest any operator requested.
+
+        Polling policies must agree across operators (one physical sensor is
+        polled on one schedule); conflicting epochs are a graph error.
+        """
+        requirements: dict[str, SensorRequirement] = {}
+        for op in self.operators:
+            for binding in op.sensor_bindings:
+                existing = requirements.get(binding.sensor)
+                if existing is None:
+                    requirements[binding.sensor] = SensorRequirement(
+                        sensor=binding.sensor,
+                        delivery=binding.delivery,
+                        polling=binding.polling,
+                    )
+                    continue
+                polling = existing.polling or binding.polling
+                if (
+                    existing.polling is not None
+                    and binding.polling is not None
+                    and existing.polling.epoch_s != binding.polling.epoch_s
+                ):
+                    raise GraphError(
+                        f"app {self.name!r}: conflicting polling epochs for "
+                        f"sensor {binding.sensor!r} "
+                        f"({existing.polling.epoch_s} vs {binding.polling.epoch_s})"
+                    )
+                requirements[binding.sensor] = SensorRequirement(
+                    sensor=binding.sensor,
+                    delivery=strongest(existing.delivery, binding.delivery),
+                    polling=polling,
+                )
+        if not requirements:
+            raise GraphError(f"app {self.name!r} consumes no sensors")
+        return requirements
+
+    @property
+    def sensors(self) -> list[str]:
+        return sorted(self.sensor_requirements())
+
+    @property
+    def actuators(self) -> list[str]:
+        names: set[str] = set()
+        for op in self.operators:
+            names.update(b.actuator for b in op.actuator_bindings)
+        return sorted(names)
+
+    def actuator_delivery(self, actuator: str) -> Delivery:
+        guarantee: Delivery | None = None
+        for op in self.operators:
+            for binding in op.actuator_bindings:
+                if binding.actuator == actuator:
+                    guarantee = (
+                        binding.delivery
+                        if guarantee is None
+                        else strongest(guarantee, binding.delivery)
+                    )
+        if guarantee is None:
+            raise KeyError(f"app {self.name!r} has no actuator {actuator!r}")
+        return guarantee
+
+    def consumers_of(self, stream: str) -> list[Operator]:
+        """Operators with a window on ``stream`` (sensor name or ``op:<name>``)."""
+        return [op for op in self.operators if stream in op.input_streams]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<App {self.name!r} operators={[o.name for o in self._order]}"
+            f" sensors={self.sensors} actuators={self.actuators}>"
+        )
+
+
+def validate_apps(apps: Iterable[App]) -> None:
+    """Deployment-level validation: app names must be unique."""
+    names: set[str] = set()
+    for app in apps:
+        if app.name in names:
+            raise GraphError(f"duplicate app name {app.name!r}")
+        names.add(app.name)

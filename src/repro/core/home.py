@@ -1,0 +1,422 @@
+"""Home: the top-level deployment builder and simulation facade.
+
+A :class:`Home` assembles a whole smart home — processes (hub, TV, fridge,
+...), sensors, actuators, the WiFi network, the radio links — deploys apps,
+and runs the simulation. It also implements the fault-injection surface
+that :class:`repro.sim.faults.FaultPlan` drives.
+
+Typical use::
+
+    home = Home(seed=7)
+    home.add_process("hub")
+    home.add_process("tv")
+    home.add_sensor("door1", kind="door", processes=["tv"])
+    home.add_actuator("light1", kind="switch", processes=["hub"])
+    home.deploy(app)           # an App built from Operators
+    home.run_for(60.0)
+    home.sensor("door1").emit(True)   # or let a workload drive it
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.delivery import PollMode
+from repro.core.delivery_service import DeviceInfo, GaplessOptions
+from repro.core.graph import App, validate_apps
+from repro.core.plan import DeploymentPlan
+from repro.core.runtime import RivuletProcess
+from repro.devices.actuator import Actuator
+from repro.devices.catalog import SENSOR_CATALOG, make_sensor, technology_named
+from repro.devices.sensor import PollSensor, Sensor
+from repro.net.latency import LatencyModel, ProcessingModel
+from repro.net.radio import RadioNetwork
+from repro.net.topology import HomeTopology
+from repro.net.transport import HomeNetwork
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+@dataclass
+class HomeConfig:
+    """Deployment-wide knobs (defaults reproduce the paper's testbed)."""
+
+    seed: int = 42
+    heartbeat_interval: float = 0.5
+    failure_detection_s: float = 2.0
+    """The paper's failure-detection time threshold (Section 8.4)."""
+
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    processing: ProcessingModel = field(default_factory=ProcessingModel)
+    keep_trace_kinds: set[str] | None = None
+    delivery_override: dict[str, str] = field(default_factory=dict)
+    """Per-sensor protocol override: "gap" | "gapless" | "naive-broadcast"."""
+
+    gapless_options: GaplessOptions = field(default_factory=GaplessOptions)
+    poll_mode_override: PollMode | None = None
+
+    active_replicas: int = 1
+    """Concurrent active logic nodes per app (>1 = active replication)."""
+
+    kv_sync_interval: float = 5.0
+    """Anti-entropy period of the replicated state store."""
+
+    sensor_watch: bool = False
+    """Enable silent-sensor failure detection (see core.sensorwatch)."""
+
+
+@dataclass
+class _ProcessDecl:
+    adapters: tuple[str, ...]
+    clock_skew: float
+    modified_openzwave: bool
+    compute: float = 1.0
+
+
+@dataclass
+class _DeviceDecl:
+    processes: list[str] | None
+    loss_rate: float | None
+
+
+class Home:
+    """A simulated smart home running the Rivulet platform."""
+
+    def __init__(self, config: HomeConfig | None = None, **overrides: Any) -> None:
+        if config is None:
+            config = HomeConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a HomeConfig or keyword overrides, not both")
+        self.config = config
+        self.scheduler = Scheduler()
+        self.trace = Trace(keep_kinds=config.keep_trace_kinds)
+        self.rng = RandomSource(config.seed)
+        self.network = HomeNetwork(
+            self.scheduler, self.rng, self.trace, latency=config.latency
+        )
+        self.radio = RadioNetwork(self.scheduler, self.rng, self.trace)
+        self.topology = HomeTopology()
+
+        self._process_decls: dict[str, _ProcessDecl] = {}
+        self._device_decls: dict[str, _DeviceDecl] = {}
+        self._sensors: dict[str, Sensor] = {}
+        self._actuators: dict[str, Actuator] = {}
+        self._apps: list[App] = []
+        self.processes: dict[str, RivuletProcess] = {}
+        self.plan: DeploymentPlan | None = None
+        self._started = False
+
+    # -- construction -------------------------------------------------------------
+
+    def add_process(
+        self,
+        name: str,
+        *,
+        adapters: Sequence[str] = ("zwave", "zigbee", "ble", "ip"),
+        position: tuple[float, float] | None = None,
+        clock_skew: float = 0.0,
+        modified_openzwave: bool = True,
+        compute: float = 1.0,
+    ) -> "Home":
+        """Declare a host (hub, TV, fridge, ...) running a Rivulet process.
+
+        ``compute`` is the host's relative capability (1.0 = hub-class);
+        it breaks placement ties toward beefier appliances.
+        """
+        self._ensure_not_started()
+        self._ensure_unique_name(name)
+        if compute <= 0:
+            raise ValueError(f"compute must be positive, got {compute}")
+        self._process_decls[name] = _ProcessDecl(
+            adapters=tuple(adapters),
+            clock_skew=clock_skew,
+            modified_openzwave=modified_openzwave,
+            compute=compute,
+        )
+        if position is not None:
+            self.topology.place(name, *position)
+        return self
+
+    def add_sensor(
+        self,
+        name: str,
+        kind: str,
+        *,
+        processes: Sequence[str] | None = None,
+        position: tuple[float, float] | None = None,
+        loss_rate: float | None = None,
+        event_size: int | None = None,
+        technology: str | None = None,
+        service_time: float | None = None,
+        failure_rate: float = 0.0,
+    ) -> Sensor:
+        """Declare a sensor; links are resolved at :meth:`start`.
+
+        ``processes`` restricts which hosts may receive its events directly
+        (modelling range/topology by hand); by default every host with a
+        matching adapter is linked — unless positions are set, in which case
+        the floor plan decides reachability and loss.
+        """
+        self._ensure_not_started()
+        self._ensure_unique_name(name)
+        sensor = make_sensor(
+            kind, name,
+            scheduler=self.scheduler, radio=self.radio, rng=self.rng,
+            trace=self.trace, event_size=event_size, technology=technology,
+            service_time=service_time, failure_rate=failure_rate,
+        )
+        self._sensors[name] = sensor
+        self._device_decls[name] = _DeviceDecl(
+            processes=list(processes) if processes is not None else None,
+            loss_rate=loss_rate,
+        )
+        if position is not None:
+            self.topology.place(name, *position)
+        return sensor
+
+    def add_actuator(
+        self,
+        name: str,
+        *,
+        kind: str = "switch",
+        processes: Sequence[str] | None = None,
+        position: tuple[float, float] | None = None,
+        technology: str = "zwave",
+        idempotent: bool = True,
+        supports_test_and_set: bool = False,
+        initial_state: Any = None,
+        loss_rate: float | None = None,
+    ) -> Actuator:
+        """Declare an actuator (light, siren, lock, dispenser, ...)."""
+        self._ensure_not_started()
+        self._ensure_unique_name(name)
+        actuator = Actuator(
+            name,
+            scheduler=self.scheduler, radio=self.radio, trace=self.trace,
+            technology=technology_named(technology), kind=kind,
+            idempotent=idempotent, supports_test_and_set=supports_test_and_set,
+            initial_state=initial_state,
+        )
+        self._actuators[name] = actuator
+        self._device_decls[name] = _DeviceDecl(
+            processes=list(processes) if processes is not None else None,
+            loss_rate=loss_rate,
+        )
+        if position is not None:
+            self.topology.place(name, *position)
+        return actuator
+
+    def deploy(self, app: App) -> "Home":
+        """Register an application for deployment at :meth:`start`."""
+        self._ensure_not_started()
+        self._apps.append(app)
+        validate_apps(self._apps)
+        return self
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "Home":
+        """Resolve links, build the deployment plan, boot every process."""
+        if self._started:
+            return self
+        if not self._process_decls:
+            raise ValueError("a home needs at least one process")
+        self._started = True
+
+        sensor_hosts: dict[str, list[str]] = {}
+        actuator_hosts: dict[str, list[str]] = {}
+        for name, device in {**self._sensors, **self._actuators}.items():
+            hosts = self._resolve_links(name, device)
+            if name in self._sensors:
+                sensor_hosts[name] = hosts
+            else:
+                actuator_hosts[name] = hosts
+
+        self.plan = DeploymentPlan(
+            processes=list(self._process_decls),
+            sensor_hosts=sensor_hosts,
+            actuator_hosts=actuator_hosts,
+            apps=list(self._apps),
+            host_compute={
+                name: decl.compute for name, decl in self._process_decls.items()
+            },
+        )
+        self.plan.validate()
+        device_info = self._build_device_info()
+
+        for name, decl in self._process_decls.items():
+            process = RivuletProcess(
+                name,
+                scheduler=self.scheduler,
+                network=self.network,
+                radio=self.radio,
+                trace=self.trace,
+                rng=self.rng,
+                plan=self.plan,
+                device_info=device_info,
+                adapter_technologies=decl.adapters,
+                processing=self.config.processing,
+                heartbeat_interval=self.config.heartbeat_interval,
+                failure_detection_s=self.config.failure_detection_s,
+                clock_skew=decl.clock_skew,
+                delivery_override=self.config.delivery_override,
+                gapless_options=self.config.gapless_options,
+                poll_mode_override=self.config.poll_mode_override,
+                modified_openzwave=decl.modified_openzwave,
+                active_replicas=self.config.active_replicas,
+                kv_sync_interval=self.config.kv_sync_interval,
+                sensor_watch=self.config.sensor_watch,
+            )
+            self.processes[name] = process
+        for process in self.processes.values():
+            process.boot()
+        return self
+
+    def _resolve_links(self, name: str, device: Any) -> list[str]:
+        decl = self._device_decls[name]
+        technology = device.technology
+        if decl.processes is not None:
+            candidates = decl.processes
+            for candidate in candidates:
+                if candidate not in self._process_decls:
+                    raise KeyError(
+                        f"device {name!r} references unknown process {candidate!r}"
+                    )
+        else:
+            candidates = list(self._process_decls)
+
+        linked: list[str] = []
+        for process_name in candidates:
+            if technology.name not in self._process_decls[process_name].adapters:
+                continue
+            reachable, topo_loss = self.topology.link_quality(
+                name, process_name, technology
+            )
+            if not reachable:
+                continue
+            loss = decl.loss_rate if decl.loss_rate is not None else topo_loss
+            self.radio.connect(name, process_name, technology, loss_rate=loss)
+            linked.append(process_name)
+            if not technology.supports_multicast:
+                break  # single-link technologies (BLE) bind one host
+        return sorted(linked)
+
+    def _build_device_info(self) -> dict[str, DeviceInfo]:
+        info: dict[str, DeviceInfo] = {}
+        for name, sensor in self._sensors.items():
+            spec = SENSOR_CATALOG.get(sensor.kind)
+            is_poll = isinstance(sensor, PollSensor)
+            info[name] = DeviceInfo(
+                name=name,
+                category="sensor",
+                mode="poll" if is_poll else "push",
+                technology=sensor.technology.name,
+                service_time=sensor.service_time if is_poll else None,
+                default_epoch=spec.default_epoch if spec else None,
+            )
+        for name, actuator in self._actuators.items():
+            info[name] = DeviceInfo(
+                name=name, category="actuator", technology=actuator.technology.name,
+            )
+        return info
+
+    def run_until(self, deadline: float) -> "Home":
+        self.start()
+        self.scheduler.run_until(deadline)
+        return self
+
+    def run_for(self, duration: float) -> "Home":
+        self.start()
+        self.scheduler.run_until(self.scheduler.now + duration)
+        return self
+
+    # -- fault-injection surface (the FaultPlan target protocol) --------------------------
+
+    def crash_process(self, name: str) -> None:
+        self._live_process(name).crash()
+
+    def recover_process(self, name: str) -> None:
+        self._live_process(name).recover()
+
+    def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
+        self.network.partition.set_partition(groups)
+        self.trace.record(self.scheduler.now, "partition",
+                          groups=[list(g) for g in groups])
+
+    def heal_partition(self) -> None:
+        self.network.partition.heal()
+        self.trace.record(self.scheduler.now, "partition_healed")
+
+    def fail_sensor(self, name: str) -> None:
+        self.sensor(name).fail()
+
+    def recover_sensor(self, name: str) -> None:
+        self.sensor(name).recover()
+
+    def fail_actuator(self, name: str) -> None:
+        self.actuator(name).fail()
+
+    def recover_actuator(self, name: str) -> None:
+        self.actuator(name).recover()
+
+    def set_link_loss(self, device: str, process: str, loss_rate: float) -> None:
+        self.radio.set_link_loss(device, process, loss_rate)
+
+    # -- accessors --------------------------------------------------------------------------
+
+    def process(self, name: str) -> RivuletProcess:
+        return self._live_process(name)
+
+    def sensor(self, name: str) -> Sensor:
+        try:
+            return self._sensors[name]
+        except KeyError:
+            raise KeyError(f"unknown sensor {name!r}") from None
+
+    def actuator(self, name: str) -> Actuator:
+        try:
+            return self._actuators[name]
+        except KeyError:
+            raise KeyError(f"unknown actuator {name!r}") from None
+
+    def sensors_of_kind(self, kind: str) -> list[str]:
+        """Names of all sensors of one kind (the paper's Rivulet.getSensors)."""
+        return sorted(n for n, s in self._sensors.items() if s.kind == kind)
+
+    @property
+    def sensor_names(self) -> list[str]:
+        return sorted(self._sensors)
+
+    @property
+    def actuator_names(self) -> list[str]:
+        return sorted(self._actuators)
+
+    @property
+    def apps(self) -> list[App]:
+        return list(self._apps)
+
+    # -- internals ---------------------------------------------------------------------------------
+
+    def _live_process(self, name: str) -> RivuletProcess:
+        self.start()
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise KeyError(f"unknown process {name!r}") from None
+
+    def _ensure_not_started(self) -> None:
+        if self._started:
+            raise RuntimeError("the home is already running; declare everything first")
+
+    def _ensure_unique_name(self, name: str) -> None:
+        if not name:
+            raise ValueError("names must be non-empty")
+        taken = (
+            name in self._process_decls
+            or name in self._sensors
+            or name in self._actuators
+        )
+        if taken:
+            raise ValueError(f"name {name!r} is already in use")

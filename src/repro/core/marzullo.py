@@ -1,0 +1,118 @@
+"""Marzullo's algorithm for fault-tolerant sensor fusion.
+
+Section 6.2: "Marzullo introduced the following algorithm to compute an
+average of n interval values when at most f sensors can fail: the average
+value is [l, u] where l is the smallest value in n-f of interval values, and
+u is the largest value in at least n-f interval values."
+
+The tolerable ``f`` depends on the failure model:
+
+- fail-stop sensors: f up to n-1 (:func:`max_failstop_failures`);
+- arbitrary (Byzantine) sensor failures: f up to floor((n-1)/3)
+  (:func:`max_arbitrary_failures`).
+
+Implementation: the classic sweep over interval endpoints. Every endpoint is
+tagged +1 (interval opens) or -1 (interval closes); scanning in order tracks
+how many intervals currently overlap, and the fused interval spans the
+region covered by at least ``n - f`` intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval reading [lo, hi] from one sensor."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"interval lower bound {self.lo} exceeds upper {self.hi}")
+
+    @staticmethod
+    def around(value: float, uncertainty: float) -> "Interval":
+        """The interval a sensor with symmetric uncertainty reports."""
+        if uncertainty < 0:
+            raise ValueError(f"uncertainty must be >= 0, got {uncertainty}")
+        return Interval(value - uncertainty, value + uncertainty)
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+class FusionError(ValueError):
+    """No region is covered by the required number of intervals."""
+
+
+def max_failstop_failures(n: int) -> int:
+    """Largest tolerable f under fail-stop sensors: n - 1."""
+    if n < 1:
+        raise ValueError(f"need at least one sensor, got {n}")
+    return n - 1
+
+
+def max_arbitrary_failures(n: int) -> int:
+    """Largest tolerable f under arbitrary failures: floor((n-1)/3)."""
+    if n < 1:
+        raise ValueError(f"need at least one sensor, got {n}")
+    return math.floor((n - 1) / 3)
+
+
+def fuse(intervals: Sequence[Interval], f: int) -> Interval:
+    """Marzullo fusion: the tightest interval covered by >= n - f sources.
+
+    Raises :class:`FusionError` when fewer than ``n - f`` intervals overlap
+    anywhere (more sensors are faulty than assumed).
+    """
+    n = len(intervals)
+    if n == 0:
+        raise FusionError("cannot fuse zero intervals")
+    if not 0 <= f < n:
+        raise ValueError(f"f must satisfy 0 <= f < n (n={n}, f={f})")
+
+    required = n - f
+    # Sweep endpoints: opens sort before closes at the same coordinate so a
+    # touching pair [a,b],[b,c] counts as overlapping at b (closed intervals).
+    endpoints: list[tuple[float, int]] = []
+    for interval in intervals:
+        endpoints.append((interval.lo, +1))
+        endpoints.append((interval.hi, -1))
+    endpoints.sort(key=lambda pair: (pair[0], -pair[1]))
+
+    depth = 0
+    lo: float | None = None
+    hi: float | None = None
+    for coordinate, delta in endpoints:
+        previous_depth = depth
+        depth += delta
+        if depth >= required and previous_depth < required and lo is None:
+            lo = coordinate
+        if depth >= required or previous_depth >= required:
+            hi = coordinate
+    if lo is None or hi is None:
+        raise FusionError(
+            f"no point is covered by {required} of {n} intervals (f={f})"
+        )
+    return Interval(lo, hi)
+
+
+def fuse_values(
+    values: Iterable[float], uncertainty: float, f: int
+) -> Interval:
+    """Convenience: fuse point readings with a common symmetric uncertainty."""
+    intervals = [Interval.around(v, uncertainty) for v in values]
+    return fuse(intervals, f)

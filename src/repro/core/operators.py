@@ -1,0 +1,168 @@
+"""Operators: the developer-facing programming model (paper Table 2).
+
+A logic node "internally comprises of a set of operators that are connected
+as a directed acyclic graph, and process windows of values" (Section 6.1).
+An :class:`Operator` is declarative: it records its wiring (sensors with
+delivery guarantees and windows, upstream operators, actuators) and its
+window-handling logic. The execution service instantiates the live buffers
+on whichever process currently hosts the active logic node.
+
+Python spelling of the paper's Java API:
+
+=============================================  =====================================
+Paper (Table 2)                                Here
+=============================================  =====================================
+``Operator(Name, [Combiner])``                 ``Operator(name, combiner=...)``
+``addUpstreamOperator(Operator, Window)``      ``add_upstream_operator(op, window)``
+``addSensor(Sensor, GAP|GAPLESS, Window,       ``add_sensor(name, delivery, window,
+[PollingPolicy])``                             polling=...)``
+``addActuator(Actuator, GAP|GAPLESS)``         ``add_actuator(name, delivery)``
+``handleTriggeredWindow(Window)``              ``handle_triggered_window(ctx, combined)``
+``emitWindow(Window, Operators[], Actuators)`` ``ctx.emit(...)`` / ``ctx.actuate(...)``
+=============================================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Protocol
+
+from repro.core.combiners import CombinedWindows, Combiner, PassThroughCombiner
+from repro.core.delivery import Delivery, PollingPolicy
+from repro.core.windows import WindowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import Event
+
+
+class OperatorContext(Protocol):
+    """What an operator's window handler may do (provided by the runtime)."""
+
+    process: str
+    operator: "Operator"
+
+    def now(self) -> float: ...
+
+    def emit(self, value: Any, size_bytes: int = 8) -> None:
+        """Send a derived value to downstream operators' windows."""
+
+    def actuate(self, actuator: str, action: str, value: Any = None) -> None:
+        """Issue a command toward a connected actuator."""
+
+    def alert(self, message: str, **fields: Any) -> None:
+        """Raise a user-facing notification (recorded in the trace)."""
+
+
+@dataclass(frozen=True)
+class SensorBinding:
+    sensor: str
+    delivery: Delivery
+    window: WindowSpec
+    polling: PollingPolicy | None = None
+    staleness_s: float | None = None
+    """Upper bound on tolerated event staleness (Section 6, feature ii);
+    older events are dropped before they reach the operator's window."""
+
+
+@dataclass(frozen=True)
+class UpstreamBinding:
+    operator: "Operator"
+    window: WindowSpec
+
+
+@dataclass(frozen=True)
+class ActuatorBinding:
+    actuator: str
+    delivery: Delivery
+
+
+WindowHandler = Callable[[OperatorContext, CombinedWindows], None]
+GapHandler = Callable[[OperatorContext, Any], None]
+
+
+class Operator:
+    """One node of a logic node's internal dataflow DAG."""
+
+    def __init__(
+        self,
+        name: str,
+        combiner: Combiner | None = None,
+        on_window: WindowHandler | None = None,
+        on_epoch_gap: GapHandler | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("operator needs a non-empty name")
+        self.name = name
+        self.combiner = combiner or PassThroughCombiner()
+        self._on_window = on_window
+        self._on_epoch_gap = on_epoch_gap
+        self.sensor_bindings: list[SensorBinding] = []
+        self.upstream_bindings: list[UpstreamBinding] = []
+        self.actuator_bindings: list[ActuatorBinding] = []
+
+    # -- wiring (Table 2) --------------------------------------------------------
+
+    def add_sensor(
+        self,
+        sensor: str,
+        delivery: Delivery,
+        window: WindowSpec,
+        polling: PollingPolicy | None = None,
+        staleness_s: float | None = None,
+    ) -> "Operator":
+        """Connect an upstream sensor with a delivery guarantee and window."""
+        if any(b.sensor == sensor for b in self.sensor_bindings):
+            raise ValueError(f"sensor {sensor!r} already bound to {self.name!r}")
+        self.sensor_bindings.append(
+            SensorBinding(sensor=sensor, delivery=delivery, window=window,
+                          polling=polling, staleness_s=staleness_s)
+        )
+        return self
+
+    def add_upstream_operator(self, operator: "Operator", window: WindowSpec) -> "Operator":
+        """Connect this operator downstream of another operator."""
+        if operator is self:
+            raise ValueError(f"operator {self.name!r} cannot be its own upstream")
+        self.upstream_bindings.append(UpstreamBinding(operator=operator, window=window))
+        return self
+
+    def add_actuator(self, actuator: str, delivery: Delivery) -> "Operator":
+        """Connect a downstream actuator with a delivery guarantee."""
+        if any(b.actuator == actuator for b in self.actuator_bindings):
+            raise ValueError(f"actuator {actuator!r} already bound to {self.name!r}")
+        self.actuator_bindings.append(
+            ActuatorBinding(actuator=actuator, delivery=delivery)
+        )
+        return self
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def handle_triggered_window(
+        self, ctx: OperatorContext, combined: CombinedWindows
+    ) -> None:
+        """Process one combined round of triggered windows.
+
+        Override in a subclass, or pass ``on_window=`` at construction.
+        """
+        if self._on_window is not None:
+            self._on_window(ctx, combined)
+
+    def handle_epoch_gap(self, ctx: OperatorContext, gap: Any) -> None:
+        """A poll-based input produced no event for an epoch (Section 4.1)."""
+        if self._on_epoch_gap is not None:
+            self._on_epoch_gap(ctx, gap)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def input_streams(self) -> frozenset[str]:
+        """Stream keys feeding this operator (sensor names + operator names)."""
+        streams = {b.sensor for b in self.sensor_bindings}
+        streams |= {f"op:{b.operator.name}" for b in self.upstream_bindings}
+        return frozenset(streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Operator {self.name!r} sensors={[b.sensor for b in self.sensor_bindings]}"
+            f" actuators={[b.actuator for b in self.actuator_bindings]}>"
+        )

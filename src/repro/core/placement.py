@@ -1,0 +1,80 @@
+"""Placement of active logic nodes.
+
+Section 7: "The current implementation uses a simple deterministic function
+to order and select processes for deploying active logic nodes which seeks
+to deploy a logic node on a process that has the largest number of active
+sensors and actuators required by the logic node; this allows Rivulet to
+minimize delay incurred during event delivery."
+
+The result is a **priority chain**: a list of all processes ordered from
+least to most preferred. Following the paper's bully-variant convention
+(Section 5), the *last alive* element of the chain is the active logic
+node; a shadow promotes itself when every process after it in the chain is
+suspected, and demotes when one of them recovers.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import App
+from repro.core.plan import DeploymentPlan
+
+
+def placement_score(app: App, plan: DeploymentPlan, process: str) -> int:
+    """Number of the app's sensors + actuators this process talks directly to."""
+    score = sum(
+        1 for sensor in app.sensors if plan.has_active_sensor_node(sensor, process)
+    )
+    score += sum(
+        1
+        for actuator in app.actuators
+        if plan.has_active_actuator_node(actuator, process)
+    )
+    return score
+
+
+def placement_chain(app: App, plan: DeploymentPlan) -> list[str]:
+    """All processes ordered by increasing preference for hosting the app.
+
+    Preference: most directly connected devices first (the paper's §7
+    function), then host compute capability, then process name. The order
+    is total and every process computes the identical chain from the shared
+    deployment plan — no agreement protocol needed.
+    """
+    return sorted(
+        plan.processes,
+        key=lambda process: (
+            placement_score(app, plan, process),
+            plan.compute_of(process),
+            process,
+        ),
+    )
+
+
+def active_process(chain: list[str], alive: frozenset[str] | set[str]) -> str | None:
+    """The chain's active logic process per a local view: last alive element."""
+    for process in reversed(chain):
+        if process in alive:
+            return process
+    return None
+
+
+def active_replica_set(
+    chain: list[str], alive: frozenset[str] | set[str], k: int
+) -> list[str]:
+    """The top-``k`` alive chain members, most preferred first.
+
+    ``k = 1`` is the paper's primary-secondary execution; ``k > 1`` is the
+    active-replication extension (Martin et al., discussed in the paper's
+    related work as a way to reduce recovery time): ``k`` logic nodes run
+    concurrently, so a single crash leaves no detection-window gap. Safe
+    for idempotent actuators; non-idempotent ones need Test&Set (Section 5).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    replicas: list[str] = []
+    for process in reversed(chain):
+        if process in alive:
+            replicas.append(process)
+            if len(replicas) == k:
+                break
+    return replicas

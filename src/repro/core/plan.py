@@ -1,0 +1,84 @@
+"""Deployment plan: the static knowledge shared by every process.
+
+At initialization every Rivulet process knows the home's device inventory:
+which processes have the hardware + range to talk to which sensors and
+actuators (hence where *active* sensor/actuator nodes live — Section 3.3),
+and which applications are deployed. This is configuration, not consensus:
+it never changes at runtime, only liveness (views) does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import App
+
+
+@dataclass
+class DeploymentPlan:
+    """Static deployment facts every process can derive locally."""
+
+    processes: list[str]
+    sensor_hosts: dict[str, list[str]] = field(default_factory=dict)
+    """sensor name -> processes with a direct link (active sensor nodes)."""
+
+    actuator_hosts: dict[str, list[str]] = field(default_factory=dict)
+    """actuator name -> processes with a direct link (active actuator nodes)."""
+
+    apps: list[App] = field(default_factory=list)
+
+    host_compute: dict[str, float] = field(default_factory=dict)
+    """Relative compute capability per host (1.0 = a hub-class device).
+
+    Used as the placement tie-breaker: among equally connected hosts, the
+    beefier appliance (a TV, say) hosts the logic node — the resource-aware
+    refinement the paper's related-work section attributes to Beam."""
+
+    def compute_of(self, process: str) -> float:
+        return self.host_compute.get(process, 1.0)
+
+    def __post_init__(self) -> None:
+        self.processes = sorted(self.processes)
+        self.sensor_hosts = {k: sorted(v) for k, v in self.sensor_hosts.items()}
+        self.actuator_hosts = {k: sorted(v) for k, v in self.actuator_hosts.items()}
+
+    # -- node roles (Section 3.3) ------------------------------------------------
+
+    def has_active_sensor_node(self, sensor: str, process: str) -> bool:
+        """True if ``process`` hosts the *active* sensor node for ``sensor``
+        (direct communication); otherwise the process hosts a shadow node."""
+        return process in self.sensor_hosts.get(sensor, ())
+
+    def has_active_actuator_node(self, actuator: str, process: str) -> bool:
+        return process in self.actuator_hosts.get(actuator, ())
+
+    def active_sensor_hosts(self, sensor: str) -> list[str]:
+        return list(self.sensor_hosts.get(sensor, ()))
+
+    def active_actuator_hosts(self, actuator: str) -> list[str]:
+        return list(self.actuator_hosts.get(actuator, ()))
+
+    def app_named(self, name: str) -> App:
+        for app in self.apps:
+            if app.name == name:
+                return app
+        raise KeyError(f"no app named {name!r}")
+
+    def apps_consuming(self, sensor: str) -> list[App]:
+        return [app for app in self.apps if sensor in app.sensors]
+
+    def validate(self) -> None:
+        """Every app input/output must be linkable to at least one process."""
+        for app in self.apps:
+            for sensor in app.sensors:
+                if not self.sensor_hosts.get(sensor):
+                    raise ValueError(
+                        f"app {app.name!r} uses sensor {sensor!r} which no "
+                        "process can reach"
+                    )
+            for actuator in app.actuators:
+                if not self.actuator_hosts.get(actuator):
+                    raise ValueError(
+                        f"app {app.name!r} uses actuator {actuator!r} which no "
+                        "process can reach"
+                    )

@@ -1,0 +1,301 @@
+"""The per-host Rivulet process: the simulator's RuntimeEnv implementation.
+
+A :class:`RivuletProcess` glues one host's services together — heartbeat
+membership, delivery, execution, adapters — and implements the sans-IO
+:class:`~repro.core.env.RuntimeEnv` interface on top of the simulated home
+network.
+
+Crash-recovery semantics (Section 3.1):
+
+- ``crash()`` halts all activity: no messages are sent or received, no
+  timers fire (guarded by an incarnation counter), soft state is lost;
+- ``recover()`` boots a fresh set of services. The durable event store
+  survives, like flash storage would, which is what the Gapless successor
+  synchronization relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.delivery_service import (
+    DeliveryContext,
+    DeliveryService,
+    DeviceInfo,
+    GaplessOptions,
+)
+from repro.core.env import CancelHandle, RuntimeEnv
+from repro.core.eventlog import EventStore
+from repro.core.events import Command, Event
+from repro.core.execution import ExecutionService
+from repro.core.plan import DeploymentPlan
+from repro.core.delivery import PollMode
+from repro.devices.adapters import ADAPTER_FACTORIES, AdapterSet
+from repro.membership.heartbeat import HeartbeatService
+from repro.net.latency import ProcessingModel
+from repro.net.message import Message
+from repro.net.radio import RadioNetwork, TECHNOLOGIES
+from repro.net.transport import HomeNetwork
+from repro.core.sensorwatch import SensorWatch
+from repro.sim.clock import LocalClock
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+from repro.storage.kv import ReplicatedStore, StoreBackend
+
+
+class _GuardedHandle:
+    """A timer handle that is inert after crash or re-incarnation."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: CancelHandle) -> None:
+        self._inner = inner
+
+    def cancel(self) -> None:
+        self._inner.cancel()
+
+
+class RivuletProcess(RuntimeEnv):
+    """One Rivulet runtime instance on one smart appliance or hub."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        scheduler: Scheduler,
+        network: HomeNetwork,
+        radio: RadioNetwork,
+        trace: Trace,
+        rng: RandomSource,
+        plan: DeploymentPlan,
+        device_info: dict[str, DeviceInfo],
+        adapter_technologies: tuple[str, ...] = ("zwave", "zigbee", "ble", "ip"),
+        processing: ProcessingModel | None = None,
+        heartbeat_interval: float = 0.5,
+        failure_detection_s: float = 2.0,
+        clock_skew: float = 0.0,
+        delivery_override: dict[str, str] | None = None,
+        gapless_options: GaplessOptions | None = None,
+        poll_mode_override: PollMode | None = None,
+        modified_openzwave: bool = True,
+        active_replicas: int = 1,
+        kv_sync_interval: float = 5.0,
+        sensor_watch: bool = False,
+    ) -> None:
+        self.name = name
+        self._scheduler = scheduler
+        self._network = network
+        self._radio = radio
+        self._trace = trace
+        self._rng_root = rng.child(f"process/{name}")
+        self._rng_streams: dict[str, RandomSource] = {}
+        self.plan = plan
+        self.device_info = device_info
+        self.processing = processing or ProcessingModel()
+        self.clock = LocalClock(scheduler, skew=clock_skew)
+        self._heartbeat_interval = heartbeat_interval
+        self._failure_detection_s = failure_detection_s
+        self._delivery_override = delivery_override
+        self._gapless_options = gapless_options
+        self._poll_mode_override = poll_mode_override
+        self._adapter_technologies = adapter_technologies
+        self._modified_openzwave = modified_openzwave
+
+        self._active_replicas = active_replicas
+        self._kv_sync_interval = kv_sync_interval
+        self._sensor_watch_enabled = sensor_watch
+
+        self._alive = True
+        self._incarnation = 0
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self.store = EventStore(name)
+        self.kv_backend = StoreBackend(name)
+        self.adapters = AdapterSet()
+        self.heartbeat: HeartbeatService | None = None
+        self.delivery: DeliveryService | None = None
+        self.execution: ExecutionService | None = None
+        self.kv: ReplicatedStore | None = None
+        self.sensor_watch: SensorWatch | None = None
+
+        network.register(self)
+        radio.register_listener(self)
+
+    # -- boot / crash / recover ----------------------------------------------------
+
+    def boot(self) -> None:
+        """Create and start all services for the current incarnation."""
+        self.adapters = AdapterSet()
+        for tech_name in self._adapter_technologies:
+            factory = ADAPTER_FACTORIES[tech_name]
+            if tech_name == "zwave":
+                adapter = factory(
+                    self.name, self._radio, self._scheduler,
+                    modified_openzwave=self._modified_openzwave,
+                )
+            else:
+                adapter = factory(self.name, self._radio, self._scheduler)
+            self.adapters.install(adapter)
+
+        self.heartbeat = HeartbeatService(
+            self,
+            interval=self._heartbeat_interval,
+            timeout=self._failure_detection_s,
+        )
+        ctx = DeliveryContext(
+            env=self,
+            heartbeat=self.heartbeat,
+            plan=self.plan,
+            store=self.store,
+            processing=self.processing,
+            deliver_local=self._deliver_to_logic,
+            on_epoch_gap=self._on_epoch_gap,
+            actuate_local=self._actuate_local,
+            poll_sensor=self._poll_sensor,
+            device_info=self.device_info,
+            active_replicas=self._active_replicas,
+        )
+        self.kv = ReplicatedStore(
+            self, self.heartbeat, self.kv_backend,
+            sync_interval=self._kv_sync_interval,
+        )
+        self.execution = ExecutionService(
+            self, self.heartbeat, self.plan, self.store, self.processing,
+            kv=self.kv, active_replicas=self._active_replicas,
+        )
+        self.delivery = DeliveryService(
+            ctx,
+            delivery_override=self._delivery_override,
+            gapless_options=self._gapless_options,
+            poll_mode_override=self._poll_mode_override,
+        )
+        self.execution.bind_delivery(self.delivery)
+        # Handlers must exist before the first message can arrive.
+        self.heartbeat.start()
+        self.kv.start()
+        self.delivery.start()
+        self.execution.start()
+        if self._sensor_watch_enabled:
+            self.sensor_watch = SensorWatch(
+                self, self.plan, self.device_info, self.delivery
+            )
+            self.sensor_watch.start()
+        self.trace("boot", incarnation=self._incarnation)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def crash(self) -> None:
+        """Halt all activity (crash-stop until recovery)."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._handlers.clear()
+        if self.heartbeat is not None:
+            self.heartbeat.stop()
+        self.trace("crash")
+
+    def recover(self) -> None:
+        """Come back with fresh soft state; the event store persists."""
+        if self._alive:
+            return
+        self._incarnation += 1
+        self._alive = True
+        self.trace("recover", incarnation=self._incarnation)
+        self.boot()
+
+    # -- RuntimeEnv implementation -----------------------------------------------------
+
+    def now(self) -> float:
+        return self._scheduler.now
+
+    def local_time(self) -> float:
+        return self.clock.time()
+
+    def send(self, dst: str, kind: str, **payload: Any) -> None:
+        if not self._alive:
+            return
+        self._network.send(Message(kind=kind, src=self.name, dst=dst, payload=payload))
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> CancelHandle:
+        incarnation = self._incarnation
+
+        def guarded() -> None:
+            if self._alive and self._incarnation == incarnation:
+                fn(*args)
+
+        return _GuardedHandle(self._scheduler.call_later(delay, guarded))
+
+    def register_handler(self, kind: str, fn: Callable[[Message], None]) -> None:
+        self._handlers[kind] = fn
+
+    def rng(self, stream: str) -> RandomSource:
+        cached = self._rng_streams.get(stream)
+        if cached is None:
+            cached = self._rng_root.child(stream)
+            self._rng_streams[stream] = cached
+        return cached
+
+    def trace(self, kind: str, /, **fields: Any) -> None:
+        self._trace.record(self._scheduler.now, kind, process=self.name, **fields)
+
+    def peers(self) -> list[str]:
+        return [p for p in self.plan.processes if p != self.name]
+
+    # -- transport endpoint ------------------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        if not self._alive:
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            self.trace("unhandled_message", kind=message.kind, src=message.src)
+            return
+        handler(message)
+
+    # -- radio listener -------------------------------------------------------------------------
+
+    def on_sensor_event(self, event: Event) -> None:
+        """An adapter received an event from a directly linked sensor."""
+        if not self._alive or self.delivery is None:
+            return
+        info = self.device_info.get(event.sensor_id)
+        if info is not None and not self.adapters.supports(
+            TECHNOLOGIES[info.technology]
+        ):
+            # No adapter for this technology: the link should not exist, but
+            # guard anyway (hardware capability gates active sensor nodes).
+            return
+        self.delivery.on_ingest(event)
+
+    # -- internal plumbing -------------------------------------------------------------------------
+
+    def _deliver_to_logic(self, sensor: str, event: Event, only_app: str | None) -> None:
+        if self.execution is not None:
+            self.execution.on_event(sensor, event, only_app)
+
+    def _on_epoch_gap(self, sensor: str, gap) -> None:
+        if self.execution is not None:
+            self.execution.on_epoch_gap(sensor, gap)
+
+    def _actuate_local(self, command: Command) -> None:
+        info = self.device_info.get(command.actuator_id)
+        technology = TECHNOLOGIES[info.technology] if info else TECHNOLOGIES["ip"]
+        adapter = self.adapters.for_technology(technology)
+        adapter.actuate(command)
+
+    def _poll_sensor(self, sensor: str, on_response: Callable[[Event], None]) -> None:
+        info = self.device_info.get(sensor)
+        technology = TECHNOLOGIES[info.technology] if info else TECHNOLOGIES["ip"]
+        adapter = self.adapters.for_technology(technology)
+
+        def guarded(event: Event) -> None:
+            if self._alive:
+                on_response(event)
+
+        adapter.poll(sensor, guarded)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._alive else "down"
+        return f"<RivuletProcess {self.name} ({state}, inc={self._incarnation})>"

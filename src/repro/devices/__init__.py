@@ -1,0 +1,24 @@
+"""Device substrate: sensors, actuators, batteries, adapters, catalog.
+
+Sensors and actuators "have very limited compute power ... and are unable to
+run Rivulet processes on themselves" (Section 3.1); they live outside the
+platform and talk to it only over :mod:`repro.net.radio` links. Everything a
+Rivulet process knows about a device arrives through an adapter
+(:mod:`.adapters`), mirroring the paper's Section 7 implementation.
+"""
+
+from repro.devices.actuator import Actuator
+from repro.devices.battery import Battery
+from repro.devices.catalog import SENSOR_CATALOG, SensorSpec, make_sensor
+from repro.devices.sensor import PollSensor, PushSensor, Sensor
+
+__all__ = [
+    "Actuator",
+    "Battery",
+    "PollSensor",
+    "PushSensor",
+    "SENSOR_CATALOG",
+    "Sensor",
+    "SensorSpec",
+    "make_sensor",
+]

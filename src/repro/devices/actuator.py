@@ -1,0 +1,149 @@
+"""Actuators: idempotent devices and Test&Set devices.
+
+Section 5 splits actuators in two classes:
+
+- **idempotent** (bulbs, switches, sirens, thermostats, locks): re-issuing
+  the same command is harmless, so multiple concurrently active logic nodes
+  (e.g. during a partition) are acceptable;
+- **non-idempotent** (water dispenser, coffee maker): duplicate actuation is
+  harmful; such devices may expose an atomic ``Test&Set`` so concurrent
+  logic nodes can guard their actuation on the device's current state.
+
+The actuator records every applied command so that tests and benchmarks can
+assert duplicate-actuation behaviour under partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.events import Command
+from repro.net.radio import RadioNetwork, RadioTechnology
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+@dataclass
+class ActuationRecord:
+    """One command as applied (or rejected) by the device."""
+
+    time: float
+    command: Command
+    applied: bool
+    state_before: Any
+    state_after: Any
+
+
+@dataclass
+class _TestAndSet:
+    expected: Any
+    new: Any
+
+
+def test_and_set(expected: Any, new: Any) -> _TestAndSet:
+    """Build a Test&Set command value: apply ``new`` only if state == expected."""
+    return _TestAndSet(expected=expected, new=new)
+
+
+class Actuator:
+    """A physical device controlled by logic nodes through the radio."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        scheduler: Scheduler,
+        radio: RadioNetwork,
+        trace: Trace,
+        technology: RadioTechnology,
+        kind: str = "switch",
+        idempotent: bool = True,
+        supports_test_and_set: bool = False,
+        initial_state: Any = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.technology = technology
+        self.idempotent = idempotent
+        self.supports_test_and_set = supports_test_and_set
+        self.state = initial_state
+        self._scheduler = scheduler
+        self._trace = trace
+        self._failed = False
+        self.history: list[ActuationRecord] = []
+        radio.register_device(self)
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def fail(self) -> None:
+        """A faulty actuator 'does not respond to commands' (Section 3.1)."""
+        self._failed = True
+        self._trace.record(self._scheduler.now, "actuator_failed", actuator=self.name)
+
+    def recover(self) -> None:
+        self._failed = False
+        self._trace.record(self._scheduler.now, "actuator_recovered", actuator=self.name)
+
+    def handle_command(self, command: Command) -> None:
+        """Apply one incoming command (called by the radio network)."""
+        if self._failed:
+            self._trace.record(
+                self._scheduler.now, "actuation_ignored", actuator=self.name,
+                action=command.action, reason="actuator_failed",
+            )
+            return
+
+        before = self.state
+        applied = True
+        if isinstance(command.value, _TestAndSet):
+            if not self.supports_test_and_set:
+                raise ValueError(
+                    f"actuator {self.name!r} does not support Test&Set commands"
+                )
+            if self.state == command.value.expected:
+                self.state = command.value.new
+            else:
+                applied = False
+        else:
+            self.state = command.value
+
+        self.history.append(
+            ActuationRecord(
+                time=self._scheduler.now,
+                command=command,
+                applied=applied,
+                state_before=before,
+                state_after=self.state,
+            )
+        )
+        self._trace.record(
+            self._scheduler.now,
+            "actuation" if applied else "actuation_rejected",
+            actuator=self.name, action=command.action, by=command.issued_by,
+        )
+
+    # -- analysis helpers ---------------------------------------------------------
+
+    @property
+    def applied_commands(self) -> list[Command]:
+        return [r.command for r in self.history if r.applied]
+
+    def duplicate_actuations(self) -> int:
+        """Applied commands repeating the previous applied (action, value).
+
+        For an idempotent device these are harmless; for a non-idempotent one
+        each of these is an unwarranted physical action (Section 5).
+        """
+        duplicates = 0
+        previous: tuple[Any, Any] | None = None
+        for record in self.history:
+            if not record.applied:
+                continue
+            key = (record.command.action, record.command.value)
+            if key == previous:
+                duplicates += 1
+            previous = key
+        return duplicates

@@ -1,0 +1,75 @@
+"""IP cameras: video streams discretized into image event streams.
+
+Section 8.1: "The home IP cameras have small resolutions and used
+compressed image formats (e.g., JPEG) causing image event sizes in the 10
+to 20 KB range with a frame rate of up to 10 frames per second. Our Rivulet
+prototype supports video streams by discretization into image event
+streams."
+
+:class:`VideoCamera` is that discretizer: a push sensor whose ``stream()``
+produces JPEG-sized frame events at a configurable rate, with per-frame
+sizes varying the way compressed footage does (scene activity changes the
+compressed size).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.devices.sensor import PushSensor
+
+
+class VideoCamera(PushSensor):
+    """A camera whose video is emitted as discrete frame events."""
+
+    def __init__(
+        self,
+        *args: Any,
+        fps: float = 10.0,
+        base_frame_bytes: int = 16_384,
+        size_jitter: float = 0.25,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0 < fps <= 30:
+            raise ValueError(f"fps must be in (0, 30], got {fps}")
+        if base_frame_bytes < 1024:
+            raise ValueError("compressed frames are at least ~1 KB")
+        self.fps = fps
+        self.base_frame_bytes = base_frame_bytes
+        self.size_jitter = size_jitter
+        self._frame_index = 0
+        self._scene: Any = {"object": "background"}
+
+    def set_scene(self, scene: Any) -> None:
+        """What the camera currently sees (frames carry it as their value)."""
+        self._scene = scene
+
+    def emit_frame(self) -> None:
+        """Discretize one frame: size varies with compression of the scene."""
+        self._frame_index += 1
+        frame_bytes = int(self._rng.jittered(self.base_frame_bytes,
+                                             self.size_jitter))
+        # Event size is per-frame; swap the sensor-wide size before emitting.
+        self.event_size = max(1024, frame_bytes)
+        self.emit({"frame": self._frame_index, **self._as_scene_dict()})
+
+    def _as_scene_dict(self) -> dict:
+        if isinstance(self._scene, dict):
+            return dict(self._scene)
+        return {"object": self._scene}
+
+    def stream(self, duration_s: float | None = None) -> None:
+        """Start emitting frames at ``fps`` (optionally for a bounded time)."""
+        interval = 1.0 / self.fps
+
+        def tick(remaining: float | None) -> None:
+            if self._failed:
+                return
+            if remaining is not None and remaining <= 0:
+                return
+            self.emit_frame()
+            next_remaining = None if remaining is None else remaining - interval
+            self._scheduler.call_later(interval, tick, next_remaining)
+
+        self._scheduler.call_later(interval, tick, duration_s)

@@ -1,0 +1,16 @@
+"""Evaluation harness: regenerate every table and figure of the paper.
+
+- :mod:`.metrics` — pure functions from a :class:`repro.sim.tracing.Trace`
+  to the paper's metrics (delay, network overhead, delivered fraction,
+  poll counts, reception matrices).
+- :mod:`.workloads` — scenario builders, including the Fig. 1 fifteen-day
+  home deployment with its occupancy-driven sensors.
+- :mod:`.experiments` — one entry point per table/figure (fig1, table1,
+  table3, fig4a, fig4b, fig5, fig6, fig7, fig8) plus ablations.
+- :mod:`.report` — ASCII rendering used by the benchmark harness and CLI.
+- :mod:`.cli` — ``rivulet-experiment fig5`` style command line.
+"""
+
+from repro.eval.experiments import EXPERIMENTS, ExperimentTable
+
+__all__ = ["EXPERIMENTS", "ExperimentTable"]

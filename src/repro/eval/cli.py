@@ -1,0 +1,70 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Installed as ``rivulet-experiment``::
+
+    rivulet-experiment fig5                # quick defaults
+    rivulet-experiment fig6 --duration 200 --seeds 1,2,3,4,5
+    rivulet-experiment all                 # everything, quick defaults
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+from repro.eval.experiments import EXPERIMENTS
+
+
+def _supported_kwargs(fn, **candidates):
+    parameters = inspect.signature(fn).parameters
+    return {k: v for k, v in candidates.items() if k in parameters and v is not None}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rivulet-experiment",
+        description="Regenerate the Rivulet paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--duration", type=float, default=None,
+                        help="run length in simulated seconds (paper: 200)")
+    parser.add_argument("--seeds", type=str, default=None,
+                        help="comma-separated seeds, e.g. 1,2,3")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="single seed (experiments that take one)")
+    parser.add_argument("--days", type=float, default=None,
+                        help="deployment length for fig1 (paper: 15)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also draw an ASCII chart of the figure")
+    args = parser.parse_args(argv)
+
+    seeds = None
+    if args.seeds:
+        seeds = tuple(int(s) for s in args.seeds.split(","))
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        kwargs = _supported_kwargs(
+            fn, duration=args.duration, seeds=seeds, seed=args.seed, days=args.days
+        )
+        table = fn(**kwargs)
+        print(table.render())
+        if args.chart:
+            from repro.eval.figures import chart_for
+
+            chart = chart_for(table)
+            if chart is not None:
+                print()
+                print(chart)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these tables so that running
+``pytest benchmarks/ --benchmark-only`` reproduces, in one place, every
+number the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: Sequence[str] = (),
+) -> str:
+    """A boxed ASCII table with a title and footnotes."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (w + 2) for w in widths) + "+"
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = [f"== {title} ==", line("=")]
+    out.append(fmt_row(columns))
+    out.append(line("="))
+    for row in formatted:
+        out.append(fmt_row(row))
+    out.append(line())
+    for note in notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)
+
+
+@dataclass
+class SeriesPlot:
+    """A crude ASCII timeline (used for the Fig. 7 event-rate series)."""
+
+    title: str
+    x_label: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def render(self, width: int = 60) -> str:
+        out = [f"== {self.title} =="]
+        for name, points in self.series.items():
+            if not points:
+                continue
+            max_y = max(y for _, y in points) or 1.0
+            out.append(f"-- {name} (peak {max_y:g}) --")
+            for x, y in points:
+                bar = "#" * int(round(y / max_y * width))
+                out.append(f"  {self.x_label}={x:>7.1f} | {y:>7.1f} {bar}")
+        return "\n".join(out)

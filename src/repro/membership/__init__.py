@@ -1,0 +1,14 @@
+"""Membership: keep-alive based failure detection and per-process local views.
+
+Rivulet "must work with any number of processes, including home environments
+with only one or two processes", so "majority-based distributed protocols
+for maintaining agreed-upon views cannot be used. Thus, local views of
+different processes may be inconsistent" (Section 4.1). Each process runs
+its own :class:`~repro.membership.heartbeat.HeartbeatService` and derives a
+:class:`~repro.membership.views.LocalView` from it; nothing ever votes.
+"""
+
+from repro.membership.heartbeat import HeartbeatService
+from repro.membership.views import LocalView
+
+__all__ = ["HeartbeatService", "LocalView"]

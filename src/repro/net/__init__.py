@@ -1,0 +1,30 @@
+"""Network substrates: the home WiFi (inter-process) and sensor radios.
+
+- :mod:`.message` / :mod:`.wire` — message model with byte-accurate sizes.
+- :mod:`.latency` — calibrated delay model for the home WiFi network.
+- :mod:`.transport` — TCP-like reliable in-order point-to-point transport.
+- :mod:`.partition` — arbitrary network partitions (Section 3.1).
+- :mod:`.radio` — best-effort lossy sensor/actuator links (Z-Wave, Zigbee,
+  BLE, IP) including multicast and the single-outstanding-poll limitation.
+- :mod:`.topology` — physical home layout: positions, walls, ranges.
+"""
+
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.partition import PartitionState
+from repro.net.radio import RadioNetwork, RadioTechnology
+from repro.net.topology import HomeTopology, Position
+from repro.net.transport import HomeNetwork
+from repro.net.wire import wire_size
+
+__all__ = [
+    "HomeNetwork",
+    "HomeTopology",
+    "LatencyModel",
+    "Message",
+    "PartitionState",
+    "Position",
+    "RadioNetwork",
+    "RadioTechnology",
+    "wire_size",
+]

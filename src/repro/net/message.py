@@ -1,0 +1,38 @@
+"""Inter-process message model.
+
+Messages are small typed envelopes: a ``kind`` string selects the protocol
+handler at the destination, ``payload`` carries kind-specific fields. The
+simulator never pickles messages — they are passed by reference — but their
+*wire size* is computed faithfully by :mod:`repro.net.wire` so that network
+overhead numbers (Fig. 5) come out of a real cost model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message on the home (WiFi/IP) network."""
+
+    kind: str
+    src: str
+    dst: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        keys = ",".join(self.payload)
+        return f"<Message {self.kind} {self.src}->{self.dst} [{keys}]>"

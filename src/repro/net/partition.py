@@ -1,0 +1,58 @@
+"""Network partitions.
+
+A partition divides the named processes into disjoint groups; only processes
+in the same group can exchange messages. A single faulty WiFi router — the
+paper's canonical example — is the special case where every process lands in
+its own singleton group.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class PartitionState:
+    """Tracks which processes can currently talk to each other."""
+
+    def __init__(self) -> None:
+        self._group_of: dict[str, int] | None = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._group_of is not None
+
+    def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Install a partition. Processes absent from all groups are isolated."""
+        group_of: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                if name in group_of:
+                    raise ValueError(f"process {name!r} appears in two partition groups")
+                group_of[name] = index
+        self._group_of = group_of
+
+    def isolate(self, names: Iterable[str]) -> None:
+        """Every named process in its own group (dead router scenario)."""
+        self.set_partition([[name] for name in names])
+
+    def heal(self) -> None:
+        """Remove the partition entirely."""
+        self._group_of = None
+
+    def can_communicate(self, a: str, b: str) -> bool:
+        """True if a message from ``a`` can currently reach ``b``."""
+        if a == b:
+            return True
+        if self._group_of is None:
+            return True
+        group_a = self._group_of.get(a)
+        group_b = self._group_of.get(b)
+        if group_a is None or group_b is None:
+            # A process not listed in any group is cut off from everyone.
+            return False
+        return group_a == group_b
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._group_of is None:
+            return "<PartitionState connected>"
+        return f"<PartitionState groups={self._group_of}>"

@@ -1,0 +1,306 @@
+"""Best-effort wireless links between devices and Rivulet processes.
+
+This is the substrate for the paper's Section 3.1 assumption: "each sensor
+is able to send sensed events to a *subset* of processes, and each actuator
+is able to receive events from a *subset* of processes". The subset is the
+set of links created by the deployment (hardware capability + radio range),
+and each link is an independent Bernoulli-lossy, delaying channel.
+
+The module models the properties the evaluation depends on:
+
+- **multicast** (Z-Wave/Zigbee mesh): one emission is offered to every
+  linked process, each link losing it independently — this is what Gapless
+  exploits and what produces the Fig. 1 skew;
+- **single-link technologies** (BLE): the deployment simply creates one link;
+- **poll transport** with lossy request and response legs; the *sensor*
+  enforces the single-outstanding-poll limitation (Fig. 8) — see
+  :mod:`repro.devices.sensor`;
+- **actuation commands** traversing the same lossy links toward actuators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Protocol
+
+from repro.core.events import Command, Event
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+POLL_REQUEST_BYTES = 8
+
+
+@dataclass(frozen=True)
+class RadioTechnology:
+    """Communication characteristics of one low-power wireless technology."""
+
+    name: str
+    range_m: float
+    base_loss_rate: float
+    base_latency: float
+    bandwidth_bytes_per_s: float
+    supports_multicast: bool
+
+    def transit_delay(self, size_bytes: int, rng: RandomSource | None = None) -> float:
+        delay = self.base_latency + size_bytes / self.bandwidth_bytes_per_s
+        if rng is not None:
+            delay = rng.jittered(delay, 0.2)
+        return delay
+
+
+# Ranges from Section 2.1; data rates from the respective specifications.
+ZWAVE = RadioTechnology("zwave", range_m=40.0, base_loss_rate=0.0001,
+                        base_latency=0.004, bandwidth_bytes_per_s=12_500,
+                        supports_multicast=True)
+ZIGBEE = RadioTechnology("zigbee", range_m=15.0, base_loss_rate=0.0005,
+                         base_latency=0.003, bandwidth_bytes_per_s=31_250,
+                         supports_multicast=True)
+BLE = RadioTechnology("ble", range_m=100.0, base_loss_rate=0.0002,
+                      base_latency=0.003, bandwidth_bytes_per_s=125_000,
+                      supports_multicast=False)
+IP = RadioTechnology("ip", range_m=60.0, base_loss_rate=0.00001,
+                     base_latency=0.0008, bandwidth_bytes_per_s=5_000_000,
+                     supports_multicast=True)
+
+TECHNOLOGIES: dict[str, RadioTechnology] = {
+    t.name: t for t in (ZWAVE, ZIGBEE, BLE, IP)
+}
+
+
+class RadioListener(Protocol):
+    """What the radio needs from a registered process."""
+
+    name: str
+
+    @property
+    def alive(self) -> bool: ...
+
+    def on_sensor_event(self, event: Event) -> None: ...
+
+
+class PollTarget(Protocol):
+    """What the radio needs from a pollable sensor."""
+
+    name: str
+
+    def receive_poll(self, respond: Callable[[Event | None], None]) -> None: ...
+
+
+class CommandTarget(Protocol):
+    """What the radio needs from an actuator."""
+
+    name: str
+
+    def handle_command(self, command: Command) -> None: ...
+
+
+@dataclass
+class Link:
+    """One device <-> process wireless link."""
+
+    device: str
+    process: str
+    technology: RadioTechnology
+    loss_rate: float
+    enabled: bool = True
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.device, self.process)
+
+
+class RadioNetwork:
+    """All device-process wireless links in the home."""
+
+    def __init__(self, scheduler: Scheduler, rng: RandomSource, trace: Trace) -> None:
+        self._scheduler = scheduler
+        self._rng = rng.child("radio")
+        self._trace = trace
+        self._links: dict[tuple[str, str], Link] = {}
+        self._listeners: dict[str, RadioListener] = {}
+        self._devices: dict[str, Any] = {}
+        self._streams: dict[str, RandomSource] = {}
+
+    def _stream(self, name: str) -> RandomSource:
+        """A persistent named child stream (fresh children would repeat)."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = self._rng.child(name)
+            self._streams[name] = stream
+        return stream
+
+    # -- wiring ----------------------------------------------------------------
+
+    def register_listener(self, listener: RadioListener) -> None:
+        self._listeners[listener.name] = listener
+
+    def register_device(self, device: Any) -> None:
+        self._devices[device.name] = device
+
+    def connect(
+        self,
+        device_name: str,
+        process_name: str,
+        technology: RadioTechnology,
+        *,
+        loss_rate: float | None = None,
+    ) -> Link:
+        """Create (or replace) the link between a device and a process."""
+        link = Link(
+            device=device_name,
+            process=process_name,
+            technology=technology,
+            loss_rate=technology.base_loss_rate if loss_rate is None else loss_rate,
+        )
+        self._links[link.key] = link
+        return link
+
+    def disconnect(self, device_name: str, process_name: str) -> None:
+        self._links.pop((device_name, process_name), None)
+
+    def set_link_loss(self, device_name: str, process_name: str, loss_rate: float) -> None:
+        key = (device_name, process_name)
+        if key not in self._links:
+            raise KeyError(f"no link {device_name!r} -> {process_name!r}")
+        self._links[key] = replace(self._links[key], loss_rate=loss_rate)
+
+    def links_from(self, device_name: str) -> list[Link]:
+        return [l for l in self._links.values() if l.device == device_name]
+
+    def link(self, device_name: str, process_name: str) -> Link:
+        return self._links[(device_name, process_name)]
+
+    def reachable_processes(self, device_name: str) -> list[str]:
+        """Processes with an enabled link from the device, in name order."""
+        return sorted(l.process for l in self.links_from(device_name) if l.enabled)
+
+    # -- push-based event emission ----------------------------------------------
+
+    def emit(self, sensor_name: str, event: Event) -> None:
+        """Offer ``event`` to every linked process (independent loss/link)."""
+        self._trace.record(self._scheduler.now, "radio_emit", sensor=sensor_name,
+                           seq=event.seq)
+        for link in self.links_from(sensor_name):
+            self._transmit_event(link, event)
+
+    def _transmit_event(self, link: Link, event: Event) -> None:
+        if not link.enabled:
+            return
+        listener = self._listeners.get(link.process)
+        if listener is None:
+            return
+        if self._stream(f"loss/{link.device}/{link.process}").chance(link.loss_rate):
+            self._trace.record(self._scheduler.now, "radio_lost",
+                               sensor=link.device, process=link.process, seq=event.seq)
+            return
+        delay = link.technology.transit_delay(event.size_bytes, self._rng)
+        self._scheduler.call_later(delay, self._deliver_event, listener, link, event)
+
+    def _deliver_event(self, listener: RadioListener, link: Link, event: Event) -> None:
+        if not listener.alive:
+            self._trace.record(self._scheduler.now, "radio_undelivered",
+                               sensor=link.device, process=link.process, seq=event.seq)
+            return
+        self._trace.record(self._scheduler.now, "radio_delivered",
+                           sensor=link.device, process=link.process, seq=event.seq)
+        listener.on_sensor_event(event)
+
+    # -- polling ----------------------------------------------------------------
+
+    def send_poll(
+        self,
+        process_name: str,
+        sensor_name: str,
+        on_response: Callable[[Event], None],
+    ) -> None:
+        """Issue one poll request from a process to a sensor.
+
+        ``on_response`` fires only if the request arrives, the sensor serves
+        it (it may silently drop concurrent requests — Fig. 8) and the
+        response survives the return leg while the process is still alive.
+        Pollers own their timeouts.
+        """
+        link = self._links.get((sensor_name, process_name))
+        if link is None or not link.enabled:
+            return
+        self._trace.record(self._scheduler.now, "poll_request",
+                           sensor=sensor_name, process=process_name)
+        loss_rng = self._stream(f"poll/{sensor_name}/{process_name}")
+        if loss_rng.chance(link.loss_rate):
+            self._trace.record(self._scheduler.now, "poll_request_lost",
+                               sensor=sensor_name, process=process_name)
+            return
+        sensor = self._devices.get(sensor_name)
+        if sensor is None:
+            return
+        delay = link.technology.transit_delay(POLL_REQUEST_BYTES, self._rng)
+        self._scheduler.call_later(
+            delay, self._poll_arrives, sensor, link, process_name, on_response
+        )
+
+    def _poll_arrives(
+        self,
+        sensor: PollTarget,
+        link: Link,
+        process_name: str,
+        on_response: Callable[[Event], None],
+    ) -> None:
+        def respond(event: Event | None) -> None:
+            if event is None:
+                return
+            self._send_poll_response(link, process_name, event, on_response)
+
+        sensor.receive_poll(respond)
+
+    def _send_poll_response(
+        self,
+        link: Link,
+        process_name: str,
+        event: Event,
+        on_response: Callable[[Event], None],
+    ) -> None:
+        loss_rng = self._stream(f"pollresp/{link.device}/{process_name}")
+        if loss_rng.chance(link.loss_rate):
+            self._trace.record(self._scheduler.now, "poll_response_lost",
+                               sensor=link.device, process=process_name)
+            return
+        delay = link.technology.transit_delay(event.size_bytes, self._rng)
+        self._scheduler.call_later(
+            delay, self._deliver_poll_response, process_name, link, event, on_response
+        )
+
+    def _deliver_poll_response(
+        self,
+        process_name: str,
+        link: Link,
+        event: Event,
+        on_response: Callable[[Event], None],
+    ) -> None:
+        listener = self._listeners.get(process_name)
+        if listener is None or not listener.alive:
+            return
+        self._trace.record(self._scheduler.now, "poll_response",
+                           sensor=link.device, process=process_name, seq=event.seq)
+        on_response(event)
+
+    # -- actuation ----------------------------------------------------------------
+
+    def send_command(self, process_name: str, command: Command) -> None:
+        """Transmit an actuation command from a process to an actuator."""
+        link = self._links.get((command.actuator_id, process_name))
+        if link is None or not link.enabled:
+            return
+        self._trace.record(self._scheduler.now, "command_sent",
+                           actuator=command.actuator_id, process=process_name,
+                           action=command.action)
+        loss_rng = self._stream(f"cmd/{command.actuator_id}/{process_name}")
+        if loss_rng.chance(link.loss_rate):
+            self._trace.record(self._scheduler.now, "command_lost",
+                               actuator=command.actuator_id, process=process_name)
+            return
+        actuator = self._devices.get(command.actuator_id)
+        if actuator is None:
+            return
+        delay = link.technology.transit_delay(command.size_bytes, self._rng)
+        self._scheduler.call_later(delay, actuator.handle_command, command)

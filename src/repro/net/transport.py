@@ -1,0 +1,150 @@
+"""TCP-like transport between Rivulet processes over the home network.
+
+Guarantees (Section 3.1's assumptions):
+
+- **reliable, in-order point-to-point delivery** between live, connected
+  processes — messages between a pair never overtake each other;
+- messages to a crashed process, or across a partition, are silently lost
+  (the sender learns about failures only through the membership layer);
+- a message in flight when the destination crashes or a partition appears is
+  lost at delivery time.
+
+The transport also does all network-overhead accounting: every transmitted
+message is traced with its wire size so that Fig. 5 is a pure function of
+the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.partition import PartitionState
+from repro.net.wire import wire_size
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+class Endpoint(Protocol):
+    """What the transport needs from a registered process."""
+
+    name: str
+
+    @property
+    def alive(self) -> bool: ...
+
+    def deliver(self, message: Message) -> None: ...
+
+
+class HomeNetwork:
+    """The single home WiFi network connecting all Rivulet processes."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: RandomSource,
+        trace: Trace,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._rng = rng.child("home-network")
+        self._trace = trace
+        self.latency = latency or LatencyModel()
+        self.partition = PartitionState()
+        self._endpoints: dict[str, Endpoint] = {}
+        # Per-(src, dst) earliest next delivery time: enforces FIFO ordering.
+        self._fifo_horizon: dict[tuple[str, str], float] = {}
+
+    def register(self, endpoint: Endpoint) -> None:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.name!r} already registered")
+        self._endpoints[endpoint.name] = endpoint
+
+    @property
+    def endpoints(self) -> dict[str, Endpoint]:
+        return dict(self._endpoints)
+
+    def live_process_count(self) -> int:
+        return sum(1 for e in self._endpoints.values() if e.alive)
+
+    def send(self, message: Message) -> None:
+        """Transmit ``message``; delivery is scheduled, loss is possible.
+
+        Wire bytes are accounted whenever the sender actually puts the
+        message on the network (sender alive and not knowingly cut off).
+        """
+        src = message.src
+        dst = message.dst
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown destination process {dst!r}")
+        sender = self._endpoints.get(src)
+        if sender is not None and not sender.alive:
+            # A crashed process performs no activity; guard against stray
+            # timers firing after a crash.
+            return
+
+        bytes_on_wire = wire_size(message)
+        if not self.partition.can_communicate(src, dst):
+            # TCP connect/retransmit fails; the payload never transits.
+            self._trace.record(
+                self._scheduler.now, "net_drop", src=src, dst=dst,
+                kind=message.kind, reason="partition",
+            )
+            return
+
+        self._trace.record(
+            self._scheduler.now, "net_send", src=src, dst=dst,
+            kind=message.kind, bytes=bytes_on_wire,
+        )
+        delay = self.latency.message_delay(
+            bytes_on_wire,
+            live_processes=self.live_process_count(),
+            rng=self._rng,
+        )
+        deliver_at = self._scheduler.now + delay
+        # In-order delivery per (src, dst) pair, like a TCP stream.
+        pair = (src, dst)
+        horizon = self._fifo_horizon.get(pair, 0.0)
+        if deliver_at <= horizon:
+            deliver_at = horizon + 1e-9
+        self._fifo_horizon[pair] = deliver_at
+        self._scheduler.call_at(deliver_at, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints[message.dst]
+        if not endpoint.alive:
+            self._trace.record(
+                self._scheduler.now, "net_drop", src=message.src, dst=message.dst,
+                kind=message.kind, reason="dst_crashed",
+            )
+            return
+        if not self.partition.can_communicate(message.src, message.dst):
+            self._trace.record(
+                self._scheduler.now, "net_drop", src=message.src, dst=message.dst,
+                kind=message.kind, reason="partition",
+            )
+            return
+        self._trace.record(
+            self._scheduler.now, "net_deliver", src=message.src, dst=message.dst,
+            kind=message.kind,
+        )
+        endpoint.deliver(message)
+
+    # -- accounting helpers used by the evaluation harness ---------------------
+
+    def bytes_sent(self, *, kinds: set[str] | None = None) -> int:
+        """Total wire bytes transmitted, optionally restricted to kinds."""
+        total = 0
+        for event in self._trace.of_kind("net_send"):
+            if kinds is None or event["kind"] in kinds:
+                total += event["bytes"]
+        return total
+
+    def messages_sent(self, *, kinds: set[str] | None = None) -> int:
+        count = 0
+        for event in self._trace.of_kind("net_send"):
+            if kinds is None or event["kind"] in kinds:
+                count += 1
+        return count

@@ -1,0 +1,18 @@
+"""Real asyncio TCP runtime for the Rivulet protocol core.
+
+The paper's prototype ran on Netty TCP between Java processes; this package
+is the Python equivalent: the *same* protocol objects that power the
+simulator (heartbeats, Gap chain, Gapless ring, reliable broadcast,
+election) run unchanged over :class:`asyncio` sockets, because they only
+ever talk to the sans-IO :class:`repro.core.env.RuntimeEnv` interface.
+
+- :mod:`.wire` — length-prefixed JSON framing with Event/Command codecs;
+- :mod:`.node` — :class:`AsyncRivuletNode`: one Rivulet process on one port;
+- :mod:`.cluster` — :class:`LocalCluster`: spin up a whole home on
+  localhost ports inside one event loop (used by tests and the example).
+"""
+
+from repro.rt.cluster import LocalCluster
+from repro.rt.node import AsyncRivuletNode
+
+__all__ = ["AsyncRivuletNode", "LocalCluster"]

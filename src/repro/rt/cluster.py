@@ -1,0 +1,198 @@
+"""LocalCluster: a whole Rivulet home on localhost TCP ports.
+
+Mirrors :class:`repro.core.home.Home` for the asyncio runtime: declare
+processes, software sensors/actuators, deploy apps, start everything, then
+inject events and observe actuations — over real sockets.
+
+    cluster = LocalCluster()
+    cluster.add_process("hub")
+    cluster.add_process("tv")
+    cluster.add_push_sensor("door1", receivers=["tv"])
+    cluster.add_actuator("light1", hosts=["hub"])
+    cluster.deploy(app)
+    async with cluster:
+        cluster.emit("door1", True)
+        await cluster.settle(0.5)
+        assert cluster.node("hub").actuations
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Any
+
+from repro.core.delivery_service import DeviceInfo, GaplessOptions
+from repro.core.events import Event
+from repro.core.graph import App, validate_apps
+from repro.core.plan import DeploymentPlan
+from repro.rt.node import AsyncRivuletNode, PollHandler
+
+
+def free_port() -> int:
+    """Ask the OS for an ephemeral port and release it immediately."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class LocalCluster:
+    """A set of AsyncRivuletNode processes on localhost."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 42,
+        heartbeat_interval: float = 0.15,
+        failure_detection_s: float = 0.6,
+        delivery_override: dict[str, str] | None = None,
+        gapless_options: GaplessOptions | None = None,
+    ) -> None:
+        self.seed = seed
+        self.heartbeat_interval = heartbeat_interval
+        self.failure_detection_s = failure_detection_s
+        self.delivery_override = delivery_override
+        self.gapless_options = gapless_options
+        self._process_names: list[str] = []
+        self._sensor_receivers: dict[str, list[str]] = {}
+        self._actuator_hosts: dict[str, list[str]] = {}
+        self._device_info: dict[str, DeviceInfo] = {}
+        self._poll_handlers: dict[str, PollHandler] = {}
+        self._apps: list[App] = []
+        self._event_seq: dict[str, itertools.count] = {}
+        self.nodes: dict[str, AsyncRivuletNode] = {}
+        self._started = False
+
+    # -- declaration ---------------------------------------------------------------
+
+    def add_process(self, name: str) -> "LocalCluster":
+        self._process_names.append(name)
+        return self
+
+    def add_push_sensor(
+        self, name: str, *, receivers: list[str] | None = None, event_size: int = 4
+    ) -> "LocalCluster":
+        """A software push sensor; events are injected at the receivers."""
+        self._sensor_receivers[name] = receivers or list(self._process_names)
+        self._device_info[name] = DeviceInfo(
+            name=name, category="sensor", mode="push", technology="ip"
+        )
+        self._event_seq[name] = itertools.count(1)
+        return self
+
+    def add_poll_sensor(
+        self,
+        name: str,
+        handler: PollHandler,
+        *,
+        receivers: list[str] | None = None,
+        service_time: float = 0.2,
+        default_epoch: float = 1.0,
+    ) -> "LocalCluster":
+        self._sensor_receivers[name] = receivers or list(self._process_names)
+        self._device_info[name] = DeviceInfo(
+            name=name, category="sensor", mode="poll", technology="ip",
+            service_time=service_time, default_epoch=default_epoch,
+        )
+        self._poll_handlers[name] = handler
+        self._event_seq[name] = itertools.count(1)
+        return self
+
+    def add_actuator(self, name: str, *, hosts: list[str] | None = None) -> "LocalCluster":
+        self._actuator_hosts[name] = hosts or list(self._process_names)
+        self._device_info[name] = DeviceInfo(
+            name=name, category="actuator", technology="ip"
+        )
+        return self
+
+    def deploy(self, app: App) -> "LocalCluster":
+        self._apps.append(app)
+        validate_apps(self._apps)
+        return self
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        plan = DeploymentPlan(
+            processes=list(self._process_names),
+            sensor_hosts=dict(self._sensor_receivers),
+            actuator_hosts=dict(self._actuator_hosts),
+            apps=list(self._apps),
+        )
+        plan.validate()
+        ports = {name: free_port() for name in self._process_names}
+        addresses = {name: ("127.0.0.1", port) for name, port in ports.items()}
+
+        def make_poll_router() -> PollHandler:
+            def route(sensor: str, respond) -> None:
+                handler = self._poll_handlers.get(sensor)
+                if handler is not None:
+                    handler(sensor, respond)
+
+            return route
+
+        for name in self._process_names:
+            node = AsyncRivuletNode(
+                name,
+                ports[name],
+                addresses,
+                plan,
+                device_info=self._device_info,
+                seed=self.seed,
+                heartbeat_interval=self.heartbeat_interval,
+                failure_detection_s=self.failure_detection_s,
+                poll_handler=make_poll_router(),
+                delivery_override=self.delivery_override,
+                gapless_options=self.gapless_options,
+            )
+            self.nodes[name] = node
+        for node in self.nodes.values():
+            await node.start()
+
+    async def stop(self) -> None:
+        for node in self.nodes.values():
+            if node.alive:
+                await node.stop()
+        self._started = False
+
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # -- driving ---------------------------------------------------------------------------
+
+    def node(self, name: str) -> AsyncRivuletNode:
+        return self.nodes[name]
+
+    def emit(self, sensor: str, value: Any, *, size_bytes: int = 4) -> Event:
+        """Multicast one software-sensor event to every receiving node."""
+        loop = asyncio.get_event_loop()
+        event = Event(
+            sensor_id=sensor,
+            seq=next(self._event_seq[sensor]),
+            emitted_at=loop.time(),
+            value=value,
+            size_bytes=size_bytes,
+        )
+        for receiver in self._sensor_receivers[sensor]:
+            node = self.nodes[receiver]
+            if node.alive:
+                node.inject_event(event)
+        return event
+
+    async def settle(self, seconds: float) -> None:
+        """Let the cluster run for a bit of real time."""
+        await asyncio.sleep(seconds)
+
+    async def crash(self, name: str) -> None:
+        await self.nodes[name].stop()
+
+    def all_actuations(self) -> dict[str, list]:
+        return {name: list(node.actuations) for name, node in self.nodes.items()}

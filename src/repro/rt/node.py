@@ -1,0 +1,295 @@
+"""One Rivulet process over real asyncio TCP.
+
+:class:`AsyncRivuletNode` implements :class:`repro.core.env.RuntimeEnv` on
+top of an event loop and runs the identical service stack the simulator
+boots: heartbeat membership, the delivery service (Gap chain / Gapless ring
+/ reliable broadcast / polling) and the execution service (election,
+logic runtimes).
+
+Transport semantics match the paper's assumptions: per-peer ordered frames
+over TCP (one outbound queue per destination), silent loss when the peer is
+unreachable (the membership layer notices via missing keep-alives).
+
+Device IO is pluggable: sensors are injected through
+:meth:`AsyncRivuletNode.inject_event` (a software adapter), actuation lands
+in :attr:`actuations` or a user callback, and poll requests are served by a
+user-supplied handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.core.delivery import PollMode
+from repro.core.delivery_service import (
+    DeliveryContext,
+    DeliveryService,
+    DeviceInfo,
+    GaplessOptions,
+)
+from repro.core.env import CancelHandle, RuntimeEnv
+from repro.core.eventlog import EventStore
+from repro.core.events import Command, Event
+from repro.core.execution import ExecutionService
+from repro.core.plan import DeploymentPlan
+from repro.membership.heartbeat import HeartbeatService
+from repro.net.latency import ProcessingModel
+from repro.net.message import Message
+from repro.rt import wire
+from repro.sim.random import RandomSource
+from repro.sim.tracing import Trace
+from repro.storage.kv import ReplicatedStore, StoreBackend
+
+PollHandler = Callable[[str, Callable[[Event], None]], None]
+
+
+class AsyncRivuletNode(RuntimeEnv):
+    """A Rivulet process listening on ``("127.0.0.1", port)``."""
+
+    def __init__(
+        self,
+        name: str,
+        port: int,
+        peer_addresses: dict[str, tuple[str, int]],
+        plan: DeploymentPlan,
+        device_info: dict[str, DeviceInfo] | None = None,
+        *,
+        seed: int = 42,
+        heartbeat_interval: float = 0.15,
+        failure_detection_s: float = 0.6,
+        on_actuate: Callable[[Command], None] | None = None,
+        poll_handler: PollHandler | None = None,
+        delivery_override: dict[str, str] | None = None,
+        gapless_options: GaplessOptions | None = None,
+        poll_mode_override: PollMode | None = None,
+        active_replicas: int = 1,
+        trace: Trace | None = None,
+    ) -> None:
+        self.name = name
+        self.port = port
+        self.peer_addresses = dict(peer_addresses)
+        self.plan = plan
+        self.device_info = device_info or {}
+        self._heartbeat_interval = heartbeat_interval
+        self._failure_detection_s = failure_detection_s
+        self._on_actuate = on_actuate
+        self._poll_handler = poll_handler
+        self._delivery_override = delivery_override
+        self._gapless_options = gapless_options
+        self._poll_mode_override = poll_mode_override
+        self._active_replicas = active_replicas
+
+        self._trace = trace or Trace()
+        self._rng_root = RandomSource(seed).child(f"node/{name}")
+        self._rng_streams: dict[str, RandomSource] = {}
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._sender_tasks: dict[str, asyncio.Task] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._alive = False
+
+        self.store = EventStore(name)
+        self.kv_backend = StoreBackend(name)
+        # Real processing happens in real time; the model adds nothing here.
+        self.processing = ProcessingModel(
+            local_dispatch=0.0, gapless_ingest_log=0.0, gapless_hop_processing=0.0
+        )
+        self.heartbeat: HeartbeatService | None = None
+        self.delivery: DeliveryService | None = None
+        self.execution: ExecutionService | None = None
+        self.kv: ReplicatedStore | None = None
+        self.actuations: list[Command] = []
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._alive = True
+        self._server = await asyncio.start_server(
+            self._on_connection, "127.0.0.1", self.port
+        )
+        self._boot_services()
+        self.trace("boot")
+
+    def _boot_services(self) -> None:
+        self.heartbeat = HeartbeatService(
+            self,
+            interval=self._heartbeat_interval,
+            timeout=self._failure_detection_s,
+        )
+        ctx = DeliveryContext(
+            env=self,
+            heartbeat=self.heartbeat,
+            plan=self.plan,
+            store=self.store,
+            processing=self.processing,
+            deliver_local=self._deliver_to_logic,
+            on_epoch_gap=self._on_epoch_gap,
+            actuate_local=self._actuate_local,
+            poll_sensor=self._poll_sensor,
+            device_info=self.device_info,
+            active_replicas=self._active_replicas,
+        )
+        self.kv = ReplicatedStore(self, self.heartbeat, self.kv_backend)
+        self.execution = ExecutionService(
+            self, self.heartbeat, self.plan, self.store, self.processing,
+            kv=self.kv, active_replicas=self._active_replicas,
+        )
+        self.delivery = DeliveryService(
+            ctx,
+            delivery_override=self._delivery_override,
+            gapless_options=self._gapless_options,
+            poll_mode_override=self._poll_mode_override,
+        )
+        self.execution.bind_delivery(self.delivery)
+        self.heartbeat.start()
+        self.kv.start()
+        self.delivery.start()
+        self.execution.start()
+
+    async def stop(self) -> None:
+        """Crash-stop the node: close the server and all connections."""
+        self._alive = False
+        if self.heartbeat is not None:
+            self.heartbeat.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._sender_tasks.values():
+            task.cancel()
+        for task in list(self._sender_tasks.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._sender_tasks.clear()
+        self.trace("stop")
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    # -- device-side API -----------------------------------------------------------------
+
+    def inject_event(self, event: Event) -> None:
+        """Deliver a sensor event to this node, as a local adapter would."""
+        if self._alive and self.delivery is not None:
+            self.delivery.on_ingest(event)
+
+    # -- RuntimeEnv -------------------------------------------------------------------------
+
+    def now(self) -> float:
+        loop = self._loop or asyncio.get_event_loop()
+        return loop.time()
+
+    def send(self, dst: str, kind: str, **payload: Any) -> None:
+        if not self._alive:
+            return
+        message = Message(kind=kind, src=self.name, dst=dst, payload=payload)
+        frame = wire.encode_message(message)
+        queue = self._queues.get(dst)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=10_000)
+            self._queues[dst] = queue
+            self._sender_tasks[dst] = asyncio.ensure_future(self._sender(dst, queue))
+        try:
+            queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.trace("send_dropped", dst=dst, reason="queue_full")
+
+    async def _sender(self, dst: str, queue: asyncio.Queue) -> None:
+        """Per-destination ordered sender with lazy reconnect."""
+        writer: asyncio.StreamWriter | None = None
+        address = self.peer_addresses[dst]
+        while True:
+            frame = await queue.get()
+            if writer is None:
+                try:
+                    _reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(*address), timeout=1.0
+                    )
+                except (OSError, asyncio.TimeoutError):
+                    continue  # peer unreachable: the frame is lost (TCP-like)
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (OSError, ConnectionError):
+                writer = None  # peer went away mid-stream: frame lost
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> CancelHandle:
+        loop = self._loop or asyncio.get_event_loop()
+
+        def guarded() -> None:
+            if self._alive:
+                fn(*args)
+
+        return loop.call_later(delay, guarded)
+
+    def register_handler(self, kind: str, fn: Callable[[Message], None]) -> None:
+        self._handlers[kind] = fn
+
+    def rng(self, stream: str) -> RandomSource:
+        cached = self._rng_streams.get(stream)
+        if cached is None:
+            cached = self._rng_root.child(stream)
+            self._rng_streams[stream] = cached
+        return cached
+
+    def trace(self, kind: str, /, **fields: Any) -> None:
+        self._trace.record(self.now(), kind, process=self.name, **fields)
+
+    @property
+    def traced(self) -> Trace:
+        return self._trace
+
+    def peers(self) -> list[str]:
+        return [p for p in self.plan.processes if p != self.name]
+
+    # -- inbound ----------------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                message = await wire.read_frame(reader)
+                if message is None:
+                    break
+                if not self._alive:
+                    break
+                handler = self._handlers.get(message.kind)
+                if handler is None:
+                    self.trace("unhandled_message", kind=message.kind)
+                    continue
+                handler(message)
+        except (asyncio.CancelledError, ConnectionError):
+            pass  # node shutting down or peer gone: just drop the stream
+        except wire.WireError as exc:
+            self.trace("wire_error", error=str(exc))
+        finally:
+            writer.close()
+
+    # -- service plumbing --------------------------------------------------------------------
+
+    def _deliver_to_logic(self, sensor: str, event: Event, only_app: str | None) -> None:
+        if self.execution is not None:
+            self.execution.on_event(sensor, event, only_app)
+
+    def _on_epoch_gap(self, sensor: str, gap) -> None:
+        if self.execution is not None:
+            self.execution.on_epoch_gap(sensor, gap)
+
+    def _actuate_local(self, command: Command) -> None:
+        self.actuations.append(command)
+        self.trace("actuation", actuator=command.actuator_id,
+                   action=command.action, by=command.issued_by)
+        if self._on_actuate is not None:
+            self._on_actuate(command)
+
+    def _poll_sensor(self, sensor: str, on_response: Callable[[Event], None]) -> None:
+        if self._poll_handler is None:
+            self.trace("poll_unserviced", sensor=sensor)
+            return
+        self._poll_handler(sensor, on_response)

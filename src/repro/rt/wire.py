@@ -1,0 +1,128 @@
+"""Wire format for the asyncio runtime: length-prefixed JSON frames.
+
+Every frame is ``4-byte big-endian length || UTF-8 JSON``. Rivulet payloads
+contain a handful of non-JSON types which are encoded with type tags:
+
+- :class:`repro.core.events.Event`   -> ``{"__event__": {...}}``
+- :class:`repro.core.events.Command` -> ``{"__command__": {...}}``
+- :class:`repro.net.wire.ProcessIdSet` -> ``{"__pidset__": [...]}``
+- tuples decode as lists — protocol code treats sequence payloads
+  structurally (the Gapless sync already normalizes its range pairs).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.core.events import Command, Event
+from repro.net.message import Message
+from repro.net.wire import ProcessIdSet
+
+_LENGTH = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """Malformed frame or unserializable payload."""
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Event):
+        return {"__event__": {
+            "sensor_id": value.sensor_id, "seq": value.seq,
+            "emitted_at": value.emitted_at, "value": _encode_value(value.value),
+            "size_bytes": value.size_bytes, "epoch": value.epoch,
+        }}
+    if isinstance(value, Command):
+        return {"__command__": {
+            "actuator_id": value.actuator_id, "seq": value.seq,
+            "issued_at": value.issued_at, "action": value.action,
+            "value": _encode_value(value.value), "size_bytes": value.size_bytes,
+            "issued_by": value.issued_by,
+        }}
+    if isinstance(value, ProcessIdSet):
+        return {"__pidset__": sorted(value)}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": [_encode_value(v) for v in sorted(value)]}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise WireError(f"cannot serialize {type(value).__name__} on the wire")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__event__" in value and len(value) == 1:
+            fields = value["__event__"]
+            return Event(
+                sensor_id=fields["sensor_id"], seq=fields["seq"],
+                emitted_at=fields["emitted_at"],
+                value=_decode_value(fields["value"]),
+                size_bytes=fields["size_bytes"], epoch=fields["epoch"],
+            )
+        if "__command__" in value and len(value) == 1:
+            fields = value["__command__"]
+            return Command(
+                actuator_id=fields["actuator_id"], seq=fields["seq"],
+                issued_at=fields["issued_at"], action=fields["action"],
+                value=_decode_value(fields["value"]),
+                size_bytes=fields["size_bytes"], issued_by=fields["issued_by"],
+            )
+        if "__pidset__" in value and len(value) == 1:
+            return ProcessIdSet(value["__pidset__"])
+        if "__set__" in value and len(value) == 1:
+            return frozenset(_decode_value(v) for v in value["__set__"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def encode_message(message: Message) -> bytes:
+    """One message as a complete frame (length prefix included)."""
+    body = json.dumps({
+        "kind": message.kind,
+        "src": message.src,
+        "dst": message.dst,
+        "payload": {k: _encode_value(v) for k, v in message.payload.items()},
+    }, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Message:
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed frame: {exc}") from exc
+    for key in ("kind", "src", "dst", "payload"):
+        if key not in data:
+            raise WireError(f"frame missing {key!r}")
+    return Message(
+        kind=data["kind"], src=data["src"], dst=data["dst"],
+        payload={k: _decode_value(v) for k, v in data["payload"].items()},
+    )
+
+
+async def read_frame(reader) -> Message | None:
+    """Read one frame; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_body(body)

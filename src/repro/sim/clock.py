@@ -1,0 +1,53 @@
+"""Per-process local clocks.
+
+Real smart-home devices do not share a clock. The paper's software sensor was
+built specifically to "remove any clock-skew between sensors and the active
+logic node" (Section 8.1); we model clocks explicitly so experiments can turn
+skew on or off.
+
+A :class:`LocalClock` maps simulated global time to the process's local time:
+
+    local(t) = (t - epoch) * (1 + drift) + epoch + skew
+
+``skew`` is a constant offset in seconds, ``drift`` a dimensionless rate
+(e.g. ``50e-6`` is 50 ppm, typical of cheap crystal oscillators).
+"""
+
+from __future__ import annotations
+
+from repro.sim.scheduler import Scheduler
+
+
+class LocalClock:
+    """A possibly skewed, possibly drifting view of simulated time."""
+
+    __slots__ = ("_scheduler", "skew", "drift", "_epoch")
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        skew: float = 0.0,
+        drift: float = 0.0,
+        epoch: float = 0.0,
+    ) -> None:
+        self._scheduler = scheduler
+        self.skew = skew
+        self.drift = drift
+        self._epoch = epoch
+
+    def time(self) -> float:
+        """Local time in seconds."""
+        true_time = self._scheduler.now
+        return (true_time - self._epoch) * (1.0 + self.drift) + self._epoch + self.skew
+
+    def to_local(self, true_time: float) -> float:
+        """Convert a global (simulator) timestamp to this clock's local time."""
+        return (true_time - self._epoch) * (1.0 + self.drift) + self._epoch + self.skew
+
+    def to_global(self, local_time: float) -> float:
+        """Convert a local timestamp back to global simulator time."""
+        return (local_time - self.skew - self._epoch) / (1.0 + self.drift) + self._epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LocalClock skew={self.skew:+.6f}s drift={self.drift:+.2e}>"

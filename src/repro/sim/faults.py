@@ -1,0 +1,117 @@
+"""Declarative fault injection.
+
+A :class:`FaultPlan` is a list of timestamped actions against a deployment
+(duck-typed: anything exposing the small surface used below, in practice
+:class:`repro.core.home.Home`). Plans are data, so tests and benchmarks can
+build them declaratively and reuse them across delivery modes:
+
+    plan = (FaultPlan()
+            .crash("hub", at=24.0)
+            .recover("hub", at=120.0)
+            .partition([["tv", "fridge"], ["hub"]], at=60.0)
+            .heal(at=90.0))
+    plan.apply(home)
+
+The fault model follows Section 3.1 of the paper: crash-recovery processes,
+arbitrary network partitions, lossy sensor-process links, and sensors /
+actuators that crash and recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, Sequence
+
+
+class _FaultTarget(Protocol):  # pragma: no cover - typing only
+    scheduler: Any
+
+    def crash_process(self, name: str) -> None: ...
+
+    def recover_process(self, name: str) -> None: ...
+
+    def set_partition(self, groups: Sequence[Sequence[str]]) -> None: ...
+
+    def heal_partition(self) -> None: ...
+
+    def fail_sensor(self, name: str) -> None: ...
+
+    def recover_sensor(self, name: str) -> None: ...
+
+    def fail_actuator(self, name: str) -> None: ...
+
+    def recover_actuator(self, name: str) -> None: ...
+
+    def set_link_loss(self, sensor: str, process: str, loss_rate: float) -> None: ...
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: ``kind`` selects the Home method, args carry data."""
+
+    at: float
+    kind: str
+    args: tuple = ()
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of :class:`FaultAction` with a fluent builder."""
+
+    actions: list[FaultAction] = field(default_factory=list)
+
+    def _add(self, at: float, kind: str, *args: Any) -> "FaultPlan":
+        if at < 0:
+            raise ValueError(f"fault time must be >= 0, got {at}")
+        self.actions.append(FaultAction(at=at, kind=kind, args=args))
+        return self
+
+    def crash(self, process: str, *, at: float) -> "FaultPlan":
+        """Crash a Rivulet process (halts all activity, loses soft state)."""
+        return self._add(at, "crash_process", process)
+
+    def recover(self, process: str, *, at: float) -> "FaultPlan":
+        """Recover a previously crashed process."""
+        return self._add(at, "recover_process", process)
+
+    def partition(self, groups: Sequence[Sequence[str]], *, at: float) -> "FaultPlan":
+        """Partition the home network into isolated groups of processes."""
+        frozen = tuple(tuple(g) for g in groups)
+        return self._add(at, "set_partition", frozen)
+
+    def heal(self, *, at: float) -> "FaultPlan":
+        """Remove any network partition."""
+        return self._add(at, "heal_partition")
+
+    def fail_sensor(self, sensor: str, *, at: float) -> "FaultPlan":
+        """Sensor stops emitting / answering polls (battery drain, unplug)."""
+        return self._add(at, "fail_sensor", sensor)
+
+    def recover_sensor(self, sensor: str, *, at: float) -> "FaultPlan":
+        return self._add(at, "recover_sensor", sensor)
+
+    def fail_actuator(self, actuator: str, *, at: float) -> "FaultPlan":
+        """Actuator stops responding to commands."""
+        return self._add(at, "fail_actuator", actuator)
+
+    def recover_actuator(self, actuator: str, *, at: float) -> "FaultPlan":
+        return self._add(at, "recover_actuator", actuator)
+
+    def set_link_loss(
+        self, sensor: str, process: str, loss_rate: float, *, at: float
+    ) -> "FaultPlan":
+        """Change the Bernoulli loss rate of one sensor-process link."""
+        return self._add(at, "set_link_loss", sensor, process, loss_rate)
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """A new plan containing both plans' actions."""
+        return FaultPlan(actions=self.actions + other.actions)
+
+    def apply(self, target: _FaultTarget) -> None:
+        """Schedule every action on the target's scheduler."""
+        for action in sorted(self.actions, key=lambda a: a.at):
+            method = getattr(target, action.kind)
+            target.scheduler.call_at(action.at, method, *action.args)
+
+    def __len__(self) -> int:
+        return len(self.actions)

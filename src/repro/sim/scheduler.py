@@ -1,0 +1,152 @@
+"""Time-ordered callback scheduler — the heart of the simulator.
+
+The scheduler keeps a heap of ``(when, seq, handle)`` entries. ``seq`` is a
+monotonically increasing tie-breaker so that callbacks scheduled for the same
+instant run in scheduling order, which keeps runs deterministic.
+
+Simulated time is a ``float`` number of seconds since the start of the run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+class TimerHandle:
+    """A cancellable scheduled callback.
+
+    Returned by :meth:`Scheduler.call_at` / :meth:`Scheduler.call_later`.
+    Cancelling an already-fired or already-cancelled timer is a no-op.
+    """
+
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired")
+
+    def __init__(self, when: float, callback: Callable[..., None], args: tuple):
+        self.when = when
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def _run(self) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        self._callback(*self._args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"<TimerHandle when={self.when:.6f} {state} cb={self._callback!r}>"
+
+
+class Scheduler:
+    """Discrete-event scheduler with a virtual clock.
+
+    The clock only advances when events are processed; there is no wall-clock
+    component anywhere, which is what makes experiment runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (for tests and budgets)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled entries in the heap."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``.
+
+        Scheduling in the past is an error: it would silently reorder
+        causality.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when:.6f}, time is already t={self._now:.6f}"
+            )
+        handle = TimerHandle(when, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, handle))
+        return handle
+
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Run the next pending callback. Returns False if none remain."""
+        while self._heap:
+            when, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = when
+            self._processed += 1
+            handle._run()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Process all events with ``when <= deadline``; clock ends at deadline.
+
+        The clock is advanced to ``deadline`` even if the last event fires
+        earlier, so back-to-back ``run_until`` calls behave like a continuous
+        timeline.
+        """
+        if deadline < self._now:
+            raise SimulationError(
+                f"deadline t={deadline:.6f} is in the past (now t={self._now:.6f})"
+            )
+        while self._heap:
+            when, _seq, handle = self._heap[0]
+            if when > deadline:
+                break
+            heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = when
+            self._processed += 1
+            handle._run()
+        self._now = deadline
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain (or the safety budget is exhausted)."""
+        remaining = max_events
+        while self.step():
+            remaining -= 1
+            if remaining <= 0:
+                raise SimulationError(f"exceeded event budget of {max_events}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scheduler t={self._now:.6f} pending={self.pending_events}>"

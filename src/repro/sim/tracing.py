@@ -1,0 +1,91 @@
+"""Structured trace recording.
+
+The evaluation harness never instruments protocol code with ad-hoc counters;
+instead every interesting occurrence (event ingested, message sent, poll
+issued, logic delivery, promotion, ...) is recorded in one :class:`Trace`
+and the metrics in :mod:`repro.eval.metrics` are pure functions over it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence; ``fields`` is kind-specific."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Trace:
+    """An append-only, queryable log of :class:`TraceEvent`.
+
+    Recording can be limited to a set of kinds to keep long experiments
+    (e.g. the 15-day Fig. 1 deployment) memory-friendly; counters are always
+    maintained for every kind.
+    """
+
+    def __init__(self, keep_kinds: set[str] | None = None) -> None:
+        self._events: list[TraceEvent] = []
+        self._counts: Counter[str] = Counter()
+        self._keep_kinds = keep_kinds
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: float, kind: str, /, **fields: Any) -> None:
+        self._counts[kind] += 1
+        event = None
+        if self._keep_kinds is None or kind in self._keep_kinds:
+            event = TraceEvent(time=time, kind=kind, fields=fields)
+            self._events.append(event)
+        if self._subscribers:
+            if event is None:
+                event = TraceEvent(time=time, kind=kind, fields=fields)
+            for subscriber in self._subscribers:
+                subscriber(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` for every future record (kept or not)."""
+        self._subscribers.append(callback)
+
+    def count(self, kind: str) -> int:
+        return self._counts[kind]
+
+    @property
+    def counts(self) -> Counter:
+        return Counter(self._counts)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def where(self, kind: str, **matches: Any) -> list[TraceEvent]:
+        """Events of ``kind`` whose fields equal every given ``matches``."""
+        return [
+            e
+            for e in self._events
+            if e.kind == kind and all(e.get(k) == v for k, v in matches.items())
+        ]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(self._counts.values())
+        return f"<Trace {total} records, {len(self._counts)} kinds>"

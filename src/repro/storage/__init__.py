@@ -1,0 +1,19 @@
+"""Replicated application state.
+
+The paper keeps logic nodes stateless and notes that "applications are free
+to use existing distributed storage systems to replicate state"
+(Section 3.2), citing Bayou for the synchronization style. This package is
+that storage system: a small, eventually-consistent, last-writer-wins
+replicated key-value store running over the same sans-IO
+:class:`repro.core.env.RuntimeEnv` as the rest of the platform — so it
+works identically in the simulator and on the asyncio runtime, and it
+survives crashes the way the event journal does.
+
+Apps reach it through ``ctx.state`` inside operator callbacks (see
+:class:`repro.core.execution.LogicRuntime`): a freshly promoted logic node
+reads back whatever the old active wrote.
+"""
+
+from repro.storage.kv import ReplicatedStore, StoreBackend, VersionedValue
+
+__all__ = ["ReplicatedStore", "StoreBackend", "VersionedValue"]

@@ -1,0 +1,75 @@
+"""Shared builders for integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delivery import Delivery, GAPLESS
+from repro.core.graph import App
+from repro.core.home import Home, HomeConfig
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow
+
+
+class Collected:
+    """Values observed by a collector operator, for assertions."""
+
+    def __init__(self) -> None:
+        self.values: list = []
+        self.events: list = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def collector_app(
+    sensors: list[str],
+    guarantee: Delivery = GAPLESS,
+    *,
+    actuator: str | None = None,
+    name: str = "collector",
+) -> tuple[App, Collected]:
+    """An app that records every event it processes."""
+    collected = Collected()
+
+    def on_window(ctx, combined) -> None:
+        for event in combined.all_events():
+            collected.values.append(event.value)
+            collected.events.append(event)
+        if actuator is not None and combined.all_events():
+            ctx.actuate(actuator, "set", combined.all_events()[-1].value)
+
+    operator = Operator("Collector", on_window=on_window)
+    for sensor in sensors:
+        operator.add_sensor(sensor, guarantee, CountWindow(1))
+    if actuator is not None:
+        operator.add_actuator(actuator, guarantee)
+    return App(name, operator), collected
+
+
+def five_process_home(
+    *,
+    receiving: list[str],
+    guarantee: Delivery = GAPLESS,
+    seed: int = 7,
+    loss_rate: float = 0.0,
+    config: HomeConfig | None = None,
+) -> tuple[Home, Collected]:
+    """p0..p4, app pinned to p0 via its actuator, one IP software sensor."""
+    home = Home(config or HomeConfig(seed=seed))
+    for i in range(5):
+        home.add_process(f"p{i}", adapters=("ip", "zwave"))
+    home.add_sensor("s1", kind="door", technology="ip",
+                    processes=receiving, loss_rate=loss_rate)
+    home.add_actuator("a1", processes=["p0"])
+    home.add_actuator("a2", processes=["p0"])
+    app, collected = collector_app(["s1"], guarantee, actuator="a1")
+    app.operators[0].add_actuator("a2", guarantee)
+    home.deploy(app)
+    home.start()
+    return home, collected
+
+
+@pytest.fixture
+def make_home():
+    return five_process_home

@@ -1,0 +1,96 @@
+"""Integration tests for the execution service (Section 5, Fig. 7)."""
+
+from repro.core.delivery import GAP
+from tests.integration.conftest import five_process_home
+
+
+def active_processes(home, app="collector"):
+    return [
+        name
+        for name, process in home.processes.items()
+        if process.alive and process.execution.runtimes[app].active
+    ]
+
+
+def test_single_active_logic_node_at_start(make_home):
+    home, _ = make_home(receiving=["p1"])
+    home.run_until(2.0)
+    assert active_processes(home) == ["p0"]  # placement: p0 hosts actuators
+
+
+def test_promotion_on_crash_and_demotion_on_recovery(make_home):
+    home, _ = make_home(receiving=["p1"])
+    home.run_until(2.0)
+    home.crash_process("p0")
+    home.run_until(8.0)
+    survivors = active_processes(home)
+    assert len(survivors) == 1
+    assert survivors != ["p0"]
+
+    home.recover_process("p0")
+    home.run_until(16.0)
+    # The preferred process takes back over; the stand-in demotes.
+    assert active_processes(home) == ["p0"]
+    assert home.trace.count("demotion") >= 1
+
+
+def test_gapless_crash_redelivers_outstanding_events(make_home):
+    home, collected = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(1.0)
+    sensor = home.sensor("s1")
+    sensor.start_periodic(10.0)
+    home.run_until(24.0)
+    home.crash_process("p0")
+    home.run_until(48.0)
+    distinct = {e.seq for e in collected.events}
+    assert len(distinct) == sensor.events_emitted  # nothing lost post-ingest
+    assert home.trace.count("promotion_replay") == 1
+
+
+def test_watermarks_bound_the_replay(make_home):
+    home, collected = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(1.0)
+    sensor = home.sensor("s1")
+    sensor.start_periodic(10.0)
+    home.run_until(24.0)
+    home.crash_process("p0")
+    home.run_until(48.0)
+    replay = home.trace.of_kind("promotion_replay")[0]
+    # Only events since the last keep-alive watermark + detection window are
+    # replayed (~2.5 s + 0.5 s at 10 ev/s), not the whole 24 s history.
+    assert replay["count"] <= 60
+
+
+def test_at_least_once_processing_on_flapping(make_home):
+    """Crash, recover, crash again: every ingested event is processed at
+    least once and the platform converges to a single active node."""
+    home, collected = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(1.0)
+    sensor = home.sensor("s1")
+    sensor.start_periodic(10.0)
+    home.run_until(10.0)
+    home.crash_process("p0")
+    home.run_until(20.0)
+    home.recover_process("p0")
+    home.run_until(30.0)
+    home.crash_process("p0")
+    home.run_until(45.0)
+    distinct = {e.seq for e in collected.events}
+    assert len(distinct) == sensor.events_emitted
+    assert len(active_processes(home)) == 1
+
+
+def test_gap_crash_loses_detection_window(make_home):
+    home, collected = five_process_home(
+        receiving=[f"p{i}" for i in range(5)], guarantee=GAP
+    )
+    home.run_until(1.0)
+    sensor = home.sensor("s1")
+    sensor.start_periodic(10.0)
+    home.run_until(24.0)
+    home.crash_process("p0")
+    home.run_until(48.0)
+    lost = sensor.events_emitted - len({e.seq for e in collected.events})
+    assert 10 <= lost <= 45  # ~20 events for the 2 s threshold, plus slack
+    assert home.trace.count("promotion_replay") == 0
+

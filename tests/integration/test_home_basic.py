@@ -1,0 +1,124 @@
+"""Integration tests for the Home builder and its validation."""
+
+import pytest
+
+from repro.core.delivery import GAPLESS
+from repro.core.home import Home, HomeConfig
+from tests.integration.conftest import collector_app
+
+
+def test_duplicate_names_rejected():
+    home = Home()
+    home.add_process("hub")
+    with pytest.raises(ValueError):
+        home.add_process("hub")
+    home.add_sensor("s1", kind="door")
+    with pytest.raises(ValueError):
+        home.add_actuator("s1")
+
+
+def test_config_and_overrides_are_exclusive():
+    with pytest.raises(ValueError):
+        Home(HomeConfig(), seed=5)
+
+
+def test_home_needs_a_process():
+    home = Home()
+    with pytest.raises(ValueError):
+        home.start()
+
+
+def test_unreachable_sensor_rejected_at_start():
+    home = Home()
+    home.add_process("hub", adapters=("ip",))  # no zwave adapter
+    home.add_sensor("door1", kind="door")  # zwave sensor
+    home.add_actuator("a1", technology="ip")
+    app, _ = collector_app(["door1"], actuator="a1")
+    home.deploy(app)
+    with pytest.raises(ValueError):
+        home.start()
+
+
+def test_unknown_linked_process_rejected():
+    home = Home()
+    home.add_process("hub")
+    home.add_sensor("door1", kind="door", processes=["ghost"])
+    with pytest.raises(KeyError):
+        home.start()
+
+
+def test_declarations_frozen_after_start():
+    home = Home()
+    home.add_process("hub")
+    home.start()
+    with pytest.raises(RuntimeError):
+        home.add_process("tv")
+    with pytest.raises(RuntimeError):
+        home.add_sensor("s", kind="door")
+
+
+def test_ble_sensor_binds_a_single_host():
+    home = Home()
+    home.add_process("hub")
+    home.add_process("tv")
+    home.add_sensor("watch", kind="wearable")  # BLE: no multicast
+    home.start()
+    assert len(home.radio.reachable_processes("watch")) == 1
+
+
+def test_positions_gate_reachability():
+    home = Home()
+    home.add_process("hub", position=(0, 0))
+    home.add_process("tv", position=(50, 0))
+    home.add_sensor("z1", kind="motion", position=(1, 0))  # zwave, 40 m range
+    home.start()
+    assert home.radio.reachable_processes("z1") == ["hub"]
+
+
+def test_sensors_of_kind_lookup():
+    home = Home()
+    home.add_process("hub")
+    home.add_sensor("d2", kind="door")
+    home.add_sensor("d1", kind="door")
+    home.add_sensor("m1", kind="motion")
+    assert home.sensors_of_kind("door") == ["d1", "d2"]
+    assert home.sensor_names == ["d1", "d2", "m1"]
+
+
+def test_accessor_errors():
+    home = Home()
+    home.add_process("hub")
+    home.start()
+    with pytest.raises(KeyError):
+        home.sensor("nope")
+    with pytest.raises(KeyError):
+        home.actuator("nope")
+    with pytest.raises(KeyError):
+        home.process("nope")
+
+
+def test_run_for_accumulates_time():
+    home = Home()
+    home.add_process("hub")
+    home.run_for(5.0)
+    home.run_for(5.0)
+    assert home.scheduler.now == 10.0
+
+
+def test_deterministic_given_seed():
+    def run(seed):
+        home = Home(seed=seed)
+        for i in range(3):
+            home.add_process(f"p{i}", adapters=("ip", "zwave"))
+        home.add_sensor("s1", kind="door", technology="ip",
+                        processes=["p1"], loss_rate=0.2)
+        home.add_actuator("a1", processes=["p0"])
+        app, collected = collector_app(["s1"], GAPLESS, actuator="a1")
+        home.deploy(app)
+        home.start()
+        home.sensor("s1").start_periodic(10.0)
+        home.run_until(30.0)
+        return [e.seq for e in collected.events]
+
+    assert run(123) == run(123)
+    assert run(123) != run(124)

@@ -1,0 +1,102 @@
+"""Integration tests for network partitions (Sections 3.1 and 5).
+
+The canonical scenario: "Devices in a home are often connected to a single
+WiFi router whose failure can lead to all processes being partitioned from
+each other. In this case, all shadow logic nodes will promote themselves to
+active."
+"""
+
+from repro.core.delivery import GAPLESS
+from repro.core.graph import App
+from repro.core.home import Home
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow
+from repro.devices.actuator import test_and_set as tas
+from tests.integration.conftest import five_process_home
+
+
+def actives(home, app="collector"):
+    return sorted(
+        name
+        for name, process in home.processes.items()
+        if process.alive and process.execution.runtimes[app].active
+    )
+
+
+def test_router_death_promotes_every_partition_side(make_home):
+    home, _ = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(2.0)
+    assert actives(home) == ["p0"]
+    home.set_partition([[f"p{i}"] for i in range(5)])
+    home.run_until(10.0)
+    # Every isolated process believes it is alone and promotes itself.
+    assert actives(home) == [f"p{i}" for i in range(5)]
+
+
+def test_partition_heal_converges_to_single_active(make_home):
+    home, _ = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(2.0)
+    home.set_partition([[f"p{i}"] for i in range(5)])
+    home.run_until(10.0)
+    home.heal_partition()
+    home.run_until(20.0)
+    assert actives(home) == ["p0"]
+
+
+def test_partitioned_sides_keep_processing_their_events(make_home):
+    home, collected = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(2.0)
+    home.set_partition([["p0", "p1"], ["p2", "p3", "p4"]])
+    home.run_until(6.0)
+    home.sensor("s1").emit("during-partition")
+    home.run_until(10.0)
+    # Both sides received the multicast; both actives processed it.
+    assert collected.values.count("during-partition") == 2
+
+
+def test_idempotent_actuator_tolerates_duplicate_actuation(make_home):
+    home, _ = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(2.0)
+    home.set_partition([["p0", "p1"], ["p2", "p3", "p4"]])
+    home.run_until(6.0)
+    home.sensor("s1").emit(True)
+    home.run_until(10.0)
+    light = home.actuator("a1")
+    # Only the side containing p0 can reach the actuator; the other side's
+    # commands are dropped at the partition. The state is correct anyway.
+    assert light.state is True
+    assert all(r.command.value is True for r in light.history)
+
+
+def test_test_and_set_prevents_duplicate_brew_after_heal():
+    """Non-idempotent actuation guarded by Test&Set (Section 5)."""
+    home = Home(seed=5)
+    for i in range(3):
+        home.add_process(f"p{i}", adapters=("ip", "zwave"))
+
+    def on_window(ctx, combined):
+        if combined.all_events():
+            ctx.actuate("coffee", "brew", tas("idle", "brewing"))
+
+    op = Operator("Brew", on_window=on_window)
+    op.add_sensor("s1", GAPLESS, CountWindow(1))
+    op.add_actuator("coffee", GAPLESS)
+    home.add_sensor("s1", kind="door", technology="ip",
+                    processes=["p0", "p1", "p2"])
+    home.add_actuator("coffee", kind="coffee-maker", idempotent=False,
+                      supports_test_and_set=True, initial_state="idle",
+                      processes=["p0", "p1", "p2"])
+    home.deploy(App("brew-app", op))
+    home.start()
+    home.run_until(2.0)
+    # Partition so two actives run concurrently, then trigger both.
+    home.set_partition([["p0"], ["p1", "p2"]])
+    home.run_until(6.0)
+    home.sensor("s1").emit(True)
+    home.run_until(10.0)
+    coffee = home.actuator("coffee")
+    applied = [r for r in coffee.history if r.applied]
+    rejected = [r for r in coffee.history if not r.applied]
+    assert len(applied) == 1, "exactly one brew must be accepted"
+    assert rejected, "the duplicate brew was rejected by Test&Set"
+    assert coffee.state == "brewing"

@@ -1,0 +1,114 @@
+"""Integration tests for coordinated polling (Section 4.1, Fig. 8)."""
+
+import pytest
+
+from repro.core.delivery import GAP, GAPLESS, PollingPolicy, PollMode
+from repro.core.graph import App
+from repro.core.home import Home
+from repro.core.operators import Operator
+from repro.core.windows import TimeWindow
+
+
+def poll_home(
+    *, mode: PollMode | None, guarantee=GAPLESS, epoch=1.8, seed=5,
+    failure_rate=0.0, gap_handler=None, processes=("p0", "p1", "p2"),
+):
+    op = Operator("Monitor", on_window=lambda ctx, c: None,
+                  on_epoch_gap=gap_handler)
+    op.add_sensor("t1", guarantee, TimeWindow(epoch),
+                  polling=PollingPolicy(epoch_s=epoch, mode=mode))
+    op.add_actuator("a1", guarantee)
+    app = App("poll-app", op)
+    home = Home(seed=seed)
+    for name in processes:
+        home.add_process(name)
+    home.add_sensor("t1", kind="temperature", failure_rate=failure_rate)
+    home.add_actuator("a1", processes=[processes[0]])
+    home.deploy(app)
+    home.start()
+    return home
+
+
+def test_coordinated_polls_roughly_once_per_epoch():
+    home = poll_home(mode=PollMode.COORDINATED)
+    home.run_until(90.0)
+    epochs = 90.0 / 1.8
+    polls = home.trace.count("poll_request")
+    assert polls / epochs < 1.2
+    assert polls / epochs >= 0.95
+
+
+def test_every_epoch_produces_an_event():
+    home = poll_home(mode=PollMode.COORDINATED)
+    home.run_until(90.0)
+    assert home.trace.count("epoch_gap") == 0
+    deliveries = home.trace.count("logic_delivery")
+    assert deliveries >= int(90.0 / 1.8) - 2
+
+
+def test_uncoordinated_polls_more_and_drops_requests():
+    coordinated = poll_home(mode=PollMode.COORDINATED)
+    coordinated.run_until(90.0)
+    uncoordinated = poll_home(mode=PollMode.UNCOORDINATED)
+    uncoordinated.run_until(90.0)
+    assert (uncoordinated.trace.count("poll_request")
+            > 1.3 * coordinated.trace.count("poll_request"))
+    # Overlapping requests hit the single-outstanding-poll limitation.
+    assert uncoordinated.trace.count("poll_dropped_busy") > 0
+
+
+def test_single_mode_has_one_poller_and_fails_over():
+    home = poll_home(mode=None, guarantee=GAP)
+    home.run_until(30.0)
+    pollers = {e["process"] for e in home.trace.of_kind("poll_issued")}
+    assert len(pollers) == 1
+    (poller,) = pollers
+    home.crash_process(poller)
+    home.run_until(60.0)
+    later = {
+        e["process"]
+        for e in home.trace.of_kind("poll_issued")
+        if e.time > 35.0
+    }
+    assert later and poller not in later
+
+
+def test_epoch_gap_surfaces_to_the_operator():
+    gaps = []
+    home = poll_home(
+        mode=PollMode.COORDINATED,
+        gap_handler=lambda ctx, gap: gaps.append(gap.epoch),
+    )
+    home.run_until(10.0)
+    home.fail_sensor("t1")
+    home.run_until(30.0)
+    assert gaps, "sensor failure must surface as epoch-gap notifications"
+    assert home.trace.count("epoch_gap_delivered") == len(gaps)
+
+
+def test_sensor_recovery_resumes_event_flow():
+    home = poll_home(mode=PollMode.COORDINATED)
+    home.run_until(10.0)
+    home.fail_sensor("t1")
+    home.run_until(20.0)
+    home.recover_sensor("t1")
+    home.run_until(40.0)
+    recent = [
+        e for e in home.trace.of_kind("logic_delivery") if e.time > 25.0
+    ]
+    assert len(recent) >= 5
+
+
+def test_poll_responses_are_ring_forwarded_under_gapless():
+    home = poll_home(mode=PollMode.COORDINATED)
+    home.run_until(20.0)
+    # Events originate at one poller but must be journaled everywhere.
+    totals = {n: p.store.total_events() for n, p in home.processes.items()}
+    assert min(totals.values()) >= 9
+
+
+def test_coordinated_slots_do_not_double_poll_on_glitches():
+    home = poll_home(mode=PollMode.COORDINATED, failure_rate=0.05, seed=9)
+    home.run_until(90.0)
+    epochs = 90.0 / 1.8
+    assert home.trace.count("poll_request") / epochs < 1.35

@@ -1,0 +1,130 @@
+"""Integration tests for the asyncio TCP runtime (real localhost sockets)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.delivery import GAPLESS, PollingPolicy, PollMode
+from repro.core.events import Event
+from repro.core.graph import App
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow, TimeWindow
+from repro.rt import LocalCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def door_light_app() -> App:
+    op = Operator(
+        "TL",
+        on_window=lambda ctx, c: ctx.actuate("light1", "set",
+                                             bool(c.all_values()[-1])),
+    )
+    op.add_sensor("door1", GAPLESS, CountWindow(1))
+    op.add_actuator("light1", GAPLESS)
+    return App("door-light", op)
+
+
+def make_cluster(**kwargs) -> LocalCluster:
+    cluster = LocalCluster(**kwargs)
+    for name in ("hub", "tv", "fridge"):
+        cluster.add_process(name)
+    cluster.add_push_sensor("door1", receivers=["tv", "fridge"])
+    cluster.add_actuator("light1", hosts=["hub"])
+    cluster.deploy(door_light_app())
+    return cluster
+
+
+def test_event_to_actuation_over_tcp():
+    async def scenario():
+        cluster = make_cluster()
+        async with cluster:
+            await cluster.settle(0.3)
+            cluster.emit("door1", True)
+            await cluster.settle(0.5)
+            hub = cluster.node("hub")
+            assert hub.actuations, "the command must reach hub's actuator"
+            assert hub.actuations[0].value is True
+
+    run(scenario())
+
+
+def test_event_journaled_on_every_node():
+    async def scenario():
+        cluster = make_cluster()
+        async with cluster:
+            await cluster.settle(0.3)
+            for _ in range(5):
+                cluster.emit("door1", True)
+            await cluster.settle(0.5)
+            for name, node in cluster.nodes.items():
+                assert node.store.total_events() == 5, name
+
+    run(scenario())
+
+
+def test_failover_over_tcp():
+    async def scenario():
+        cluster = make_cluster()
+        async with cluster:
+            await cluster.settle(0.3)
+            active = [n for n, node in cluster.nodes.items()
+                      if node.execution.runtimes["door-light"].active]
+            assert active == ["tv"]  # tv hosts the sensor: placement winner
+            await cluster.crash("tv")
+            await cluster.settle(1.2)  # > failure_detection_s
+            cluster.emit("door1", False)
+            await cluster.settle(0.5)
+            hub = cluster.node("hub")
+            issued_by = {c.issued_by for c in hub.actuations}
+            assert any(by != "door-light@tv" for by in issued_by)
+
+    run(scenario())
+
+
+def test_poll_based_sensor_over_tcp():
+    async def scenario():
+        polls = []
+
+        def thermometer(sensor: str, respond):
+            polls.append(sensor)
+            respond(Event(sensor_id=sensor, seq=len(polls),
+                          emitted_at=asyncio.get_event_loop().time(),
+                          value=21.5, size_bytes=4))
+
+        deliveries = []
+        op = Operator("Mon", on_window=lambda ctx, c: deliveries.extend(
+            c.all_values()))
+        op.add_sensor("temp1", GAPLESS, TimeWindow(0.5),
+                      polling=PollingPolicy(epoch_s=0.5,
+                                            mode=PollMode.COORDINATED))
+        app = App("monitor", op)
+
+        cluster = LocalCluster()
+        for name in ("hub", "tv"):
+            cluster.add_process(name)
+        cluster.add_poll_sensor("temp1", thermometer, service_time=0.05,
+                                default_epoch=0.5)
+        cluster.deploy(app)
+        async with cluster:
+            await cluster.settle(2.0)
+        assert len(polls) >= 3
+        assert deliveries and all(v == 21.5 for v in deliveries)
+        # Coordinated polling: roughly one poll per 0.5 s epoch.
+        assert len(polls) <= 8
+
+    run(scenario())
+
+
+def test_cluster_validates_deployment():
+    async def scenario():
+        cluster = LocalCluster()
+        cluster.add_process("hub")
+        cluster.deploy(door_light_app())  # needs door1/light1: undeclared
+        with pytest.raises(ValueError):
+            await cluster.start()
+        await cluster.stop()
+
+    run(scenario())

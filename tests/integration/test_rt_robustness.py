@@ -1,0 +1,124 @@
+"""Robustness tests for the asyncio runtime: dead peers, garbage, state."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.delivery import GAPLESS
+from repro.core.graph import App
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow
+from repro.rt import LocalCluster
+from repro.rt.cluster import free_port
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def simple_app() -> App:
+    op = Operator("L", on_window=lambda ctx, c: None)
+    op.add_sensor("s1", GAPLESS, CountWindow(1))
+    return App("app", op)
+
+
+def two_node_cluster() -> LocalCluster:
+    cluster = LocalCluster()
+    cluster.add_process("a")
+    cluster.add_process("b")
+    cluster.add_push_sensor("s1", receivers=["a", "b"])
+    cluster.deploy(simple_app())
+    return cluster
+
+
+def test_sends_to_dead_peer_do_not_crash_the_sender():
+    async def scenario():
+        cluster = two_node_cluster()
+        async with cluster:
+            await cluster.settle(0.3)
+            await cluster.crash("b")
+            # a keeps emitting into the void: frames are dropped, a lives.
+            for _ in range(5):
+                cluster.emit("s1", True)
+                await cluster.settle(0.1)
+            assert cluster.node("a").alive
+            assert cluster.node("a").store.total_events() == 5
+
+    run(scenario())
+
+
+def test_garbage_frames_are_dropped():
+    async def scenario():
+        cluster = two_node_cluster()
+        async with cluster:
+            await cluster.settle(0.3)
+            node = cluster.node("a")
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           node.port)
+            writer.write(struct.pack(">I", 11) + b"not json!!!")
+            await writer.drain()
+            writer.close()
+            await cluster.settle(0.3)
+            # The node survived and still processes real traffic.
+            cluster.emit("s1", True)
+            await cluster.settle(0.3)
+            assert node.store.total_events() == 1
+
+    run(scenario())
+
+
+def test_oversized_frame_rejected():
+    async def scenario():
+        cluster = two_node_cluster()
+        async with cluster:
+            await cluster.settle(0.2)
+            node = cluster.node("a")
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           node.port)
+            writer.write(struct.pack(">I", 2**31))  # absurd length prefix
+            await writer.drain()
+            writer.close()
+            await cluster.settle(0.2)
+            assert node.alive
+
+    run(scenario())
+
+
+def test_unknown_message_kind_traced():
+    async def scenario():
+        cluster = two_node_cluster()
+        async with cluster:
+            await cluster.settle(0.2)
+            node = cluster.node("a")
+            from repro.net.message import Message
+            from repro.rt.wire import encode_message
+
+            frame = encode_message(Message(kind="martian", src="x", dst="a",
+                                           payload={}))
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           node.port)
+            writer.write(frame)
+            await writer.drain()
+            writer.close()
+            await cluster.settle(0.3)
+            assert node.traced.count("unhandled_message") >= 1
+
+    run(scenario())
+
+
+def test_replicated_store_over_tcp():
+    async def scenario():
+        cluster = two_node_cluster()
+        async with cluster:
+            await cluster.settle(0.3)
+            cluster.node("a").kv.put("mode", "home")
+            await cluster.settle(0.4)
+            assert cluster.node("b").kv.get("mode") == "home"
+
+    run(scenario())
+
+
+def test_free_port_returns_bindable_ports():
+    ports = {free_port() for _ in range(5)}
+    assert all(1024 < p < 65536 for p in ports)

@@ -1,0 +1,97 @@
+"""Crash-recovery semantics of the process runtime (Section 3.1)."""
+
+from repro.core.delivery import GAPLESS
+from tests.integration.conftest import five_process_home
+
+
+def test_crashed_process_sends_and_receives_nothing(make_home):
+    home, _ = make_home(receiving=["p1"])
+    home.run_until(2.0)
+    home.crash_process("p2")
+    sent_before = len([e for e in home.trace.of_kind("net_send")
+                       if e["src"] == "p2"])
+    home.run_until(10.0)
+    sent_after = len([e for e in home.trace.of_kind("net_send")
+                      if e["src"] == "p2"])
+    assert sent_after == sent_before
+    # Messages addressed to it are dropped at delivery.
+    drops = [e for e in home.trace.of_kind("net_drop") if e["dst"] == "p2"]
+    assert drops
+
+
+def test_timers_from_old_incarnation_do_not_fire(make_home):
+    home, _ = make_home(receiving=["p1"])
+    home.run_until(2.0)
+    process = home.processes["p2"]
+    fired = []
+    process.schedule(5.0, fired.append, "old-incarnation")
+    home.crash_process("p2")
+    home.run_until(4.0)
+    home.recover_process("p2")
+    home.run_until(12.0)
+    assert fired == [], "a pre-crash timer fired after recovery"
+
+
+def test_crash_is_idempotent_and_so_is_recover(make_home):
+    home, _ = make_home(receiving=["p1"])
+    home.run_until(1.0)
+    process = home.processes["p3"]
+    home.crash_process("p3")
+    home.crash_process("p3")
+    assert not process.alive
+    home.recover_process("p3")
+    incarnation_once = process._incarnation
+    home.recover_process("p3")
+    assert process._incarnation == incarnation_once
+    assert process.alive
+
+
+def test_event_journal_survives_crash(make_home):
+    home, _ = make_home(receiving=[f"p{i}" for i in range(5)])
+    home.run_until(1.0)
+    sensor = home.sensor("s1")
+    for _ in range(5):
+        sensor.emit(True)
+    home.run_until(3.0)
+    before = home.processes["p2"].store.total_events()
+    assert before == 5
+    home.crash_process("p2")
+    home.run_until(8.0)
+    home.recover_process("p2")
+    assert home.processes["p2"].store.total_events() == before
+
+
+def test_soft_state_is_rebuilt_fresh_on_recovery(make_home):
+    home, _ = make_home(receiving=["p1"])
+    home.run_until(2.0)
+    process = home.processes["p1"]
+    old_delivery = process.delivery
+    old_heartbeat = process.heartbeat
+    home.crash_process("p1")
+    home.run_until(6.0)
+    home.recover_process("p1")
+    assert process.delivery is not old_delivery
+    assert process.heartbeat is not old_heartbeat
+
+
+def test_radio_events_ignored_while_crashed(make_home):
+    home, collected = make_home(receiving=["p1"])
+    home.run_until(1.0)
+    home.crash_process("p1")  # the only process hearing the sensor
+    home.run_for(0.5)
+    home.sensor("s1").emit("lost-forever")
+    home.run_until(10.0)
+    # Nobody ingested: even Gapless cannot deliver a never-received event.
+    assert home.trace.count("ingest") == 0
+    assert collected.events == []
+
+
+def test_local_clock_skew_is_visible(make_home):
+    from repro.core.home import Home
+    home = Home(seed=1)
+    home.add_process("p0", clock_skew=0.5)
+    home.add_process("p1")
+    home.start()
+    home.run_until(10.0)
+    assert home.processes["p0"].local_time() - 10.0 == 0.5
+    assert home.processes["p1"].local_time() == 10.0

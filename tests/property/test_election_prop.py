@@ -1,0 +1,70 @@
+"""Property-based tests for election and the replica-set invariants."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.election import AppElection
+from repro.core.placement import active_process, active_replica_set
+from repro.membership.views import LocalView
+
+chains = st.lists(st.text(st.characters(categories=("Ll",)), min_size=1,
+                          max_size=4), min_size=1, max_size=6, unique=True)
+
+
+@given(chains, st.data())
+def test_active_is_highest_priority_alive(chain, data):
+    alive = set(data.draw(st.sets(st.sampled_from(chain))))
+    active = active_process(chain, alive)
+    if not alive:
+        assert active is None
+    else:
+        assert active in alive
+        # Nothing after it in the chain is alive.
+        index = chain.index(active)
+        assert all(peer not in alive for peer in chain[index + 1:])
+
+
+@given(chains, st.integers(1, 4), st.data())
+def test_replica_set_invariants(chain, k, data):
+    alive = set(data.draw(st.sets(st.sampled_from(chain))))
+    replicas = active_replica_set(chain, alive, k)
+    assert len(replicas) == min(k, len(alive & set(chain)))
+    assert len(set(replicas)) == len(replicas)
+    assert all(r in alive for r in replicas)
+    # The primary (first) is the plain single-active choice.
+    if replicas:
+        assert replicas[0] == active_process(chain, alive)
+    # Priorities are strictly decreasing along the replica list.
+    indexes = [chain.index(r) for r in replicas]
+    assert indexes == sorted(indexes, reverse=True)
+
+
+@given(chains, st.data())
+def test_consistent_views_agree_on_the_active(chain, data):
+    """Any two processes with the *same* belief about liveness elect the
+    same active logic node — the election is a pure function of the view."""
+    alive = set(data.draw(st.sets(st.sampled_from(chain), min_size=1)))
+    decisions = set()
+    for me in alive:
+        election = AppElection(me, chain)
+        view = LocalView.of(me, alive)
+        decisions.add(election.decide(view).active)
+    assert len(decisions) == 1
+
+
+@given(chains, st.data())
+def test_exactly_one_self_elected_under_consistent_views(chain, data):
+    alive = set(data.draw(st.sets(st.sampled_from(chain), min_size=1)))
+    self_elected = [
+        me for me in alive
+        if AppElection(me, chain).decide(LocalView.of(me, alive)).i_am_active
+    ]
+    assert len(self_elected) == 1
+
+
+@given(chains, st.data())
+def test_should_promote_matches_decide(chain, data):
+    alive = set(data.draw(st.sets(st.sampled_from(chain), min_size=1)))
+    me = data.draw(st.sampled_from(sorted(alive)))
+    election = AppElection(me, chain)
+    view = LocalView.of(me, alive)
+    assert election.should_promote(view) == election.decide(view).i_am_active

@@ -1,0 +1,65 @@
+"""Property-based tests for the Gap protocol's (weaker) contract.
+
+Gap promises best effort, not completeness. What it *must* guarantee:
+
+- the app never sees an event the platform did not ingest (no inventions);
+- the app never processes the same event twice in failure-free runs;
+- in a failure-free run with the forwarder's link lossless, nothing is
+  lost either — Gap's losses come only from failures.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.delivery import GAP
+from repro.core.home import Home
+from tests.integration.conftest import collector_app
+
+scenario = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "n_processes": st.integers(2, 5),
+    "receiver_loss": st.floats(0.0, 0.5),
+    "emit_count": st.integers(1, 30),
+})
+
+
+def build(config):
+    home = Home(seed=config["seed"])
+    names = [f"p{i}" for i in range(config["n_processes"])]
+    for name in names:
+        home.add_process(name, adapters=("ip", "zwave"))
+    home.add_sensor("s1", kind="door", technology="ip", processes=names,
+                    loss_rate=config["receiver_loss"])
+    home.add_actuator("a1", processes=["p0"])
+    app, collected = collector_app(["s1"], GAP, actuator="a1")
+    home.deploy(app)
+    home.start()
+    return home, collected
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario)
+def test_no_inventions_and_no_duplicates(config):
+    home, collected = build(config)
+    sensor = home.sensor("s1")
+    for i in range(config["emit_count"]):
+        home.scheduler.call_at(1.0 + 0.2 * i, sensor.emit, i)
+    home.run_until(20.0)
+
+    processed = [e.seq for e in collected.events]
+    assert len(processed) == len(set(processed)), "duplicate processing"
+    ingested = {e["seq"] for e in home.trace.of_kind("ingest")}
+    assert set(processed) <= ingested, "app saw an event nobody ingested"
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000), st.integers(2, 5), st.integers(1, 30))
+def test_failure_free_lossless_run_is_complete(seed, n, count):
+    home, collected = build({"seed": seed, "n_processes": n,
+                             "receiver_loss": 0.0, "emit_count": count})
+    sensor = home.sensor("s1")
+    for i in range(count):
+        home.scheduler.call_at(1.0 + 0.2 * i, sensor.emit, i)
+    home.run_until(20.0)
+    assert len(collected.events) == count

@@ -1,0 +1,69 @@
+"""Property-based test of the paper's central guarantee.
+
+Section 4.1: "any event received from a sensor by any correct process will
+be eventually delivered to, and processed by, the applications that are
+interested in that event."
+
+Hypothesis generates adversarial scenarios — per-link loss rates, a crash /
+recovery schedule, event timing — and the property asserts post-ingest
+completeness once the system quiesces with at least one correct process.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.delivery import GAPLESS
+from repro.core.home import Home
+from tests.integration.conftest import collector_app
+
+scenario = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "loss_rates": st.lists(st.floats(0.0, 0.6), min_size=4, max_size=4),
+    # Who crashes, when, and when they come back (before the end).
+    "crashes": st.lists(
+        st.tuples(st.integers(0, 3), st.floats(2.0, 20.0), st.floats(3.0, 20.0)),
+        max_size=2,
+    ),
+    "emit_times": st.lists(st.floats(1.0, 25.0), min_size=1, max_size=25),
+})
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario)
+def test_post_ingest_completeness(config):
+    home = Home(seed=config["seed"])
+    names = [f"p{i}" for i in range(4)]
+    for name in names:
+        home.add_process(name, adapters=("ip", "zwave"))
+    home.add_sensor("s1", kind="door", technology="ip", processes=names)
+    home.add_actuator("a1", processes=["p0"])
+    app, collected = collector_app(["s1"], GAPLESS, actuator="a1")
+    home.deploy(app)
+    home.start()
+
+    for index, link_loss in enumerate(config["loss_rates"]):
+        home.set_link_loss("s1", f"p{index}", link_loss)
+
+    crashed_windows = []
+    for victim, down_at, up_after in config["crashes"]:
+        name = f"p{victim}"
+        down = down_at
+        up = down + up_after
+        home.scheduler.call_at(down, home.crash_process, name)
+        home.scheduler.call_at(up, home.recover_process, name)
+        crashed_windows.append((name, down, up))
+
+    sensor = home.sensor("s1")
+    for at in sorted(config["emit_times"]):
+        home.scheduler.call_at(at, sensor.emit, at)
+
+    # Run long enough for detection, sync, and re-election to quiesce.
+    home.run_until(90.0)
+
+    ingested = {e["seq"] for e in home.trace.of_kind("ingest")}
+    processed = {e.seq for e in collected.events}
+    missing = ingested - processed
+    assert not missing, (
+        f"ingested events never processed: {sorted(missing)} "
+        f"(crashes={crashed_windows})"
+    )

@@ -1,0 +1,72 @@
+"""Property-based tests for the replicated store's convergence.
+
+The contract is eventual convergence under last-writer-wins: whatever the
+interleaving of writes, link drops, and sync rounds, once the network is
+healed and anti-entropy has run, every replica holds the identical map.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.membership.heartbeat import HeartbeatService
+from repro.sim.scheduler import Scheduler
+from repro.storage.kv import ReplicatedStore, StoreBackend
+from tests.helpers import FakeEnv
+
+operations = st.lists(
+    st.tuples(
+        st.integers(0, 2),                      # writing replica
+        st.sampled_from(["k1", "k2", "k3"]),    # key
+        st.one_of(st.integers(0, 100), st.just("__del__")),
+        st.floats(0.1, 20.0),                   # time of the write
+    ),
+    max_size=20,
+)
+
+drops = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2)).filter(lambda p: p[0] != p[1]),
+    max_size=2,
+)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations, drops, st.floats(1.0, 8.0))
+def test_replicas_converge(ops, dropped_links, heal_at):
+    sched = Scheduler()
+    names = ["r0", "r1", "r2"]
+    envs = [FakeEnv(name, sched) for name in names]
+    envs[0].link(*envs[1:])
+    stores = []
+    for env in envs:
+        heartbeat = HeartbeatService(env, interval=0.5, timeout=2.0)
+        store = ReplicatedStore(env, heartbeat, StoreBackend(env.name),
+                                sync_interval=2.0)
+        heartbeat.start()
+        store.start()
+        stores.append(store)
+
+    for a, b in dropped_links:
+        envs[0].drop_between(names[a], names[b])
+
+    def heal():
+        for env in envs:
+            env.dropped_links.clear()
+
+    sched.call_at(heal_at + 20.0, heal)
+
+    for replica, key, value, at in ops:
+        store = stores[replica]
+        if value == "__del__":
+            sched.call_at(at, store.delete, key)
+        else:
+            sched.call_at(at, store.put, key, value)
+
+    # Quiesce: several anti-entropy rounds after the last write and heal.
+    sched.run_until(60.0)
+
+    maps = [store.items() for store in stores]
+    assert maps[0] == maps[1] == maps[2], maps
+    # And the winning version per key is a value some replica wrote.
+    written = {(key, value) for _r, key, value, _t in ops if value != "__del__"}
+    for key, value in maps[0].items():
+        assert (key, value) in written

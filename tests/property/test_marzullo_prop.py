@@ -1,0 +1,104 @@
+"""Property-based tests for Marzullo interval fusion."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.marzullo import FusionError, Interval, fuse
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def interval(draw):
+    lo = draw(finite)
+    width = draw(st.floats(0, 1e5, allow_nan=False))
+    return Interval(lo, lo + width)
+
+
+@st.composite
+def fusion_case(draw):
+    intervals = draw(st.lists(interval(), min_size=1, max_size=8))
+    f = draw(st.integers(0, len(intervals) - 1))
+    return intervals, f
+
+
+def coverage(intervals, point) -> int:
+    return sum(1 for i in intervals if i.contains(point))
+
+
+@given(fusion_case())
+def test_fused_endpoints_are_covered_by_quorum(case):
+    intervals, f = case
+    try:
+        fused = fuse(intervals, f)
+    except FusionError:
+        # Legitimate: no point is covered by n - f intervals. Verify that by
+        # sampling every endpoint.
+        required = len(intervals) - f
+        for i in intervals:
+            assert coverage(intervals, i.lo) < required
+            assert coverage(intervals, i.hi) < required
+        return
+    required = len(intervals) - f
+    assert coverage(intervals, fused.lo) >= required
+    assert coverage(intervals, fused.hi) >= required
+
+
+@given(fusion_case())
+def test_fused_interval_within_extremes(case):
+    intervals, f = case
+    try:
+        fused = fuse(intervals, f)
+    except FusionError:
+        return
+    assert fused.lo >= min(i.lo for i in intervals)
+    assert fused.hi <= max(i.hi for i in intervals)
+    assert fused.lo <= fused.hi
+
+
+@given(st.lists(interval(), min_size=1, max_size=8))
+def test_f_zero_equals_common_intersection_when_it_exists(intervals):
+    lo = max(i.lo for i in intervals)
+    hi = min(i.hi for i in intervals)
+    assume(lo <= hi)
+    fused = fuse(intervals, 0)
+    assert fused == Interval(lo, hi)
+
+
+@given(
+    st.floats(-100, 100, allow_nan=False),
+    st.floats(0.1, 5.0, allow_nan=False),
+    st.integers(1, 3),
+    st.integers(0, 2),
+    st.data(),
+)
+def test_true_value_contained_despite_f_liars(truth, uncertainty, good, liars, data):
+    """If at most f sensors lie and the rest report intervals containing the
+    truth, the fused interval contains the truth (Marzullo's guarantee)."""
+    assume(good > liars)
+    honest = [
+        Interval.around(
+            truth + data.draw(st.floats(-uncertainty, uncertainty)),
+            uncertainty * 2,
+        )
+        for _ in range(good)
+    ]
+    lies = [
+        Interval.around(data.draw(st.floats(500, 1000)), uncertainty)
+        for _ in range(liars)
+    ]
+    fused = fuse(honest + lies, liars)
+    assert fused.contains(truth)
+
+
+@given(fusion_case())
+def test_monotone_in_f(case):
+    """Raising f (weaker quorum) can only widen or keep the interval."""
+    intervals, f = case
+    assume(f + 1 < len(intervals))
+    try:
+        tight = fuse(intervals, f)
+    except FusionError:
+        return
+    loose = fuse(intervals, f + 1)
+    assert loose.lo <= tight.lo
+    assert loose.hi >= tight.hi

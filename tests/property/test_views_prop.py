@@ -1,0 +1,44 @@
+"""Property-based tests for ring ordering on local views."""
+
+from hypothesis import given, strategies as st
+
+from repro.membership.views import LocalView
+
+names = st.sets(st.text(st.characters(categories=("Ll",)), min_size=1,
+                        max_size=6), min_size=1, max_size=8)
+
+
+@given(names)
+def test_successor_chain_visits_every_member_once(members):
+    owner = sorted(members)[0]
+    view = LocalView.of(owner, members)
+    if len(view) == 1:
+        assert view.ring_successor() is None
+        return
+    visited = []
+    current = owner
+    for _ in range(len(view)):
+        current = view.ring_successor(current)
+        visited.append(current)
+    assert sorted(visited) == sorted(view.members)
+    assert visited[-1] == owner  # full cycle returns home
+
+
+@given(names)
+def test_successor_always_a_member_and_never_self(members):
+    owner = sorted(members)[0]
+    view = LocalView.of(owner, members)
+    for member in view.members:
+        successor = view.ring_successor(member)
+        if len(view) == 1:
+            assert successor is None
+        else:
+            assert successor in view.members
+            assert successor != member
+
+
+@given(names, names)
+def test_merged_with_is_union(a, b):
+    owner = sorted(a)[0]
+    view = LocalView.of(owner, a)
+    assert view.merged_with(b) == frozenset(a) | frozenset(b) | {owner}

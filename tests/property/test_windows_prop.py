@@ -1,0 +1,87 @@
+"""Property-based tests for window buffering invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.events import Event
+from repro.core.windows import (
+    CountWindow,
+    KeepLast,
+    OnCount,
+    TimeWindow,
+    WindowInstance,
+)
+
+
+def events_strategy(max_size=60):
+    return st.lists(
+        st.floats(0.0, 0.9, allow_nan=False), max_size=max_size
+    ).map(
+        lambda gaps: [
+            Event(sensor_id="s", seq=i + 1, emitted_at=t, value=i, size_bytes=4)
+            for i, t in enumerate(_cumsum(gaps))
+        ]
+    )
+
+
+def _cumsum(gaps):
+    total = 0.0
+    out = []
+    for gap in gaps:
+        total += gap
+        out.append(total)
+    return out
+
+
+@given(events_strategy(), st.integers(1, 10))
+def test_count_window_default_partitions_stream(events, count):
+    """Disjoint batches: every event appears in exactly one snapshot, in
+    order, and every snapshot (except possibly a pending tail) is full."""
+    fired = []
+    window = WindowInstance(stream="s", spec=CountWindow(count),
+                            on_fire=fired.append)
+    for event in events:
+        window.add(event, event.emitted_at)
+    snapshot_seqs = [e.seq for snapshot in fired for e in snapshot]
+    assert snapshot_seqs == [e.seq for e in events[: len(snapshot_seqs)]]
+    assert all(len(snapshot) == count for snapshot in fired)
+    assert len(window.buffered) == len(events) - len(snapshot_seqs)
+
+
+@given(events_strategy(), st.integers(1, 10))
+def test_count_bound_never_exceeded(events, count):
+    window = WindowInstance(stream="s",
+                            spec=CountWindow(count, trigger=OnCount(10_000)),
+                            on_fire=lambda s: None)
+    for event in events:
+        window.add(event, event.emitted_at)
+        assert len(window.buffered) <= count
+    # The survivors are exactly the newest `count` events.
+    expected = [e.seq for e in events[-count:]]
+    assert [e.seq for e in window.buffered] == expected
+
+
+@given(events_strategy(), st.floats(0.1, 5.0, allow_nan=False))
+def test_time_bound_keeps_only_span(events, span):
+    window = WindowInstance(stream="s",
+                            spec=TimeWindow(span, trigger=OnCount(10_000)),
+                            on_fire=lambda s: None)
+    for index, event in enumerate(events):
+        window.add(event, event.emitted_at)
+        cutoff = event.emitted_at - span
+        assert all(e.emitted_at >= cutoff for e in window.buffered)
+        added_so_far = events[: index + 1]
+        expected = sum(1 for e in added_so_far if e.emitted_at >= cutoff)
+        assert expected == len(window.buffered)
+
+
+@given(events_strategy(), st.integers(2, 8))
+def test_sliding_window_overlap(events, count):
+    """KeepLast(count-1) slides by one: consecutive snapshots overlap by
+    count-1 events."""
+    fired = []
+    spec = CountWindow(count, evictor=KeepLast(count - 1))
+    window = WindowInstance(stream="s", spec=spec, on_fire=fired.append)
+    for event in events:
+        window.add(event, event.emitted_at)
+    for a, b in zip(fired, fired[1:]):
+        assert [e.seq for e in a][1:] == [e.seq for e in b][:-1]

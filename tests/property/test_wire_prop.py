@@ -1,0 +1,78 @@
+"""Property-based round-trip tests for the asyncio wire format."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.events import Event
+from repro.net.message import Message
+from repro.net.wire import ProcessIdSet
+from repro.rt.wire import decode_body, encode_message
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**40), 2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=30),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+events = st.builds(
+    Event,
+    sensor_id=st.text(min_size=1, max_size=12),
+    seq=st.integers(1, 2**31),
+    emitted_at=st.floats(0, 1e9, allow_nan=False),
+    value=json_scalars,
+    size_bytes=st.integers(0, 65_536),
+    epoch=st.one_of(st.none(), st.integers(0, 10**6)),
+)
+
+pidsets = st.sets(st.text(min_size=1, max_size=8), max_size=6).map(ProcessIdSet)
+
+payload_values = st.one_of(json_values, events, pidsets)
+
+
+def roundtrip(message: Message) -> Message:
+    frame = encode_message(message)
+    return decode_body(frame[4:])
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=10), payload_values,
+                       max_size=5),
+       st.text(min_size=1, max_size=10))
+def test_roundtrip_preserves_payload(payload, kind):
+    message = Message(kind=kind, src="a", dst="b", payload=payload)
+    decoded = roundtrip(message)
+    assert decoded.kind == kind
+    assert decoded.src == "a" and decoded.dst == "b"
+    assert _normalize(decoded.payload) == _normalize(payload)
+
+
+def _normalize(value):
+    """Tuples decode as lists; compare structurally."""
+    if isinstance(value, ProcessIdSet):
+        return ("pidset", tuple(sorted(value)))
+    if isinstance(value, Event):
+        return ("event", value.sensor_id, value.seq, value.emitted_at,
+                _normalize(value.value), value.size_bytes, value.epoch)
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _normalize(v)) for k, v in value.items()))
+    return value
+
+
+@given(events)
+def test_event_roundtrip_exact(event):
+    decoded = roundtrip(Message(kind="k", src="a", dst="b",
+                                payload={"event": event}))
+    assert decoded["event"] == event
+    assert decoded["event"].value == event.value
+    assert decoded["event"].epoch == event.epoch

@@ -1,0 +1,106 @@
+"""Unit tests for technology adapters (Section 7)."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.devices.adapters import (
+    ADAPTER_FACTORIES,
+    AdapterSet,
+    make_zwave_adapter,
+)
+from repro.net.radio import BLE, RadioNetwork, ZWAVE
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+class SlowSensor:
+    """Serves one poll at a time after a fixed delay."""
+
+    def __init__(self, name: str, scheduler: Scheduler, delay: float = 0.5):
+        self.name = name
+        self._scheduler = scheduler
+        self._delay = delay
+        self.polls = 0
+
+    def receive_poll(self, respond):
+        self.polls += 1
+        event = Event(sensor_id=self.name, seq=self.polls, emitted_at=0.0,
+                      value=1.0, size_bytes=4)
+        self._scheduler.call_later(self._delay, respond, event)
+
+
+class StubListener:
+    def __init__(self, name):
+        self.name = name
+        self.alive = True
+
+    def on_sensor_event(self, event):  # pragma: no cover - unused here
+        pass
+
+
+def make_rig(n_sensors=2):
+    sched = Scheduler()
+    radio = RadioNetwork(sched, RandomSource(2), Trace())
+    radio.register_listener(StubListener("host"))
+    sensors = []
+    for i in range(n_sensors):
+        sensor = SlowSensor(f"s{i}", sched)
+        radio.register_device(sensor)
+        radio.connect(f"s{i}", "host", ZWAVE, loss_rate=0.0)
+        sensors.append(sensor)
+    return sched, radio, sensors
+
+
+def test_modified_openzwave_polls_concurrently():
+    sched, radio, sensors = make_rig()
+    adapter = make_zwave_adapter("host", radio, sched, modified_openzwave=True)
+    got = []
+    adapter.poll("s0", got.append)
+    adapter.poll("s1", got.append)
+    sched.run_until(0.1)
+    # Both requests hit their sensors without host-side serialization.
+    assert sensors[0].polls == 1 and sensors[1].polls == 1
+    sched.run()
+    assert len(got) == 2
+
+
+def test_stock_openzwave_serializes_polls():
+    sched, radio, sensors = make_rig()
+    adapter = make_zwave_adapter("host", radio, sched, modified_openzwave=False)
+    got = []
+    adapter.poll("s0", got.append)
+    adapter.poll("s1", got.append)
+    sched.run_until(0.1)
+    assert sensors[0].polls == 1 and sensors[1].polls == 0  # queued
+    sched.run()
+    assert sensors[1].polls == 1
+    assert len(got) == 2
+
+
+def test_serialized_adapter_frees_itself_on_lost_response():
+    sched, radio, sensors = make_rig()
+    radio.set_link_loss("s0", "host", 1.0)  # request always lost
+    adapter = make_zwave_adapter("host", radio, sched, modified_openzwave=False)
+    got = []
+    adapter.poll("s0", got.append)
+    adapter.poll("s1", got.append)
+    sched.run()
+    # The conservative 2 s window frees the stack; s1 still gets polled.
+    assert sensors[1].polls == 1
+
+
+def test_adapter_set_capability_queries():
+    sched, radio, _ = make_rig(0)
+    adapters = AdapterSet()
+    adapters.install(make_zwave_adapter("host", radio, sched))
+    assert adapters.supports(ZWAVE)
+    assert not adapters.supports(BLE)
+    assert adapters.technologies == {"zwave"}
+    assert adapters.for_technology(ZWAVE).technology is ZWAVE
+    with pytest.raises(KeyError):
+        adapters.for_technology(BLE)
+
+
+def test_factories_cover_paper_technologies():
+    assert set(ADAPTER_FACTORIES) == {"zwave", "zigbee", "ble", "ip"}

@@ -1,0 +1,249 @@
+"""Unit tests for the Table 1 application builders (graph wiring + logic).
+
+The operator callbacks are exercised through a minimal fake context, so
+each app's decision logic is tested without the platform.
+"""
+
+import pytest
+
+from repro.apps.elder_care import fall_alert, inactive_alert
+from repro.apps.energy import BillingState, TimeOfDayPricing, appliance_alert, energy_billing
+from repro.apps.hvac import occupancy_hvac, temperature_hvac, user_hvac
+from repro.apps.intrusion import intrusion_detection
+from repro.apps.lighting import automated_lighting
+from repro.apps.safety import air_monitoring, flood_fire_alert, surveillance
+from repro.apps.tracking import activity_tracking
+from repro.core.combiners import CombinedWindows
+from repro.core.delivery import GAP, GAPLESS
+from repro.core.events import Event
+from repro.core.windows import TriggeredWindow
+
+
+class FakeCtx:
+    def __init__(self):
+        self.actuations = []
+        self.alerts = []
+        self.emitted = []
+        self.process = "test"
+
+    def now(self):
+        return 0.0
+
+    def actuate(self, actuator, action, value=None):
+        self.actuations.append((actuator, action, value))
+
+    def alert(self, message, **fields):
+        self.alerts.append((message, fields))
+
+    def emit(self, value, size_bytes=8):
+        self.emitted.append(value)
+
+
+def combined(stream_events: dict[str, list]) -> CombinedWindows:
+    windows = {}
+    for stream, values in stream_events.items():
+        events = tuple(
+            Event(sensor_id=stream, seq=i + 1, emitted_at=float(i), value=v,
+                  size_bytes=4)
+            for i, v in enumerate(values)
+        )
+        windows[stream] = TriggeredWindow(stream=stream, events=events,
+                                          fired_at=1.0)
+    return CombinedWindows(windows=windows, fired_at=1.0)
+
+
+def handler(app, operator_name=None):
+    op = app.operators[0] if operator_name is None else next(
+        o for o in app.operators if o.name == operator_name)
+    return op
+
+
+# -- HVAC ----------------------------------------------------------------------------
+
+
+def test_occupancy_hvac_setpoints():
+    app = occupancy_hvac("occ", "thermo")
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(ctx, combined({"occ": [True]}))
+    handler(app).handle_triggered_window(ctx, combined({"occ": [False]}))
+    assert ctx.actuations == [("thermo", "set_point", 21.5),
+                              ("thermo", "set_point", 17.0)]
+
+
+def test_user_hvac_clothing_scaling():
+    app = user_hvac("cam", "thermo")
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(ctx, combined({"cam": [1.0]}))
+    handler(app).handle_triggered_window(ctx, combined({"cam": [0.0]}))
+    heavy, light = ctx.actuations[0][2], ctx.actuations[1][2]
+    assert heavy < light  # more clothing -> cooler set-point
+
+
+def test_temperature_hvac_failure_bounds():
+    app_byz = temperature_hvac(["t1", "t2", "t3", "t4"], "hvac")
+    # floor((4-1)/3) = 1 tolerated with arbitrary failures
+    assert "FTCombiner" in type(handler(app_byz).combiner).__name__
+    assert handler(app_byz).combiner.tolerated_failures == 1
+    app_fs = temperature_hvac(["t1", "t2", "t3", "t4"], "hvac",
+                              arbitrary_failures=False)
+    assert handler(app_fs).combiner.tolerated_failures == 3
+    with pytest.raises(ValueError):
+        temperature_hvac([], "hvac")
+
+
+def test_temperature_hvac_hysteresis():
+    app = temperature_hvac(["t1", "t2", "t3"], "hvac", threshold=23.0,
+                           hysteresis=0.5, arbitrary_failures=False)
+    ctx = FakeCtx()
+    op = handler(app)
+    op.handle_triggered_window(ctx, combined({"t1": [25.0], "t2": [25.1],
+                                              "t3": [24.9]}))
+    assert ("hvac", "cooling", True) in ctx.actuations
+    ctx.actuations.clear()
+    op.handle_triggered_window(ctx, combined({"t1": [23.2], "t2": [23.1],
+                                              "t3": [23.0]}))
+    assert ctx.actuations == []  # inside the hysteresis band
+
+
+# -- safety / elder care -----------------------------------------------------------------
+
+
+def test_intrusion_requires_sensors():
+    with pytest.raises(ValueError):
+        intrusion_detection([])
+
+
+def test_intrusion_disarmed_stays_quiet():
+    app = intrusion_detection(["d1"], siren="siren", armed=False)
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(ctx, combined({"d1": [True]}))
+    assert ctx.alerts == [] and ctx.actuations == []
+
+
+def test_intrusion_ignores_close_events():
+    app = intrusion_detection(["d1"], siren="siren")
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(ctx, combined({"d1": [False]}))
+    assert ctx.alerts == []
+
+
+def test_fall_alert_only_on_fall_values():
+    app = fall_alert("watch", siren="siren")
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(
+        ctx, combined({"watch": ["walk", "fall", "sit"]}))
+    assert len(ctx.alerts) == 1
+    assert ctx.actuations == [("siren", "sound", True)]
+
+
+def test_inactive_alert_empty_window_alerts():
+    app = inactive_alert(["m1", "d1"], inactivity_window_s=60.0)
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(ctx, combined({"m1": [], "d1": []}))
+    assert len(ctx.alerts) == 1
+    ctx.alerts.clear()
+    handler(app).handle_triggered_window(ctx, combined({"m1": [True], "d1": []}))
+    assert ctx.alerts == []
+
+
+def test_flood_fire_alerts_per_hazard():
+    app = flood_fire_alert(["w1", "s1"], siren="siren")
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(
+        ctx, combined({"w1": [True], "s1": [False]}))
+    assert len(ctx.alerts) == 1
+    assert ctx.alerts[0][1]["sensor"] == "w1"
+
+
+def test_surveillance_known_objects_not_recorded():
+    app = surveillance("cam")
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(
+        ctx, combined({"cam": [{"object": "pet"}]}))
+    assert ctx.alerts == []
+    handler(app).handle_triggered_window(
+        ctx, combined({"cam": [{"object": "stranger"}]}))
+    assert len(ctx.alerts) == 1
+    assert ctx.emitted and ctx.emitted[0]["record"]
+
+
+def test_air_monitoring_threshold():
+    app = air_monitoring("co2", threshold_ppm=1000.0)
+    ctx = FakeCtx()
+    handler(app).handle_triggered_window(ctx, combined({"co2": [800.0]}))
+    assert ctx.alerts == []
+    handler(app).handle_triggered_window(ctx, combined({"co2": [1500.0]}))
+    assert len(ctx.alerts) == 1
+
+
+# -- energy / convenience -----------------------------------------------------------------------
+
+
+def test_billing_time_of_day_pricing():
+    pricing = TimeOfDayPricing(peak_rate=0.30, offpeak_rate=0.10,
+                               peak_hours=(16, 21))
+    assert pricing.rate_at(17 * 3600.0) == 0.30
+    assert pricing.rate_at(3 * 3600.0) == 0.10
+    assert pricing.rate_at(21 * 3600.0) == 0.10  # end-exclusive
+
+
+def test_billing_accumulates_and_deduplicates():
+    app, state = energy_billing("meter")
+    ctx = FakeCtx()
+    op = handler(app, "EnergyBilling")
+    window = combined({"meter": [1000.0]})  # 1 kWh in one event
+    op.handle_triggered_window(ctx, window)
+    op.handle_triggered_window(ctx, window)  # replayed after failover
+    assert state.events_counted == 1
+    assert state.total_kwh == pytest.approx(1.0)
+    assert ctx.emitted  # running total streamed downstream
+
+
+def test_billing_state_count_api():
+    state = BillingState()
+    event = Event(sensor_id="m", seq=1, emitted_at=0.0, value=1, size_bytes=4)
+    assert state.count(event)
+    assert not state.count(event)
+
+
+def test_appliance_alert_requires_both_streams():
+    app = appliance_alert("oven", "occ")
+    ctx = FakeCtx()
+    op = handler(app)
+    op.handle_triggered_window(ctx, combined({"oven": [1800.0], "occ": []}))
+    assert ctx.alerts == []
+    op.handle_triggered_window(ctx, combined({"oven": [1800.0], "occ": [False]}))
+    assert len(ctx.alerts) == 1
+    op.handle_triggered_window(ctx, combined({"oven": [1800.0], "occ": [True]}))
+    assert len(ctx.alerts) == 1  # occupied: no new alert
+
+
+def test_lighting_follows_presence():
+    app = automated_lighting(["occ", "mic"], "light")
+    ctx = FakeCtx()
+    op = handler(app)
+    op.handle_triggered_window(ctx, combined({"occ": [True], "mic": []}))
+    op.handle_triggered_window(ctx, combined({"occ": [], "mic": []}))
+    assert ctx.actuations == [("light", "power", True),
+                              ("light", "power", False)]
+    with pytest.raises(ValueError):
+        automated_lighting([], "light")
+
+
+def test_activity_tracking_classification():
+    app = activity_tracking("mic", active_threshold=0.5)
+    ctx = FakeCtx()
+    op = handler(app)
+    op.handle_triggered_window(ctx, combined({"mic": [0.9, 0.8]}))
+    op.handle_triggered_window(ctx, combined({"mic": [0.1]}))
+    op.handle_triggered_window(ctx, combined({"mic": []}))
+    assert [e["activity"] for e in ctx.emitted] == ["active", "quiet", "unknown"]
+
+
+def test_delivery_guarantees_match_table1():
+    assert all(b.delivery is GAP
+               for b in handler(occupancy_hvac("o", "t")).sensor_bindings)
+    assert all(b.delivery is GAPLESS
+               for b in handler(intrusion_detection(["d"])).sensor_bindings)
+    assert all(b.delivery is GAPLESS
+               for b in handler(fall_alert("w")).sensor_bindings)

@@ -1,0 +1,122 @@
+"""Sans-IO unit tests for reliable broadcast and the naive baseline."""
+
+from repro.core.broadcast import NBCAST, RBCAST, NaiveBroadcastDelivery, ReliableBroadcast
+from repro.core.delivery_service import DeliveryContext, DeviceInfo
+from repro.core.eventlog import EventStore
+from repro.core.events import Event
+from repro.core.plan import DeploymentPlan
+from repro.membership.heartbeat import HeartbeatService
+from repro.net.latency import ProcessingModel
+from repro.net.message import Message
+from tests.helpers import FakeEnv
+
+
+def make_ctx(name="p1", peers=("p2", "p3")):
+    env = FakeEnv(name)
+    for peer in peers:
+        env.link(FakeEnv(peer, env.scheduler))
+    heartbeat = HeartbeatService(env, interval=0.5, timeout=2.0)
+    delivered = []
+    ctx = DeliveryContext(
+        env=env,
+        heartbeat=heartbeat,
+        plan=DeploymentPlan(processes=[name, *peers],
+                            sensor_hosts={"s": [name, *peers]},
+                            actuator_hosts={}, apps=[]),
+        store=EventStore(name),
+        processing=ProcessingModel(local_dispatch=0.0, gapless_ingest_log=0.0,
+                                   gapless_hop_processing=0.0),
+        deliver_local=lambda sensor, event, only: delivered.append(event),
+        on_epoch_gap=lambda *a: None,
+        actuate_local=lambda c: None,
+        poll_sensor=lambda *a: None,
+        device_info={"s": DeviceInfo(name="s", category="sensor")},
+    )
+    heartbeat.start()
+    return env, ctx, delivered
+
+
+def ev(seq: int) -> Event:
+    return Event(sensor_id="s", seq=seq, emitted_at=0.0, value=seq, size_bytes=4)
+
+
+def rb_msg(event, src="p2", dst="p1") -> Message:
+    return Message(kind=RBCAST, src=src, dst=dst,
+                   payload={"sensor": "s", "event": event})
+
+
+def test_broadcast_sends_to_everyone_in_view():
+    env, ctx, _ = make_ctx()
+    rb = ReliableBroadcast(ctx, on_deliver=lambda s, e: None)
+    rb.broadcast("s", ev(1))
+    targets = {m.dst for m in env.sent_of_kind(RBCAST)}
+    assert targets == {"p2", "p3"}
+
+
+def test_receipt_delivers_once_and_echoes():
+    env, ctx, _ = make_ctx()
+    received = []
+    rb = ReliableBroadcast(ctx, on_deliver=lambda s, e: received.append(e.seq))
+    env.deliver(rb_msg(ev(1), src="p2"))
+    env.deliver(rb_msg(ev(1), src="p3"))  # duplicate from another path
+    assert received == [1]
+    # The echo excludes the sender but reaches the third process: this is
+    # what makes delivery survive the originator's crash mid-broadcast.
+    echo_targets = {m.dst for m in env.sent_of_kind(RBCAST)}
+    assert echo_targets == {"p3"}
+
+
+def test_origin_does_not_rebroadcast_received_copy():
+    env, ctx, _ = make_ctx()
+    rb = ReliableBroadcast(ctx, on_deliver=lambda s, e: None)
+    rb.broadcast("s", ev(1))
+    sent_before = len(env.sent_of_kind(RBCAST))
+    env.deliver(rb_msg(ev(1), src="p2"))  # our own broadcast echoed back
+    assert len(env.sent_of_kind(RBCAST)) == sent_before
+
+
+def nb_msg(event, src="p2", dst="p1") -> Message:
+    return Message(kind=NBCAST, src=src, dst=dst,
+                   payload={"sensor": "s", "event": event})
+
+
+def test_naive_broadcast_on_first_sensor_receipt():
+    env, ctx, delivered = make_ctx()
+    nb = NaiveBroadcastDelivery(ctx, "s")
+    nb.start()
+    nb.on_ingest(ev(1))
+    env.scheduler.run_until(0.3)
+    assert {m.dst for m in env.sent_of_kind(NBCAST)} == {"p2", "p3"}
+    assert [e.seq for e in delivered] == [1]
+
+
+def test_naive_broadcast_suppressed_after_peer_copy():
+    """'unless it has previously received the event from another process'"""
+    env, ctx, delivered = make_ctx()
+    nb = NaiveBroadcastDelivery(ctx, "s")
+    nb.start()
+    nb.on_message(nb_msg(ev(1)))          # peer's broadcast arrives first
+    env.scheduler.run_until(0.3)
+    nb.on_ingest(ev(1))                   # then the sensor's own multicast
+    env.scheduler.run_until(0.6)
+    assert env.sent_of_kind(NBCAST) == []  # no re-broadcast
+    assert [e.seq for e in delivered] == [1]
+
+
+def test_naive_broadcast_deduplicates_peer_copies():
+    env, ctx, delivered = make_ctx()
+    nb = NaiveBroadcastDelivery(ctx, "s")
+    nb.start()
+    nb.on_message(nb_msg(ev(1), src="p2"))
+    nb.on_message(nb_msg(ev(1), src="p3"))
+    env.scheduler.run_until(0.3)
+    assert [e.seq for e in delivered] == [1]
+
+
+def test_naive_broadcast_notifies_seen_listeners():
+    env, ctx, _ = make_ctx()
+    nb = NaiveBroadcastDelivery(ctx, "s")
+    seen = []
+    nb.add_seen_listener(lambda e: seen.append(e.seq))
+    nb.on_ingest(ev(5))
+    assert seen == [5]

@@ -1,0 +1,88 @@
+"""Unit tests for video-stream discretization (Section 8.1)."""
+
+import pytest
+
+from repro.devices.camera import VideoCamera
+from repro.devices.catalog import make_sensor
+from repro.net.radio import RadioNetwork
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+class Listener:
+    def __init__(self, name="host"):
+        self.name = name
+        self.alive = True
+        self.frames = []
+
+    def on_sensor_event(self, event):
+        self.frames.append(event)
+
+
+@pytest.fixture
+def rig():
+    sched = Scheduler()
+    trace = Trace()
+    radio = RadioNetwork(sched, RandomSource(2), trace)
+    listener = Listener()
+    radio.register_listener(listener)
+    camera = make_sensor("camera", "cam1", scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace)
+    radio.connect("cam1", "host", camera.technology, loss_rate=0.0)
+    return sched, camera, listener
+
+
+def test_catalog_camera_is_a_video_camera(rig):
+    _sched, camera, _listener = rig
+    assert isinstance(camera, VideoCamera)
+    assert camera.fps == 10.0
+
+
+def test_stream_discretizes_at_fps(rig):
+    sched, camera, listener = rig
+    camera.stream(duration_s=2.0)
+    sched.run()
+    # 10 fps for 2 seconds -> ~20 frame events.
+    assert 18 <= len(listener.frames) <= 21
+
+
+def test_frame_sizes_are_jpeg_scale_and_vary(rig):
+    sched, camera, listener = rig
+    camera.stream(duration_s=2.0)
+    sched.run()
+    sizes = {f.size_bytes for f in listener.frames}
+    assert all(10_000 <= s <= 22_000 for s in sizes)
+    assert len(sizes) > 5  # compressed sizes vary frame to frame
+
+
+def test_frames_carry_scene_and_index(rig):
+    sched, camera, listener = rig
+    camera.set_scene({"object": "stranger"})
+    camera.emit_frame()
+    camera.emit_frame()
+    sched.run()
+    assert [f.value["frame"] for f in listener.frames] == [1, 2]
+    assert all(f.value["object"] == "stranger" for f in listener.frames)
+
+
+def test_failed_camera_stops_streaming(rig):
+    sched, camera, listener = rig
+    camera.stream()
+    sched.run_until(0.55)
+    camera.fail()
+    sched.run_until(3.0)
+    assert len(listener.frames) <= 6  # nothing after the failure
+
+
+def test_constructor_validation(rig):
+    sched, camera, _ = rig
+    with pytest.raises(ValueError):
+        VideoCamera("x", scheduler=sched, radio=camera._radio,
+                    rng=RandomSource(1), trace=camera._trace,
+                    technology=camera.technology, event_size=16_384, fps=0.0)
+    with pytest.raises(ValueError):
+        VideoCamera("y", scheduler=sched, radio=camera._radio,
+                    rng=RandomSource(1), trace=camera._trace,
+                    technology=camera.technology, event_size=16_384,
+                    base_frame_bytes=10)

@@ -1,0 +1,43 @@
+"""Unit tests for per-process local clocks."""
+
+import pytest
+
+from repro.sim.clock import LocalClock
+from repro.sim.scheduler import Scheduler
+
+
+@pytest.fixture
+def sched():
+    return Scheduler()
+
+
+def test_perfect_clock_tracks_global_time(sched):
+    clock = LocalClock(sched)
+    sched.run_until(12.5)
+    assert clock.time() == pytest.approx(12.5)
+
+
+def test_constant_skew(sched):
+    clock = LocalClock(sched, skew=0.25)
+    sched.run_until(10.0)
+    assert clock.time() == pytest.approx(10.25)
+
+
+def test_drift_accumulates(sched):
+    clock = LocalClock(sched, drift=100e-6)  # 100 ppm
+    sched.run_until(10_000.0)
+    assert clock.time() == pytest.approx(10_001.0)
+
+
+def test_roundtrip_local_global(sched):
+    clock = LocalClock(sched, skew=-0.1, drift=50e-6)
+    sched.run_until(500.0)
+    local = clock.to_local(432.1)
+    assert clock.to_global(local) == pytest.approx(432.1)
+
+
+def test_two_clocks_disagree(sched):
+    a = LocalClock(sched, skew=0.02)
+    b = LocalClock(sched, skew=-0.03)
+    sched.run_until(3.0)
+    assert a.time() - b.time() == pytest.approx(0.05)

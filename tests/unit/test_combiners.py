@@ -1,0 +1,119 @@
+"""Unit tests for combiners, especially FTCombiner (Section 6.1)."""
+
+import pytest
+
+from repro.core.combiners import (
+    AllStreamsCombiner,
+    CombinerViolation,
+    FTCombiner,
+    PassThroughCombiner,
+)
+from repro.core.events import Event
+from repro.core.windows import TriggeredWindow
+
+
+def tw(stream: str, at: float = 1.0, count: int = 1) -> TriggeredWindow:
+    events = tuple(
+        Event(sensor_id=stream, seq=i + 1, emitted_at=at, value=i, size_bytes=4)
+        for i in range(count)
+    )
+    return TriggeredWindow(stream=stream, events=events, fired_at=at)
+
+
+def test_passthrough_delivers_immediately():
+    combiner = PassThroughCombiner()
+    combiner.bind("op", frozenset({"a", "b"}))
+    combined = combiner.offer(tw("a"))
+    assert combined is not None
+    assert combined.streams == ["a"]
+
+
+def test_all_streams_waits_for_everyone():
+    combiner = AllStreamsCombiner()
+    combiner.bind("op", frozenset({"a", "b"}))
+    assert combiner.offer(tw("a")) is None
+    combined = combiner.offer(tw("b"))
+    assert combined is not None
+    assert combined.streams == ["a", "b"]
+    # Next round starts empty.
+    assert combiner.offer(tw("a")) is None
+
+
+def test_ftcombiner_immediate_when_all_present():
+    combiner = FTCombiner(1)
+    combiner.bind("op", frozenset({"a", "b"}))
+    assert combiner.offer(tw("a")) is None
+    combined = combiner.offer(tw("b"))
+    assert combined is not None
+    assert combined.missing == frozenset()
+
+
+def test_ftcombiner_flush_with_tolerated_missing():
+    combiner = FTCombiner(1, grace_s=0.5)
+    combiner.bind("op", frozenset({"a", "b"}))
+    assert combiner.offer(tw("a")) is None
+    combined = combiner.flush(now=2.0)
+    assert combined is not None
+    assert combined.missing == frozenset({"b"})
+    assert combined.fired_at == 2.0
+
+
+def test_ftcombiner_violation_when_too_many_missing():
+    violations = []
+    combiner = FTCombiner(0, grace_s=0.5, on_violation=violations.append)
+    combiner.bind("op", frozenset({"a", "b"}))
+    combiner.offer(tw("a"))
+    assert combiner.flush(now=1.0) is None
+    assert len(violations) == 1
+    assert violations[0].missing == frozenset({"b"})
+    assert combiner.violations
+
+
+def test_ftcombiner_flush_without_round_is_noop():
+    combiner = FTCombiner(1)
+    combiner.bind("op", frozenset({"a"}))
+    assert combiner.flush(now=1.0) is None
+
+
+def test_ftcombiner_validation():
+    with pytest.raises(ValueError):
+        FTCombiner(-1)
+    with pytest.raises(ValueError):
+        FTCombiner(1, grace_s=0.0)
+
+
+def test_clone_resets_round_state():
+    combiner = FTCombiner(1, grace_s=2.0)
+    combiner.bind("op", frozenset({"a", "b"}))
+    combiner.offer(tw("a"))
+    clone = combiner.clone()
+    clone.bind("op", frozenset({"a", "b"}))
+    # The clone has no open round: flush is a no-op.
+    assert clone.flush(now=9.0) is None
+    assert clone.tolerated_failures == 1
+    assert clone.grace_s == 2.0
+
+
+def test_clone_for_each_builtin():
+    for combiner in (PassThroughCombiner(), AllStreamsCombiner(), FTCombiner(2)):
+        clone = combiner.clone()
+        assert type(clone) is type(combiner)
+        assert clone is not combiner
+
+
+def test_combined_windows_accessors():
+    combiner = AllStreamsCombiner()
+    combiner.bind("op", frozenset({"a", "b"}))
+    combiner.offer(tw("a", at=1.0, count=2))
+    combined = combiner.offer(tw("b", at=2.0))
+    assert "a" in combined
+    assert len(combined.all_events()) == 3
+    values = combined.all_values()
+    assert len(values) == 3
+    assert combined["b"].stream == "b"
+
+
+def test_violation_message_contents():
+    violation = CombinerViolation("op", frozenset({"x"}), 0)
+    assert "op" in str(violation)
+    assert "x" in str(violation)

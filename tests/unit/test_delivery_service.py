@@ -1,0 +1,158 @@
+"""Unit tests for the per-process delivery orchestrator."""
+
+import pytest
+
+from repro.core.broadcast import NaiveBroadcastDelivery
+from repro.core.delivery import GAP, GAPLESS, Delivery
+from repro.core.delivery_service import (
+    CMD_FWD,
+    DeliveryContext,
+    DeliveryService,
+    DeviceInfo,
+)
+from repro.core.eventlog import EventStore
+from repro.core.events import Command, Event
+from repro.core.gap import GapDelivery
+from repro.core.gapless import GaplessDelivery
+from repro.core.graph import App
+from repro.core.operators import Operator
+from repro.core.plan import DeploymentPlan
+from repro.core.windows import CountWindow
+from repro.membership.heartbeat import HeartbeatService
+from repro.net.latency import ProcessingModel
+from repro.net.message import Message
+from tests.helpers import FakeEnv
+
+
+def make_service(
+    name="p1", peers=("p2", "p3"), *, guarantee: Delivery = GAPLESS,
+    override=None, actuator_hosts=None,
+):
+    op = Operator("L", on_window=lambda ctx, c: None)
+    op.add_sensor("s", guarantee, CountWindow(1))
+    op.add_actuator("a", guarantee)
+    app = App("app", op)
+
+    env = FakeEnv(name)
+    for peer in peers:
+        env.link(FakeEnv(peer, env.scheduler))
+    heartbeat = HeartbeatService(env, interval=0.5, timeout=2.0)
+    delivered = []
+    actuated = []
+    ctx = DeliveryContext(
+        env=env,
+        heartbeat=heartbeat,
+        plan=DeploymentPlan(
+            processes=[name, *peers],
+            sensor_hosts={"s": [name, *peers]},
+            actuator_hosts={"a": actuator_hosts or [name]},
+            apps=[app],
+        ),
+        store=EventStore(name),
+        processing=ProcessingModel(local_dispatch=0.0, gapless_ingest_log=0.0,
+                                   gapless_hop_processing=0.0),
+        deliver_local=lambda sensor, event, only: delivered.append((sensor, event, only)),
+        on_epoch_gap=lambda *a: None,
+        actuate_local=actuated.append,
+        poll_sensor=lambda *a: None,
+        device_info={
+            "s": DeviceInfo(name="s", category="sensor"),
+            "a": DeviceInfo(name="a", category="actuator"),
+        },
+    )
+    heartbeat.start()
+    service = DeliveryService(ctx, delivery_override=override)
+    service.start()
+    return env, service, delivered, actuated
+
+
+def ev(seq: int, sensor="s") -> Event:
+    return Event(sensor_id=sensor, seq=seq, emitted_at=0.0, value=seq,
+                 size_bytes=4)
+
+
+def cmd(actuator="a", seq=1) -> Command:
+    return Command(actuator_id=actuator, seq=seq, issued_at=0.0, action="x",
+                   issued_by="app@p1")
+
+
+def test_instance_type_follows_guarantee():
+    _env, gapless_svc, *_ = make_service(guarantee=GAPLESS)
+    assert isinstance(gapless_svc.instances["s"], GaplessDelivery)
+    _env, gap_svc, *_ = make_service(guarantee=GAP)
+    assert isinstance(gap_svc.instances["s"], GapDelivery)
+
+
+def test_delivery_override_selects_baseline():
+    _env, svc, *_ = make_service(override={"s": "naive-broadcast"})
+    assert isinstance(svc.instances["s"], NaiveBroadcastDelivery)
+
+
+def test_unknown_override_rejected():
+    with pytest.raises(ValueError):
+        make_service(override={"s": "quantum"})
+
+
+def test_unrouted_ingest_is_traced_not_crashed():
+    env, svc, delivered, _ = make_service()
+    svc.on_ingest(ev(1, sensor="ghost"))
+    assert env.trace_log.count("ingest_unrouted") == 1
+    assert delivered == []
+
+
+def test_messages_route_by_sensor_payload():
+    env, svc, delivered, _ = make_service()
+    message = Message(kind="gapless_fwd", src="p2", dst="p1", payload={
+        "sensor": "ghost", "event": ev(1, "ghost"),
+    })
+    env.deliver(message)  # unknown sensor: dropped quietly
+    assert delivered == []
+
+
+def test_local_actuation_when_node_is_active_host():
+    env, svc, _, actuated = make_service(actuator_hosts=["p1"])
+    svc.send_command(cmd(), "app", GAP)
+    assert len(actuated) == 1
+
+
+def test_command_forwarded_to_live_remote_host():
+    env, svc, _, actuated = make_service(actuator_hosts=["p3"])
+    svc.send_command(cmd(), "app", GAP)
+    assert actuated == []
+    forwarded = env.sent_of_kind(CMD_FWD)
+    assert len(forwarded) == 1 and forwarded[0].dst == "p3"
+
+
+def test_command_unroutable_when_all_hosts_suspected():
+    env, svc, _, actuated = make_service(actuator_hosts=["p3"])
+    # p3 never heartbeats: after the timeout p1 suspects it.
+    env.scheduler.run_until(4.0)
+    svc.send_command(cmd(), "app", GAP)
+    assert env.sent_of_kind(CMD_FWD) == []
+    assert env.trace_log.count("command_unroutable") == 1
+
+
+def test_gapless_command_rerouted_on_suspicion():
+    env, svc, _, actuated = make_service(actuator_hosts=["p2", "p3"])
+    # p3 participates in heartbeats (stays alive); p2 is silent and will be
+    # suspected before the command's re-check fires.
+    peer_env = env._network["p3"]
+    peer_hb = HeartbeatService(peer_env, interval=0.5, timeout=2.0)
+    peer_hb.start()
+    svc.send_command(cmd(), "app", GAPLESS)
+    first = env.sent_of_kind(CMD_FWD)
+    assert [m.dst for m in first] == ["p2"]
+    env.scheduler.run_until(6.0)
+    targets = [m.dst for m in env.sent_of_kind(CMD_FWD)]
+    assert "p3" in targets
+    assert env.trace_log.count("command_rerouted") == 1
+
+
+def test_cmd_fwd_for_foreign_actuator_is_rejected():
+    env, svc, _, actuated = make_service(actuator_hosts=["p3"])
+    message = Message(kind=CMD_FWD, src="p2", dst="p1", payload={
+        "actuator": "a", "command": cmd(), "app": "app",
+    })
+    env.deliver(message)
+    assert actuated == []
+    assert env.trace_log.count("command_misrouted") == 1

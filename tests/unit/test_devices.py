@@ -1,0 +1,258 @@
+"""Unit tests for sensors, actuators, batteries, and the device catalog."""
+
+import pytest
+
+from repro.core.events import Command
+from repro.devices.actuator import Actuator
+from repro.devices.actuator import test_and_set as tas  # alias: pytest must not collect it
+from repro.devices.battery import Battery
+from repro.devices.catalog import SENSOR_CATALOG, make_sensor, technology_named
+from repro.devices.sensor import PollSensor, PushSensor
+from repro.net.radio import RadioNetwork, ZWAVE
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+@pytest.fixture
+def rig():
+    sched = Scheduler()
+    trace = Trace()
+    radio = RadioNetwork(sched, RandomSource(3), trace)
+    return sched, trace, radio
+
+
+def make_push(rig, name="m1", kind="motion"):
+    sched, trace, radio = rig
+    sensor = make_sensor(kind, name, scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace)
+    return sensor
+
+
+# -- push sensors ----------------------------------------------------------------------
+
+
+def test_push_sensor_emits_with_increasing_seq(rig):
+    sensor = make_push(rig)
+    e1 = sensor.emit(True)
+    e2 = sensor.emit(False)
+    assert (e1.seq, e2.seq) == (1, 2)
+    assert sensor.events_emitted == 2
+
+
+def test_failed_sensor_reports_no_events(rig):
+    sensor = make_push(rig)
+    sensor.fail()
+    assert sensor.emit(True) is None
+    sensor.recover()
+    assert sensor.emit(True) is not None
+
+
+def test_periodic_emission_rate(rig):
+    sched, trace, radio = rig
+    sensor = make_push(rig)
+    assert isinstance(sensor, PushSensor)
+    sensor.start_periodic(10.0)
+    sched.run_until(5.0)
+    assert sensor.events_emitted == 50
+    sensor.stop_periodic()
+    sched.run_until(10.0)
+    assert sensor.events_emitted == 50
+
+
+def test_periodic_rate_validation(rig):
+    sensor = make_push(rig)
+    with pytest.raises(ValueError):
+        sensor.start_periodic(0.0)
+
+
+def test_depleted_battery_silences_sensor(rig):
+    sensor = make_push(rig)
+    sensor.battery.capacity = 1.0
+    sensor.emit(True)  # drains 0.6
+    sensor.emit(True)  # drains past capacity
+    assert sensor.battery.depleted or sensor.battery.level < 0.5
+    sensor.battery.drained = 2.0
+    assert sensor.emit(True) is None
+
+
+# -- poll sensors ---------------------------------------------------------------------------
+
+
+def test_poll_sensor_serves_and_responds(rig):
+    sched, trace, radio = rig
+    sensor = make_sensor("temperature", "t1", scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace)
+    assert isinstance(sensor, PollSensor)
+    responses = []
+    sensor.receive_poll(responses.append)
+    assert sensor.busy
+    sched.run()
+    assert len(responses) == 1
+    assert responses[0].value == pytest.approx(21.0, abs=3.0)
+    assert sensor.poll_stats.served == 1
+
+
+def test_concurrent_poll_silently_dropped(rig):
+    sched, trace, radio = rig
+    sensor = make_sensor("temperature", "t1", scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace)
+    responses = []
+    sensor.receive_poll(responses.append)
+    sensor.receive_poll(responses.append)  # concurrent: dropped
+    sched.run()
+    assert len(responses) == 1
+    assert sensor.poll_stats.dropped_busy == 1
+    assert trace.count("poll_dropped_busy") == 1
+
+
+def test_failed_poll_sensor_does_not_respond(rig):
+    sched, trace, radio = rig
+    sensor = make_sensor("temperature", "t1", scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace)
+    sensor.fail()
+    responses = []
+    sensor.receive_poll(responses.append)
+    sched.run()
+    assert responses == []
+    assert sensor.poll_stats.dropped_failed == 1
+
+
+def test_poll_glitch_returns_nothing(rig):
+    sched, trace, radio = rig
+    sensor = make_sensor("temperature", "t1", scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace, failure_rate=1.0)
+    got = []
+    sensor.receive_poll(got.append)
+    sched.run()
+    assert got == [None]
+    assert trace.count("poll_glitch") == 1
+
+
+def test_poll_duration_below_service_time(rig):
+    sched, trace, radio = rig
+    sensor = make_sensor("humidity", "h1", scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace)
+    done = []
+    sensor.receive_poll(lambda e: done.append(sched.now))
+    sched.run()
+    assert 0.6 * 4.0 <= done[0] <= 4.0
+
+
+def test_service_time_validation(rig):
+    sched, trace, radio = rig
+    with pytest.raises(ValueError):
+        make_sensor("temperature", "t1", scheduler=sched, radio=radio,
+                    rng=RandomSource(1), trace=trace, service_time=0.0)
+
+
+# -- catalog ---------------------------------------------------------------------------------------
+
+
+def test_catalog_covers_table3_classes():
+    small = [s for s in SENSOR_CATALOG.values() if s.size_class == "small"]
+    large = [s for s in SENSOR_CATALOG.values() if s.size_class == "large"]
+    assert all(4 <= s.event_size <= 8 for s in small)
+    assert all(1024 <= s.event_size <= 20_480 for s in large)
+    assert {"temperature", "motion", "door", "camera", "microphone"} <= set(SENSOR_CATALOG)
+
+
+def test_fig8_poll_periods_match_paper():
+    assert SENSOR_CATALOG["temperature"].service_time == 0.6
+    assert SENSOR_CATALOG["luminance"].service_time == 0.6
+    assert SENSOR_CATALOG["humidity"].service_time == 4.0
+    assert SENSOR_CATALOG["uv"].service_time == 5.0
+    # App epochs are 3x the polling period (Section 8.5).
+    assert SENSOR_CATALOG["temperature"].default_epoch == pytest.approx(1.8)
+
+
+def test_unknown_kind_and_technology_rejected(rig):
+    sched, trace, radio = rig
+    with pytest.raises(KeyError):
+        make_sensor("quantum", "q1", scheduler=sched, radio=radio,
+                    rng=RandomSource(1), trace=trace)
+    with pytest.raises(KeyError):
+        technology_named("carrier-pigeon")
+
+
+# -- actuators ----------------------------------------------------------------------------------------
+
+
+def make_actuator(rig, **kwargs) -> Actuator:
+    sched, trace, radio = rig
+    return Actuator("light", scheduler=sched, radio=radio, trace=trace,
+                    technology=ZWAVE, **kwargs)
+
+
+def cmd(action="set", value=True, seq=1, by="app@p") -> Command:
+    return Command(actuator_id="light", seq=seq, issued_at=0.0,
+                   action=action, value=value, issued_by=by)
+
+
+def test_actuator_applies_commands(rig):
+    actuator = make_actuator(rig)
+    actuator.handle_command(cmd(value=True))
+    assert actuator.state is True
+    assert len(actuator.applied_commands) == 1
+
+
+def test_failed_actuator_ignores_commands(rig):
+    actuator = make_actuator(rig)
+    actuator.fail()
+    actuator.handle_command(cmd())
+    assert actuator.state is None
+    actuator.recover()
+    actuator.handle_command(cmd())
+    assert actuator.state is True
+
+
+def test_duplicate_actuation_detection(rig):
+    actuator = make_actuator(rig)
+    actuator.handle_command(cmd(seq=1))
+    actuator.handle_command(cmd(seq=2))
+    actuator.handle_command(cmd(action="set", value=False, seq=3))
+    assert actuator.duplicate_actuations() == 1
+
+
+def test_test_and_set_semantics(rig):
+    actuator = make_actuator(rig, supports_test_and_set=True,
+                             initial_state="idle")
+    actuator.handle_command(cmd(action="brew", value=tas("idle", "brewing")))
+    assert actuator.state == "brewing"
+    # A second concurrent brew is rejected: the state moved on.
+    actuator.handle_command(cmd(action="brew", value=tas("idle", "brewing"), seq=2))
+    assert actuator.state == "brewing"
+    rejected = [r for r in actuator.history if not r.applied]
+    assert len(rejected) == 1
+
+
+def test_test_and_set_requires_support(rig):
+    actuator = make_actuator(rig)
+    with pytest.raises(ValueError):
+        actuator.handle_command(cmd(value=tas(None, "x")))
+
+
+# -- battery --------------------------------------------------------------------------------------------
+
+
+def test_battery_levels():
+    battery = Battery(capacity=10.0)
+    assert battery.level == 1.0
+    battery.drain(5.0)
+    assert battery.level == 0.5
+    battery.drain(10.0)
+    assert battery.level == 0.0
+    assert battery.depleted
+
+
+def test_battery_negative_drain_rejected():
+    with pytest.raises(ValueError):
+        Battery().drain(-1.0)
+
+
+def test_battery_lifetime_ratio():
+    battery = Battery()
+    battery.drain(50.0)
+    assert battery.projected_lifetime_ratio(100.0) == 2.0
+    fresh = Battery()
+    assert fresh.projected_lifetime_ratio(100.0) == float("inf")

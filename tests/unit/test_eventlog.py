@@ -1,0 +1,64 @@
+"""Unit tests for the durable event store."""
+
+from repro.core.eventlog import EventStore, SensorLog
+from repro.core.events import Event
+
+
+def make_event(seq: int, sensor: str = "s", at: float | None = None) -> Event:
+    return Event(sensor_id=sensor, seq=seq, emitted_at=at if at is not None else seq,
+                 value=seq, size_bytes=4)
+
+
+def test_add_and_dedup():
+    log = SensorLog("s")
+    assert log.add(make_event(1))
+    assert not log.add(make_event(1))
+    assert len(log) == 1
+    assert 1 in log
+    assert 2 not in log
+
+
+def test_events_after_watermark():
+    log = SensorLog("s")
+    for seq in (1, 2, 3, 5, 6):
+        log.add(make_event(seq))
+    assert [e.seq for e in log.events_after(2)] == [3, 5, 6]
+    assert [e.seq for e in log.events_after(0)] == [1, 2, 3, 5, 6]
+    assert log.events_after(6) == []
+
+
+def test_events_missing_from_peer():
+    log = SensorLog("s")
+    for seq in range(1, 8):
+        log.add(make_event(seq))
+    missing = log.events_missing_from([(1, 2), (5, 5)])
+    assert [e.seq for e in missing] == [3, 4, 6, 7]
+
+
+def test_missing_from_empty_peer_is_everything():
+    log = SensorLog("s")
+    log.add(make_event(3))
+    assert [e.seq for e in log.events_missing_from([])] == [3]
+
+
+def test_last_timestamp():
+    log = SensorLog("s")
+    assert log.last_timestamp == 0.0
+    log.add(make_event(1, at=10.0))
+    log.add(make_event(2, at=20.0))
+    assert log.last_timestamp == 20.0
+
+
+def test_store_routes_by_sensor():
+    store = EventStore("proc")
+    store.add(make_event(1, sensor="a"))
+    store.add(make_event(1, sensor="b"))
+    assert store.total_events() == 2
+    assert store.sensors == ["a", "b"]
+    assert store.has_seen(make_event(1, sensor="a"))
+    assert not store.has_seen(make_event(2, sensor="a"))
+
+
+def test_store_log_identity_is_stable():
+    store = EventStore("proc")
+    assert store.log_for("x") is store.log_for("x")

@@ -1,0 +1,64 @@
+"""Unit tests for the declarative fault plan."""
+
+import pytest
+
+from repro.sim.faults import FaultPlan
+from repro.sim.scheduler import Scheduler
+
+
+class RecordingTarget:
+    def __init__(self):
+        self.scheduler = Scheduler()
+        self.calls: list[tuple] = []
+
+    def __getattr__(self, name):
+        def record(*args):
+            self.calls.append((self.scheduler.now, name, args))
+
+        return record
+
+
+def test_builder_accumulates_actions():
+    plan = (FaultPlan()
+            .crash("hub", at=10.0)
+            .recover("hub", at=20.0)
+            .partition([["a"], ["b"]], at=5.0)
+            .heal(at=8.0)
+            .fail_sensor("s", at=1.0)
+            .recover_sensor("s", at=2.0)
+            .fail_actuator("x", at=3.0)
+            .recover_actuator("x", at=4.0)
+            .set_link_loss("s", "hub", 0.5, at=6.0))
+    assert len(plan) == 9
+
+
+def test_apply_schedules_in_time_order():
+    target = RecordingTarget()
+    plan = FaultPlan().crash("hub", at=10.0).recover("hub", at=20.0)
+    plan.apply(target)
+    target.scheduler.run()
+    assert target.calls == [
+        (10.0, "crash_process", ("hub",)),
+        (20.0, "recover_process", ("hub",)),
+    ]
+
+
+def test_partition_groups_are_frozen_copies():
+    plan = FaultPlan()
+    groups = [["a", "b"], ["c"]]
+    plan.partition(groups, at=1.0)
+    groups[0].append("z")  # later mutation must not leak into the plan
+    assert plan.actions[0].args == ((("a", "b"), ("c",)),)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan().crash("hub", at=-1.0)
+
+
+def test_merge_plans():
+    a = FaultPlan().crash("x", at=1.0)
+    b = FaultPlan().recover("x", at=2.0)
+    merged = a.merge(b)
+    assert len(merged) == 2
+    assert len(a) == 1 and len(b) == 1

@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII figure renderers."""
+
+from repro.eval.experiments import ExperimentTable
+from repro.eval.figures import bar_chart, chart_for
+
+
+def test_bar_chart_basic():
+    chart = bar_chart(
+        "demo", {"a": {1: 10.0, 2: 20.0}, "b": {1: 5.0}},
+        x_label="x", width=10,
+    )
+    assert "== demo ==" in chart
+    assert "x=1" in chart and "x=2" in chart
+    assert "##########" in chart      # series a at the peak
+    assert "*" in chart               # series b uses the next glyph
+    assert "20.00" in chart
+
+
+def test_bar_chart_handles_empty_series():
+    chart = bar_chart("empty", {}, width=10)
+    assert "== empty ==" in chart
+
+
+def test_chart_for_unknown_experiment_is_none():
+    table = ExperimentTable(experiment="table3", title="t", columns=["a"],
+                            rows=[[1]])
+    assert chart_for(table) is None
+
+
+def test_chart_for_fig5_selects_small_events():
+    table = ExperimentTable(
+        experiment="fig5", title="t",
+        columns=["protocol", "event_bytes", "receiving", "bytes_per_event",
+                 "normalized_vs_gap"],
+        rows=[
+            ["gapless", 4, 1, 700.0, 6.0],
+            ["gapless", 4, 2, 690.0, 5.9],
+            ["gapless", 20480, 1, 100000.0, 5.0],   # filtered out
+            ["naive-broadcast", 4, 2, 900.0, 7.7],
+        ],
+    )
+    chart = chart_for(table, width=20)
+    assert "gapless" in chart and "naive-broadcast" in chart
+    assert "5.00" not in chart  # the 20 KB row was excluded
+
+
+def test_chart_for_fig7_windows_the_crash():
+    rows = [["gap", float(t), 10] for t in range(48)]
+    rows += [["gapless", float(t), 10] for t in range(48)]
+    table = ExperimentTable(experiment="fig7", title="t",
+                            columns=["guarantee", "second", "events"],
+                            rows=rows)
+    chart = chart_for(table, width=10)
+    assert "t=   18.0" in chart
+    assert "t=   40.0" not in chart  # zoomed to the crash window
+
+
+def test_chart_for_fig8():
+    table = ExperimentTable(
+        experiment="fig8", title="t",
+        columns=["sensor", "mode", "polls_per_epoch", "epoch_gaps"],
+        rows=[["temp", "coordinated", 1.05, 0],
+              ["temp", "uncoordinated", 1.8, 3]],
+    )
+    chart = chart_for(table, width=20)
+    assert "coordinated" in chart and "uncoordinated" in chart

@@ -1,0 +1,150 @@
+"""Unit tests for operators wiring and application graphs."""
+
+import pytest
+
+from repro.core.delivery import GAP, GAPLESS, PollingPolicy
+from repro.core.graph import App, GraphError, validate_apps
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow, TimeWindow
+
+
+def test_operator_wiring_api():
+    op = Operator("logic")
+    op.add_sensor("s1", GAP, CountWindow(1))
+    op.add_actuator("a1", GAPLESS)
+    assert op.input_streams == frozenset({"s1"})
+    assert op.sensor_bindings[0].delivery is GAP
+    assert op.actuator_bindings[0].delivery is GAPLESS
+
+
+def test_duplicate_sensor_binding_rejected():
+    op = Operator("logic")
+    op.add_sensor("s1", GAP, CountWindow(1))
+    with pytest.raises(ValueError):
+        op.add_sensor("s1", GAPLESS, CountWindow(1))
+
+
+def test_duplicate_actuator_binding_rejected():
+    op = Operator("logic")
+    op.add_actuator("a1", GAP)
+    with pytest.raises(ValueError):
+        op.add_actuator("a1", GAP)
+
+
+def test_operator_cannot_be_its_own_upstream():
+    op = Operator("logic")
+    with pytest.raises(ValueError):
+        op.add_upstream_operator(op, CountWindow(1))
+
+
+def test_empty_names_rejected():
+    with pytest.raises(ValueError):
+        Operator("")
+    op = Operator("x")
+    op.add_sensor("s", GAP, CountWindow(1))
+    with pytest.raises(ValueError):
+        App("", op)
+
+
+def test_app_closes_over_upstreams():
+    upstream = Operator("src")
+    upstream.add_sensor("s1", GAP, CountWindow(1))
+    downstream = Operator("sink")
+    downstream.add_upstream_operator(upstream, CountWindow(1))
+    app = App("a", downstream)
+    assert {op.name for op in app.operators} == {"src", "sink"}
+    order = [op.name for op in app.topological_operators]
+    assert order.index("src") < order.index("sink")
+
+
+def test_cycle_detection():
+    a = Operator("a")
+    a.add_sensor("s1", GAP, CountWindow(1))
+    b = Operator("b")
+    a.add_upstream_operator(b, CountWindow(1))
+    b.add_upstream_operator(a, CountWindow(1))
+    with pytest.raises(GraphError):
+        App("cyclic", [a, b])
+
+
+def test_duplicate_operator_names_rejected():
+    a1 = Operator("same")
+    a1.add_sensor("s1", GAP, CountWindow(1))
+    a2 = Operator("same")
+    a2.add_sensor("s2", GAP, CountWindow(1))
+    with pytest.raises(GraphError):
+        App("app", [a1, a2])
+
+
+def test_app_requires_operators_and_sensors():
+    with pytest.raises(GraphError):
+        App("empty", [])
+    lonely = Operator("no-inputs")
+    with pytest.raises(GraphError):
+        App("app", lonely).sensor_requirements()
+
+
+def test_strongest_guarantee_wins_across_operators():
+    a = Operator("a")
+    a.add_sensor("s1", GAP, CountWindow(1))
+    b = Operator("b")
+    b.add_sensor("s1", GAPLESS, CountWindow(1))
+    app = App("app", [a, b])
+    assert app.sensor_requirements()["s1"].delivery is GAPLESS
+
+
+def test_conflicting_polling_epochs_rejected():
+    a = Operator("a")
+    a.add_sensor("s1", GAP, CountWindow(1), polling=PollingPolicy(epoch_s=1.0))
+    b = Operator("b")
+    b.add_sensor("s1", GAP, CountWindow(1), polling=PollingPolicy(epoch_s=2.0))
+    with pytest.raises(GraphError):
+        App("app", [a, b]).sensor_requirements()
+
+
+def test_polling_policy_merge_keeps_the_defined_one():
+    a = Operator("a")
+    a.add_sensor("s1", GAP, CountWindow(1))
+    b = Operator("b")
+    b.add_sensor("s1", GAP, CountWindow(1), polling=PollingPolicy(epoch_s=2.0))
+    app = App("app", [a, b])
+    assert app.sensor_requirements()["s1"].polling.epoch_s == 2.0
+
+
+def test_actuator_delivery_aggregation():
+    a = Operator("a")
+    a.add_sensor("s1", GAP, CountWindow(1))
+    a.add_actuator("light", GAP)
+    b = Operator("b")
+    b.add_sensor("s2", GAP, CountWindow(1))
+    b.add_actuator("light", GAPLESS)
+    app = App("app", [a, b])
+    assert app.actuator_delivery("light") is GAPLESS
+    with pytest.raises(KeyError):
+        app.actuator_delivery("nope")
+
+
+def test_consumers_of_streams():
+    src = Operator("src")
+    src.add_sensor("s1", GAP, TimeWindow(1.0))
+    sink = Operator("sink")
+    sink.add_upstream_operator(src, CountWindow(1))
+    app = App("app", [src, sink])
+    assert [op.name for op in app.consumers_of("s1")] == ["src"]
+    assert [op.name for op in app.consumers_of("op:src")] == ["sink"]
+
+
+def test_validate_apps_rejects_duplicates():
+    op1 = Operator("o1")
+    op1.add_sensor("s", GAP, CountWindow(1))
+    op2 = Operator("o2")
+    op2.add_sensor("s", GAP, CountWindow(1))
+    with pytest.raises(GraphError):
+        validate_apps([App("same", op1), App("same", op2)])
+
+
+def test_polling_policy_validation():
+    with pytest.raises(ValueError):
+        PollingPolicy(epoch_s=0.0)
+    with pytest.raises(ValueError):
+        PollingPolicy(epoch_s=1.0, retries=-1)

@@ -1,0 +1,111 @@
+"""Unit tests for the keep-alive failure detector, on FakeEnv loopback."""
+
+import pytest
+
+from repro.membership.heartbeat import HeartbeatService
+from repro.sim.scheduler import Scheduler
+from tests.helpers import FakeEnv
+
+
+def make_pair(interval=0.5, timeout=2.0):
+    sched = Scheduler()
+    a = FakeEnv("a", sched)
+    b = FakeEnv("b", sched)
+    a.link(b)
+    ha = HeartbeatService(a, interval=interval, timeout=timeout)
+    hb = HeartbeatService(b, interval=interval, timeout=timeout)
+    return sched, a, b, ha, hb
+
+
+def test_timeout_must_exceed_interval():
+    env = FakeEnv("a")
+    with pytest.raises(ValueError):
+        HeartbeatService(env, interval=1.0, timeout=0.5)
+
+
+def test_starts_optimistic():
+    sched, a, b, ha, hb = make_pair()
+    ha.start()
+    assert "b" in ha.view
+    assert ha.is_alive("b")
+    assert ha.is_alive("a")
+
+
+def test_keepalives_flow_both_ways():
+    sched, a, b, ha, hb = make_pair()
+    ha.start()
+    hb.start()
+    sched.run_until(5.0)
+    assert len(a.sent_of_kind("keepalive")) >= 9
+    assert "a" in hb.view and "b" in ha.view
+
+
+def test_silent_peer_gets_suspected():
+    sched, a, b, ha, hb = make_pair()
+    ha.start()  # b never starts its own service
+    sched.run_until(5.0)
+    assert "b" not in ha.view
+
+
+def test_suspect_then_unsuspect_on_recovery():
+    sched, a, b, ha, hb = make_pair()
+    changes = []
+    ha.add_view_listener(lambda view, added, removed: changes.append((set(added), set(removed))))
+    ha.start()
+    hb.start()
+    sched.run_until(2.0)
+
+    hb.stop()
+    sched.run_until(6.0)
+    assert "b" not in ha.view
+    assert (set(), {"b"}) in changes
+
+    hb2 = HeartbeatService(b, interval=0.5, timeout=2.0)
+    hb2.start()
+    sched.run_until(8.0)
+    assert "b" in ha.view
+    assert ({"b"}, set()) in changes
+
+
+def test_detection_within_timeout_plus_interval():
+    sched, a, b, ha, hb = make_pair(interval=0.5, timeout=2.0)
+    ha.start()
+    hb.start()
+    sched.run_until(10.0)
+    hb.stop()
+    suspect_times = []
+    ha.add_view_listener(lambda *_: suspect_times.append(sched.now))
+    sched.run_until(20.0)
+    assert suspect_times, "peer was never suspected"
+    # Last keep-alive was at ~10.0; detection needs > timeout but should not
+    # take much longer than timeout + one check interval.
+    assert 12.0 <= suspect_times[0] <= 13.1
+
+
+def test_payload_piggyback_roundtrip():
+    sched, a, b, ha, hb = make_pair()
+    received = []
+    ha.add_payload_provider("wm", lambda: {"app": 7})
+    hb.add_payload_consumer("wm", lambda sender, value: received.append((sender, value)))
+    ha.start()
+    hb.start()
+    sched.run_until(2.0)
+    assert ("a", {"app": 7}) in received
+
+
+def test_empty_payloads_not_piggybacked():
+    sched, a, b, ha, hb = make_pair()
+    ha.add_payload_provider("wm", dict)
+    ha.start()
+    sched.run_until(1.0)
+    assert all("wm" not in m.payload for m in a.sent_of_kind("keepalive"))
+
+
+def test_stop_halts_ticks():
+    sched, a, b, ha, hb = make_pair()
+    ha.start()
+    sched.run_until(1.0)
+    sent_before = len(a.sent)
+    ha.stop()
+    sched.run_until(5.0)
+    assert len(a.sent) == sent_before

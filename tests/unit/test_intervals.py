@@ -1,0 +1,106 @@
+"""Unit tests for IntervalSet."""
+
+import pytest
+
+from repro.core.intervals import IntervalSet
+
+
+def test_empty_set():
+    s = IntervalSet()
+    assert len(s) == 0
+    assert 1 not in s
+    assert s.max_value is None
+    assert s.min_value is None
+
+
+def test_single_values():
+    s = IntervalSet()
+    s.add(5)
+    assert 5 in s
+    assert 4 not in s
+    assert len(s) == 1
+    assert s.ranges() == [(5, 5)]
+
+
+def test_adjacent_values_merge():
+    s = IntervalSet()
+    s.add(1)
+    s.add(2)
+    s.add(3)
+    assert s.ranges() == [(1, 3)]
+
+
+def test_gap_keeps_ranges_separate():
+    s = IntervalSet()
+    s.add(1)
+    s.add(3)
+    assert s.ranges() == [(1, 1), (3, 3)]
+    s.add(2)
+    assert s.ranges() == [(1, 3)]
+
+
+def test_add_range_merging_multiple():
+    s = IntervalSet([(1, 3), (7, 9), (20, 25)])
+    s.add_range(2, 8)
+    assert s.ranges() == [(1, 9), (20, 25)]
+
+
+def test_add_range_before_all():
+    s = IntervalSet([(10, 12)])
+    s.add_range(1, 3)
+    assert s.ranges() == [(1, 3), (10, 12)]
+
+
+def test_add_range_after_all():
+    s = IntervalSet([(1, 3)])
+    s.add_range(10, 12)
+    assert s.ranges() == [(1, 3), (10, 12)]
+
+
+def test_empty_range_rejected():
+    with pytest.raises(ValueError):
+        IntervalSet().add_range(5, 4)
+
+
+def test_contains_boundaries():
+    s = IntervalSet([(5, 10)])
+    assert 5 in s and 10 in s
+    assert 4 not in s and 11 not in s
+
+
+def test_missing_between():
+    s = IntervalSet([(1, 3), (6, 7)])
+    assert s.missing_between(1, 8) == [4, 5, 8]
+    assert s.missing_between(2, 3) == []
+    assert s.missing_between(10, 12) == [10, 11, 12]
+    assert s.missing_between(5, 4) == []
+
+
+def test_difference_values():
+    ours = IntervalSet([(1, 5)])
+    theirs = IntervalSet([(2, 3)])
+    assert list(ours.difference_values(theirs)) == [1, 4, 5]
+
+
+def test_merge_two_sets():
+    a = IntervalSet([(1, 2), (10, 11)])
+    b = IntervalSet([(3, 4), (11, 15)])
+    a.merge(b)
+    assert a.ranges() == [(1, 4), (10, 15)]
+
+
+def test_iteration_and_len():
+    s = IntervalSet([(1, 3), (7, 8)])
+    assert list(s) == [1, 2, 3, 7, 8]
+    assert len(s) == 5
+
+
+def test_equality():
+    assert IntervalSet([(1, 3)]) == IntervalSet([(1, 2), (3, 3)])
+    assert IntervalSet([(1, 3)]) != IntervalSet([(1, 4)])
+
+
+def test_min_max():
+    s = IntervalSet([(4, 6), (10, 12)])
+    assert s.min_value == 4
+    assert s.max_value == 12

@@ -1,0 +1,129 @@
+"""Unit tests for the replicated key-value store (on FakeEnv loopback)."""
+
+import pytest
+
+from repro.membership.heartbeat import HeartbeatService
+from repro.sim.scheduler import Scheduler
+from repro.storage.kv import ReplicatedStore, StoreBackend, TOMBSTONE, VersionedValue
+from tests.helpers import FakeEnv
+
+
+def make_cluster(names=("a", "b", "c"), sync_interval=2.0):
+    sched = Scheduler()
+    envs = [FakeEnv(name, sched) for name in names]
+    envs[0].link(*envs[1:])
+    stores = {}
+    for env in envs:
+        heartbeat = HeartbeatService(env, interval=0.5, timeout=2.0)
+        store = ReplicatedStore(env, heartbeat, StoreBackend(env.name),
+                                sync_interval=sync_interval)
+        heartbeat.start()
+        store.start()
+        stores[env.name] = store
+    return sched, {e.name: e for e in envs}, stores
+
+
+def test_put_get_local():
+    sched, envs, stores = make_cluster(("a",))
+    stores["a"].put("k", 42)
+    assert stores["a"].get("k") == 42
+    assert "k" in stores["a"]
+    assert stores["a"].get("missing", "dflt") == "dflt"
+
+
+def test_writes_gossip_to_peers():
+    sched, envs, stores = make_cluster()
+    stores["a"].put("mode", "away")
+    sched.run_until(1.0)
+    assert stores["b"].get("mode") == "away"
+    assert stores["c"].get("mode") == "away"
+
+
+def test_last_writer_wins_convergence():
+    sched, envs, stores = make_cluster()
+    stores["a"].put("k", "from-a")
+    sched.run_until(1.0)
+    stores["b"].put("k", "from-b")  # causally later (lamport advanced)
+    sched.run_until(2.0)
+    assert all(s.get("k") == "from-b" for s in stores.values())
+
+
+def test_concurrent_writes_converge_deterministically():
+    sched, envs, stores = make_cluster()
+    # Same lamport stamp: the writer name breaks the tie, everywhere.
+    stores["a"].put("k", "A")
+    stores["b"].put("k", "B")
+    sched.run_until(1.0)
+    values = {s.get("k") for s in stores.values()}
+    assert values == {"B"}  # ("b" > "a") at equal lamport
+
+
+def test_delete_replicates_as_tombstone():
+    sched, envs, stores = make_cluster()
+    stores["a"].put("k", 1)
+    sched.run_until(1.0)
+    stores["b"].delete("k")
+    sched.run_until(2.0)
+    for store in stores.values():
+        assert store.get("k") is None
+        assert "k" not in store
+    assert stores["a"].keys() == []
+
+
+def test_tombstone_value_reserved():
+    sched, envs, stores = make_cluster(("a",))
+    with pytest.raises(ValueError):
+        stores["a"].put("k", TOMBSTONE)
+
+
+def test_anti_entropy_heals_missed_gossip():
+    sched, envs, stores = make_cluster(sync_interval=2.0)
+    envs["a"].drop_between("a", "c")  # gossip from a never reaches c
+    stores["a"].put("k", "v")
+    sched.run_until(1.0)
+    assert stores["c"].get("k") is None
+    # ... but b's periodic anti-entropy with its ring successor c heals it.
+    sched.run_until(6.0)
+    assert stores["c"].get("k") == "v"
+
+
+def test_sync_pulls_newer_versions_back():
+    """Anti-entropy is bidirectional: the queried peer also learns what the
+    querier is missing via the reply loop."""
+    sched, envs, stores = make_cluster(("a", "b"), sync_interval=2.0)
+    envs["a"].drop_between("a", "b")
+    stores["a"].put("only-on-a", 1)
+    stores["b"].put("only-on-b", 2)
+    # Heal the link, then let anti-entropy run both ways.
+    for env in envs.values():
+        env.dropped_links.clear()
+    sched.run_until(10.0)
+    for store in stores.values():
+        assert store.get("only-on-a") == 1
+        assert store.get("only-on-b") == 2
+
+
+def test_listener_fires_on_remote_updates():
+    sched, envs, stores = make_cluster(("a", "b"))
+    seen = []
+    stores["b"].add_listener(lambda k, v: seen.append((k, v)))
+    stores["a"].put("k", 5)
+    sched.run_until(1.0)
+    assert ("k", 5) in seen
+
+
+def test_versioned_value_ordering():
+    older = VersionedValue(lamport=1, writer="z", value=1)
+    newer = VersionedValue(lamport=2, writer="a", value=2)
+    assert newer > older
+    tie_a = VersionedValue(lamport=3, writer="a", value=1)
+    tie_b = VersionedValue(lamport=3, writer="b", value=2)
+    assert tie_b > tie_a
+
+
+def test_items_snapshot():
+    sched, envs, stores = make_cluster(("a",))
+    stores["a"].put("x", 1)
+    stores["a"].put("y", 2)
+    stores["a"].delete("x")
+    assert stores["a"].items() == {"y": 2}

@@ -1,0 +1,49 @@
+"""Unit tests for the latency and processing cost models."""
+
+import pytest
+
+from repro.net.latency import LatencyModel, ProcessingModel
+from repro.sim.random import RandomSource
+
+
+def test_base_delay_for_tiny_message():
+    model = LatencyModel(jitter_fraction=0.0)
+    delay = model.message_delay(100, live_processes=2)
+    # ~1.2 ms base + negligible transfer/serialization.
+    assert 0.001 < delay < 0.002
+
+
+def test_delay_scales_with_size():
+    model = LatencyModel(jitter_fraction=0.0)
+    small = model.message_delay(100)
+    large = model.message_delay(100_000)
+    assert large > small * 5
+
+
+def test_congestion_grows_with_process_count():
+    model = LatencyModel(jitter_fraction=0.0)
+    base = model.message_delay(100, live_processes=2)
+    busy = model.message_delay(100, live_processes=5)
+    assert busy - base == pytest.approx(3 * model.congestion_per_process)
+
+
+def test_jitter_bounded():
+    model = LatencyModel(jitter_fraction=0.1)
+    rng = RandomSource(1)
+    nominal = model.message_delay(100, live_processes=2)
+    for _ in range(100):
+        delay = model.message_delay(100, live_processes=2, rng=rng)
+        assert nominal * 0.89 <= delay <= nominal * 1.11
+
+
+def test_processing_model_validation():
+    with pytest.raises(ValueError):
+        ProcessingModel(local_dispatch=-0.001)
+
+
+def test_calibration_shape_gapless_premium():
+    """The ingest-log cost dominates the per-hop cost: this is what makes
+    Fig. 4a's Gapless premium ~flat-ish between 2 and 3 processes."""
+    processing = ProcessingModel()
+    assert processing.gapless_ingest_log > 4 * processing.gapless_hop_processing
+    assert processing.local_dispatch < 0.001

@@ -1,0 +1,88 @@
+"""Unit tests for Marzullo's interval fusion (Section 6.2)."""
+
+import pytest
+
+from repro.core.marzullo import (
+    FusionError,
+    Interval,
+    fuse,
+    fuse_values,
+    max_arbitrary_failures,
+    max_failstop_failures,
+)
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Interval(2.0, 1.0)
+    assert Interval.around(5.0, 1.0) == Interval(4.0, 6.0)
+    with pytest.raises(ValueError):
+        Interval.around(5.0, -1.0)
+
+
+def test_single_interval_f0():
+    assert fuse([Interval(1.0, 2.0)], 0) == Interval(1.0, 2.0)
+
+
+def test_all_overlapping_f0():
+    fused = fuse([Interval(0, 10), Interval(2, 8), Interval(4, 12)], 0)
+    assert fused == Interval(4.0, 8.0)
+
+
+def test_one_outlier_tolerated():
+    intervals = [Interval(20, 21), Interval(20.5, 21.5), Interval(100, 101)]
+    fused = fuse(intervals, 1)
+    # The two good sensors agree on [20.5, 21].
+    assert fused == Interval(20.5, 21.0)
+
+
+def test_outlier_not_tolerated_with_f0():
+    intervals = [Interval(20, 21), Interval(100, 101)]
+    with pytest.raises(FusionError):
+        fuse(intervals, 0)
+
+
+def test_touching_intervals_count_as_overlap():
+    fused = fuse([Interval(1, 2), Interval(2, 3)], 0)
+    assert fused == Interval(2.0, 2.0)
+
+
+def test_result_spans_disjoint_qualifying_regions():
+    # With f=1 of 3, both pairwise overlaps qualify; l is the smallest
+    # doubly-covered point, u the largest (per the paper's definition).
+    intervals = [Interval(0, 4), Interval(2, 6), Interval(5, 9)]
+    fused = fuse(intervals, 1)
+    assert fused == Interval(2.0, 6.0)
+
+
+def test_f_bounds_validation():
+    with pytest.raises(ValueError):
+        fuse([Interval(0, 1)], 1)
+    with pytest.raises(ValueError):
+        fuse([Interval(0, 1)], -1)
+    with pytest.raises(FusionError):
+        fuse([], 0)
+
+
+def test_fuse_values_convenience():
+    fused = fuse_values([20.0, 20.4, 19.8], uncertainty=0.5, f=0)
+    assert fused.lo == pytest.approx(19.9)
+    assert fused.hi == pytest.approx(20.3)
+    assert fused.contains(20.0)
+
+
+def test_failure_model_bounds():
+    assert max_failstop_failures(4) == 3
+    assert max_arbitrary_failures(4) == 1
+    assert max_arbitrary_failures(1) == 0
+    assert max_arbitrary_failures(7) == 2
+    with pytest.raises(ValueError):
+        max_failstop_failures(0)
+    with pytest.raises(ValueError):
+        max_arbitrary_failures(0)
+
+
+def test_midpoint_and_width():
+    interval = Interval(1.0, 3.0)
+    assert interval.midpoint == 2.0
+    assert interval.width == 2.0

@@ -1,0 +1,86 @@
+"""Unit tests for evaluation metrics (pure functions over traces)."""
+
+import math
+
+from repro.eval import metrics
+from repro.sim.tracing import Trace
+
+
+def make_trace_with_deliveries():
+    trace = Trace()
+    for seq, (at, delay) in enumerate([(1.0, 0.002), (2.0, 0.004), (2.5, 0.006)], 1):
+        trace.record(at, "logic_delivery", app="a", sensor="s", seq=seq,
+                     emitted_at=at - delay, delay=delay)
+    return trace
+
+
+def test_mean_and_percentile():
+    assert metrics.mean([1.0, 2.0, 3.0]) == 2.0
+    assert math.isnan(metrics.mean([]))
+    assert metrics.percentile([1, 2, 3, 4, 5], 0.5) == 3
+    assert math.isnan(metrics.percentile([], 0.5))
+
+
+def test_delivery_delays_and_mean_delay():
+    trace = make_trace_with_deliveries()
+    assert metrics.delivery_delays(trace) == [0.002, 0.004, 0.006]
+    assert metrics.mean_delay_ms(trace) == 4.0
+    assert metrics.delivery_delays(trace, app="other") == []
+
+
+def test_event_bytes_and_messages():
+    trace = Trace()
+    trace.record(0.0, "net_send", src="a", dst="b", kind="gapless_fwd", bytes=100)
+    trace.record(0.0, "net_send", src="a", dst="b", kind="keepalive", bytes=50)
+    trace.record(0.0, "net_send", src="b", dst="c", kind="gap_fwd", bytes=70)
+    assert metrics.event_bytes_sent(trace) == 170  # keepalive excluded
+    assert metrics.event_messages_sent(trace) == 2
+    assert metrics.bytes_per_event(trace, 2) == 85.0
+    assert math.isnan(metrics.bytes_per_event(trace, 0))
+
+
+def test_delivered_fraction_counts_distinct():
+    trace = Trace()
+    for seq in (1, 2, 2, 3):  # seq 2 replayed after a failover
+        trace.record(1.0, "logic_delivery", app="a", sensor="s", seq=seq,
+                     emitted_at=0.9, delay=0.1)
+    assert metrics.delivered_fraction(trace, 4) == 0.75
+    assert math.isnan(metrics.delivered_fraction(trace, 0))
+
+
+def test_deliveries_per_bucket():
+    trace = make_trace_with_deliveries()
+    series = metrics.deliveries_per_bucket(trace)
+    assert series == [(0.0, 0), (1.0, 1), (2.0, 2)]
+    assert metrics.deliveries_per_bucket(Trace()) == []
+
+
+def test_poll_metrics():
+    trace = Trace()
+    for _ in range(6):
+        trace.record(0.0, "poll_request", sensor="t1", process="p0")
+    trace.record(0.0, "poll_request", sensor="t2", process="p0")
+    assert metrics.poll_requests(trace) == 7
+    assert metrics.poll_requests(trace, "t1") == 6
+    assert metrics.normalized_poll_overhead(trace, "t1", epoch_s=2.0,
+                                            duration_s=10.0) == 1.2
+
+
+def test_reception_matrix():
+    trace = Trace()
+    trace.record(0.0, "radio_delivered", sensor="s1", process="hub", seq=1)
+    trace.record(0.0, "radio_delivered", sensor="s1", process="hub", seq=2)
+    trace.record(0.0, "radio_delivered", sensor="s1", process="tv", seq=1)
+    matrix = metrics.reception_matrix(trace)
+    assert matrix == {"s1": {"hub": 2, "tv": 1}}
+
+
+def test_streaming_reception_counter():
+    trace = Trace(keep_kinds=set())
+    counter = metrics.ReceptionCounter(trace)
+    trace.record(0.0, "sensor_emit", sensor="s1", seq=1)
+    trace.record(0.0, "radio_delivered", sensor="s1", process="hub", seq=1)
+    trace.record(0.0, "radio_delivered", sensor="s1", process="hub", seq=2)
+    assert counter.emitted["s1"] == 1
+    assert counter.matrix() == {"s1": {"hub": 2}}
+    assert len(trace) == 0  # nothing stored, everything streamed

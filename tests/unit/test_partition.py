@@ -1,0 +1,54 @@
+"""Unit tests for partition bookkeeping."""
+
+import pytest
+
+from repro.net.partition import PartitionState
+
+
+def test_connected_by_default():
+    state = PartitionState()
+    assert not state.partitioned
+    assert state.can_communicate("a", "b")
+
+
+def test_groups_isolate():
+    state = PartitionState()
+    state.set_partition([["a", "b"], ["c"]])
+    assert state.partitioned
+    assert state.can_communicate("a", "b")
+    assert not state.can_communicate("a", "c")
+    assert not state.can_communicate("c", "b")
+
+
+def test_self_always_reachable():
+    state = PartitionState()
+    state.set_partition([["a"], ["b"]])
+    assert state.can_communicate("a", "a")
+
+
+def test_unlisted_process_is_cut_off():
+    state = PartitionState()
+    state.set_partition([["a", "b"]])
+    assert not state.can_communicate("a", "z")
+    assert not state.can_communicate("z", "a")
+
+
+def test_process_in_two_groups_rejected():
+    state = PartitionState()
+    with pytest.raises(ValueError):
+        state.set_partition([["a"], ["a", "b"]])
+
+
+def test_isolate_every_process():
+    state = PartitionState()
+    state.isolate(["a", "b", "c"])
+    assert not state.can_communicate("a", "b")
+    assert not state.can_communicate("b", "c")
+
+
+def test_heal_restores_connectivity():
+    state = PartitionState()
+    state.set_partition([["a"], ["b"]])
+    state.heal()
+    assert state.can_communicate("a", "b")
+    assert not state.partitioned

@@ -1,0 +1,101 @@
+"""Unit tests for placement and election (Sections 5 and 7)."""
+
+import pytest
+
+from repro.core.delivery import GAP
+from repro.core.election import AppElection
+from repro.core.graph import App
+from repro.core.operators import Operator
+from repro.core.placement import active_process, placement_chain, placement_score
+from repro.core.plan import DeploymentPlan
+from repro.core.windows import CountWindow
+from repro.membership.views import LocalView
+
+
+def make_app() -> App:
+    op = Operator("L")
+    op.add_sensor("s1", GAP, CountWindow(1))
+    op.add_sensor("s2", GAP, CountWindow(1))
+    op.add_actuator("a1", GAP)
+    return App("app", op)
+
+
+def make_plan() -> DeploymentPlan:
+    return DeploymentPlan(
+        processes=["hub", "tv", "fridge"],
+        sensor_hosts={"s1": ["tv", "fridge"], "s2": ["tv"]},
+        actuator_hosts={"a1": ["hub"]},
+        apps=[make_app()],
+    )
+
+
+def test_placement_score_counts_active_nodes():
+    plan = make_plan()
+    app = plan.apps[0]
+    assert placement_score(app, plan, "tv") == 2
+    assert placement_score(app, plan, "fridge") == 1
+    assert placement_score(app, plan, "hub") == 1
+
+
+def test_chain_orders_by_score_then_name():
+    plan = make_plan()
+    chain = placement_chain(plan.apps[0], plan)
+    # Ascending preference: fridge(1) < hub(1) < tv(2); tie broken by name.
+    assert chain == ["fridge", "hub", "tv"]
+
+
+def test_active_process_is_last_alive():
+    chain = ["fridge", "hub", "tv"]
+    assert active_process(chain, {"fridge", "hub", "tv"}) == "tv"
+    assert active_process(chain, {"fridge", "hub"}) == "hub"
+    assert active_process(chain, {"fridge"}) == "fridge"
+    assert active_process(chain, set()) is None
+
+
+def test_election_decisions():
+    election = AppElection("hub", ["fridge", "hub", "tv"])
+    everyone = LocalView.of("hub", ["fridge", "tv"])
+    decision = election.decide(everyone)
+    assert decision.active == "tv"
+    assert not decision.i_am_active
+
+    tv_down = LocalView.of("hub", ["fridge"])
+    decision = election.decide(tv_down)
+    assert decision.active == "hub"
+    assert decision.i_am_active
+
+
+def test_bully_promotion_rule():
+    election = AppElection("hub", ["fridge", "hub", "tv"])
+    assert election.successors_of_me() == ["tv"]
+    assert election.should_promote(LocalView.of("hub", ["fridge"]))
+    assert not election.should_promote(LocalView.of("hub", ["fridge", "tv"]))
+
+
+def test_election_requires_membership_in_chain():
+    with pytest.raises(ValueError):
+        AppElection("ghost", ["a", "b"])
+
+
+def test_plan_validation():
+    plan = make_plan()
+    plan.validate()  # all devices reachable
+
+    orphan = DeploymentPlan(
+        processes=["hub"], sensor_hosts={}, actuator_hosts={"a1": ["hub"]},
+        apps=[make_app()],
+    )
+    with pytest.raises(ValueError):
+        orphan.validate()
+
+
+def test_plan_accessors():
+    plan = make_plan()
+    assert plan.has_active_sensor_node("s1", "tv")
+    assert not plan.has_active_sensor_node("s1", "hub")
+    assert plan.active_actuator_hosts("a1") == ["hub"]
+    assert plan.apps_consuming("s1")[0].name == "app"
+    assert plan.apps_consuming("unknown") == []
+    assert plan.app_named("app").name == "app"
+    with pytest.raises(KeyError):
+        plan.app_named("nope")

@@ -1,0 +1,160 @@
+"""Sans-IO unit tests for the poll coordinator's scheduling logic."""
+
+import pytest
+
+from repro.core.delivery import EpochGap, PollingPolicy, PollMode
+from repro.core.delivery_service import DeliveryContext, DeviceInfo
+from repro.core.eventlog import EventStore
+from repro.core.events import Event
+from repro.core.plan import DeploymentPlan
+from repro.core.polling import PollCoordinator
+from repro.membership.heartbeat import HeartbeatService
+from repro.net.latency import ProcessingModel
+from tests.helpers import FakeEnv
+
+
+class FakeDelivery:
+    """Stands in for a Gap/Gapless instance: records ingests, notifies."""
+
+    def __init__(self):
+        self.listeners = []
+        self.ingested = []
+
+    def add_seen_listener(self, listener):
+        self.listeners.append(listener)
+
+    def on_ingest(self, event):
+        self.ingested.append(event)
+        for listener in self.listeners:
+            listener(event)
+
+
+class FakeSensorLine:
+    """A perfectly prompt sensor link: responds after ``latency`` seconds."""
+
+    def __init__(self, env, latency=0.05, answer=True):
+        self.env = env
+        self.latency = latency
+        self.answer = answer
+        self.requests = 0
+        self.seq = 0
+
+    def __call__(self, sensor, on_response):
+        self.requests += 1
+        if not self.answer:
+            return
+        self.seq += 1
+        event = Event(sensor_id=sensor, seq=self.seq,
+                      emitted_at=self.env.now() + self.latency,
+                      value=21.0, size_bytes=4)
+        self.env.schedule(self.latency, on_response, event)
+
+
+def make_coordinator(
+    name="p0", hosts=("p0", "p1", "p2"), *, mode=PollMode.COORDINATED,
+    epoch=1.0, retries=1, line=None,
+):
+    env = FakeEnv(name)
+    for host in hosts:
+        if host != name:
+            env.link(FakeEnv(host, env.scheduler))
+    heartbeat = HeartbeatService(env, interval=0.5, timeout=2.0)
+    gaps = []
+    ctx = DeliveryContext(
+        env=env,
+        heartbeat=heartbeat,
+        plan=DeploymentPlan(processes=list(hosts),
+                            sensor_hosts={"t": list(hosts)},
+                            actuator_hosts={}, apps=[]),
+        store=EventStore(name),
+        processing=ProcessingModel(),
+        deliver_local=lambda *a: None,
+        on_epoch_gap=lambda sensor, gap: gaps.append(gap),
+        actuate_local=lambda c: None,
+        poll_sensor=lambda *a: None,
+        device_info={"t": DeviceInfo(name="t", category="sensor", mode="poll",
+                                     service_time=0.1)},
+    )
+    heartbeat.start()
+    delivery = FakeDelivery()
+    line = line or FakeSensorLine(env)
+    coordinator = PollCoordinator(
+        ctx, "t", PollingPolicy(epoch_s=epoch, retries=retries), mode,
+        0.1, delivery, line,
+    )
+    coordinator.start()
+    return env, coordinator, delivery, line, gaps
+
+
+def test_slot_index_comes_from_static_host_order():
+    env, coord, *_ = make_coordinator(name="p1")
+    assert coord.slot_index == 1
+    assert coord.slot_count == 3
+
+
+def test_requires_active_sensor_node():
+    with pytest.raises(ValueError):
+        make_coordinator(name="p9", hosts=("p0", "p1"))
+
+
+def test_slot_zero_polls_each_epoch():
+    env, coord, delivery, line, gaps = make_coordinator(name="p0", epoch=1.0)
+    env.scheduler.run_until(5.05)
+    # one poll per epoch (slot at epoch start), each answered and ingested
+    assert line.requests == 6  # epochs 0..5
+    assert len(delivery.ingested) >= 5
+    assert gaps == []
+
+
+def test_later_slot_cancels_when_event_arrives_first():
+    env, coord, delivery, line, gaps = make_coordinator(name="p1", epoch=1.0)
+    # p1's slot is at +1/3 epoch. Simulate the epoch's event arriving first
+    # (via ring forwarding from p0's poll).
+    def feed_epochs():
+        for k in range(5):
+            event = Event(sensor_id="t", seq=100 + k, emitted_at=k * 1.0 + 0.05,
+                          value=1.0, size_bytes=4, epoch=k)
+            env.scheduler.call_at(k * 1.0 + 0.1, delivery.on_ingest, event)
+
+    feed_epochs()
+    env.scheduler.run_until(5.0)
+    assert line.requests == 0  # every scheduled poll was cancelled
+
+
+def test_retry_on_silent_poll():
+    env, coord, delivery, line, gaps = make_coordinator(
+        name="p0", hosts=("p0",), epoch=2.0, retries=2,
+    )
+    line.answer = False
+    env.scheduler.run_until(1.99)  # stay inside epoch 0
+    # initial poll + 2 retries within the epoch
+    assert line.requests == 3
+
+
+def test_epoch_gap_reported_when_nothing_arrives():
+    env, coord, delivery, line, gaps = make_coordinator(
+        name="p0", hosts=("p0",), epoch=1.0,
+    )
+    line.answer = False
+    env.scheduler.run_until(4.0)
+    assert gaps
+    assert all(isinstance(g, EpochGap) for g in gaps)
+    assert gaps[0].sensor == "t"
+
+
+def test_uncoordinated_never_retries():
+    env, coord, delivery, line, gaps = make_coordinator(
+        name="p0", hosts=("p0",), mode=PollMode.UNCOORDINATED, epoch=1.0,
+        retries=3,
+    )
+    line.answer = False
+    env.scheduler.run_until(3.0)
+    # exactly one request per epoch, despite retries=3
+    assert line.requests <= 3
+
+
+def test_polls_issued_counter_and_trace():
+    env, coord, delivery, line, gaps = make_coordinator(name="p0", epoch=1.0)
+    env.scheduler.run_until(3.05)
+    assert coord.polls_issued == line.requests
+    assert env.trace_log.count("poll_issued") == coord.polls_issued

@@ -1,0 +1,172 @@
+"""Unit tests for the wireless radio substrate."""
+
+import pytest
+
+from repro.core.events import Command, Event
+from repro.net.radio import IP, RadioNetwork, ZWAVE
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+class StubListener:
+    def __init__(self, name: str):
+        self.name = name
+        self.alive = True
+        self.events: list[Event] = []
+
+    def on_sensor_event(self, event: Event) -> None:
+        self.events.append(event)
+
+
+class StubPollSensor:
+    def __init__(self, name: str, value: float = 21.0):
+        self.name = name
+        self.polls = 0
+
+    def receive_poll(self, respond):
+        self.polls += 1
+        respond(Event(sensor_id=self.name, seq=self.polls, emitted_at=0.0,
+                      value=21.0, size_bytes=4))
+
+
+class StubActuator:
+    def __init__(self, name: str):
+        self.name = name
+        self.commands: list[Command] = []
+
+    def handle_command(self, command: Command) -> None:
+        self.commands.append(command)
+
+
+def make_radio():
+    sched = Scheduler()
+    radio = RadioNetwork(sched, RandomSource(5), Trace())
+    return sched, radio
+
+
+def ev(seq: int) -> Event:
+    return Event(sensor_id="s", seq=seq, emitted_at=0.0, value=1, size_bytes=4)
+
+
+def test_multicast_reaches_all_linked_listeners():
+    sched, radio = make_radio()
+    listeners = [StubListener(f"p{i}") for i in range(3)]
+    for listener in listeners:
+        radio.register_listener(listener)
+        radio.connect("s", listener.name, IP, loss_rate=0.0)
+    radio.emit("s", ev(1))
+    sched.run()
+    assert all(len(l.events) == 1 for l in listeners)
+
+
+def test_only_linked_processes_receive():
+    sched, radio = make_radio()
+    linked, unlinked = StubListener("a"), StubListener("b")
+    radio.register_listener(linked)
+    radio.register_listener(unlinked)
+    radio.connect("s", "a", IP, loss_rate=0.0)
+    radio.emit("s", ev(1))
+    sched.run()
+    assert len(linked.events) == 1
+    assert unlinked.events == []
+
+
+def test_full_loss_link_never_delivers():
+    sched, radio = make_radio()
+    listener = StubListener("a")
+    radio.register_listener(listener)
+    radio.connect("s", "a", IP, loss_rate=1.0)
+    for seq in range(10):
+        radio.emit("s", ev(seq))
+    sched.run()
+    assert listener.events == []
+
+
+def test_loss_rate_is_statistical_not_sticky():
+    """A 50% link must deliver *some* and lose *some* (regression test for
+    the fresh-child-RNG bug where every draw repeated)."""
+    sched, radio = make_radio()
+    listener = StubListener("a")
+    radio.register_listener(listener)
+    radio.connect("s", "a", IP, loss_rate=0.5)
+    for seq in range(200):
+        radio.emit("s", ev(seq))
+    sched.run()
+    assert 60 < len(listener.events) < 140
+
+
+def test_crashed_listener_misses_events():
+    sched, radio = make_radio()
+    listener = StubListener("a")
+    listener.alive = False
+    radio.register_listener(listener)
+    radio.connect("s", "a", IP, loss_rate=0.0)
+    radio.emit("s", ev(1))
+    sched.run()
+    assert listener.events == []
+
+
+def test_set_link_loss_requires_existing_link():
+    _sched, radio = make_radio()
+    with pytest.raises(KeyError):
+        radio.set_link_loss("s", "a", 0.5)
+
+
+def test_reachable_processes_sorted_and_disconnect():
+    _sched, radio = make_radio()
+    radio.connect("s", "b", IP)
+    radio.connect("s", "a", IP)
+    assert radio.reachable_processes("s") == ["a", "b"]
+    radio.disconnect("s", "a")
+    assert radio.reachable_processes("s") == ["b"]
+
+
+def test_poll_roundtrip():
+    sched, radio = make_radio()
+    listener = StubListener("a")
+    sensor = StubPollSensor("t")
+    radio.register_listener(listener)
+    radio.register_device(sensor)
+    radio.connect("t", "a", ZWAVE, loss_rate=0.0)
+    responses = []
+    radio.send_poll("a", "t", responses.append)
+    sched.run()
+    assert sensor.polls == 1
+    assert len(responses) == 1
+    assert responses[0].value == 21.0
+
+
+def test_poll_response_dropped_if_process_dies():
+    sched, radio = make_radio()
+    listener = StubListener("a")
+    sensor = StubPollSensor("t")
+    radio.register_listener(listener)
+    radio.register_device(sensor)
+    radio.connect("t", "a", ZWAVE, loss_rate=0.0)
+    responses = []
+    radio.send_poll("a", "t", responses.append)
+    listener.alive = False
+    sched.run()
+    assert responses == []
+
+
+def test_command_delivery():
+    sched, radio = make_radio()
+    actuator = StubActuator("light")
+    radio.register_device(actuator)
+    radio.connect("light", "a", ZWAVE, loss_rate=0.0)
+    command = Command(actuator_id="light", seq=1, issued_at=0.0, action="on")
+    radio.send_command("a", command)
+    sched.run()
+    assert [c.action for c in actuator.commands] == ["on"]
+
+
+def test_command_without_link_is_dropped():
+    sched, radio = make_radio()
+    actuator = StubActuator("light")
+    radio.register_device(actuator)
+    command = Command(actuator_id="light", seq=1, issued_at=0.0, action="on")
+    radio.send_command("a", command)
+    sched.run()
+    assert actuator.commands == []

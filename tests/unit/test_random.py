@@ -1,0 +1,71 @@
+"""Unit tests for named hierarchical random streams."""
+
+from repro.sim.random import RandomSource
+
+
+def test_same_seed_same_draws():
+    a = RandomSource(123)
+    b = RandomSource(123)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_children_are_independent_of_sibling_consumption():
+    root1 = RandomSource(9)
+    first = root1.child("alpha")
+    draws_before = [first.random() for _ in range(3)]
+
+    root2 = RandomSource(9)
+    # Consume a *different* child first: alpha's stream must not change.
+    other = root2.child("beta")
+    [other.random() for _ in range(100)]
+    second = root2.child("alpha")
+    assert [second.random() for _ in range(3)] == draws_before
+
+
+def test_distinct_names_distinct_streams():
+    root = RandomSource(1)
+    a = root.child("a")
+    b = root.child("b")
+    assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+
+def test_nested_children_stable():
+    assert (
+        RandomSource(5).child("x").child("y").random()
+        == RandomSource(5).child("x").child("y").random()
+    )
+
+
+def test_chance_extremes():
+    rng = RandomSource(3)
+    assert not rng.chance(0.0)
+    assert rng.chance(1.0)
+    assert not rng.chance(-1.0)
+    assert rng.chance(2.0)
+
+
+def test_chance_rate_roughly_matches():
+    rng = RandomSource(11)
+    hits = sum(rng.chance(0.3) for _ in range(20_000))
+    assert 0.28 < hits / 20_000 < 0.32
+
+
+def test_jittered_within_bounds():
+    rng = RandomSource(4)
+    for _ in range(200):
+        value = rng.jittered(10.0, 0.2)
+        assert 8.0 <= value <= 12.0
+
+
+def test_weighted_choice_respects_weights():
+    rng = RandomSource(8)
+    picks = [rng.weighted_choice([("a", 9.0), ("b", 1.0)]) for _ in range(5_000)]
+    share_a = picks.count("a") / len(picks)
+    assert share_a > 0.85
+
+
+def test_uniform_and_randint_ranges():
+    rng = RandomSource(2)
+    for _ in range(100):
+        assert 1.0 <= rng.uniform(1.0, 2.0) <= 2.0
+        assert 3 <= rng.randint(3, 6) <= 6

@@ -1,0 +1,60 @@
+"""Unit tests for ASCII report rendering."""
+
+from repro.eval.experiments import ExperimentTable
+from repro.eval.report import SeriesPlot, render_table
+
+
+def test_render_table_alignment_and_notes():
+    text = render_table(
+        "demo", ["name", "value"],
+        [["a", 1.0], ["long-name", 123456.0]],
+        notes=["a note"],
+    )
+    lines = text.splitlines()
+    assert lines[0] == "== demo =="
+    assert all(len(l) == len(lines[1]) for l in lines[1:-1])
+    assert "note: a note" in text
+    assert "123456" in text
+
+
+def test_cell_formatting():
+    text = render_table("t", ["x"], [[0.12345], [12.345], [1234.5], [0]])
+    assert "0.1234" in text or "0.1235" in text
+    assert "12.35" in text or "12.34" in text
+    assert "1234" in text.replace("1234.5", "1234")
+
+
+def test_experiment_table_queries():
+    table = ExperimentTable(
+        experiment="x", title="t", columns=["a", "b", "v"],
+        rows=[[1, "p", 10.0], [1, "q", 20.0], [2, "p", 30.0]],
+    )
+    assert table.column("v") == [10.0, 20.0, 30.0]
+    assert table.lookup(a=1) == [[1, "p", 10.0], [1, "q", 20.0]]
+    assert table.cell("v", a=2, b="p") == 30.0
+
+
+def test_experiment_table_cell_requires_unique_match():
+    import pytest
+
+    table = ExperimentTable(experiment="x", title="t", columns=["a", "v"],
+                            rows=[[1, 10.0], [1, 20.0]])
+    with pytest.raises(KeyError):
+        table.cell("v", a=1)
+    with pytest.raises(KeyError):
+        table.cell("v", a=9)
+
+
+def test_series_plot_renders_bars():
+    plot = SeriesPlot(title="timeline", x_label="t")
+    plot.series["gap"] = [(0.0, 0.0), (1.0, 5.0), (2.0, 10.0)]
+    text = plot.render(width=10)
+    assert "timeline" in text
+    assert "##########" in text  # the peak bar
+    assert "t=" in text
+
+
+def test_series_plot_empty_series():
+    plot = SeriesPlot(title="empty", x_label="t")
+    plot.series["nothing"] = []
+    assert "empty" in plot.render()

@@ -1,0 +1,76 @@
+"""Unit tests for the asyncio runtime's wire format."""
+
+import pytest
+
+from repro.core.events import Command, Event
+from repro.net.message import Message
+from repro.net.wire import ProcessIdSet
+from repro.rt.wire import WireError, decode_body, encode_message
+
+
+def roundtrip(message: Message) -> Message:
+    frame = encode_message(message)
+    length = int.from_bytes(frame[:4], "big")
+    body = frame[4:]
+    assert len(body) == length
+    return decode_body(body)
+
+
+def test_plain_payload_roundtrip():
+    message = Message(kind="k", src="a", dst="b",
+                      payload={"x": 1, "y": 2.5, "z": "str", "w": None, "b": True})
+    decoded = roundtrip(message)
+    assert decoded.kind == "k"
+    assert decoded.payload == message.payload
+
+
+def test_event_roundtrip():
+    event = Event(sensor_id="door", seq=7, emitted_at=1.25, value=True,
+                  size_bytes=4, epoch=3)
+    decoded = roundtrip(Message(kind="k", src="a", dst="b",
+                                payload={"event": event}))
+    assert decoded["event"] == event
+    assert decoded["event"].epoch == 3
+    assert decoded["event"].value is True
+
+
+def test_command_roundtrip():
+    command = Command(actuator_id="light", seq=2, issued_at=9.0, action="set",
+                      value=False, issued_by="app@p1")
+    decoded = roundtrip(Message(kind="k", src="a", dst="b",
+                                payload={"command": command}))
+    assert decoded["command"] == command
+
+
+def test_process_id_set_roundtrip():
+    ids = ProcessIdSet({"p0", "p1"})
+    decoded = roundtrip(Message(kind="k", src="a", dst="b", payload={"S": ids}))
+    assert isinstance(decoded["S"], ProcessIdSet)
+    assert set(decoded["S"]) == {"p0", "p1"}
+
+
+def test_nested_containers_roundtrip():
+    payload = {"ranges": [(1, 5), (9, 9)], "map": {"k": [1, 2]}}
+    decoded = roundtrip(Message(kind="k", src="a", dst="b", payload=payload))
+    # Tuples come back as lists; protocol code normalizes.
+    assert decoded["ranges"] == [[1, 5], [9, 9]]
+    assert decoded["map"] == {"k": [1, 2]}
+
+
+def test_set_roundtrip_as_frozenset():
+    decoded = roundtrip(Message(kind="k", src="a", dst="b",
+                                payload={"s": frozenset({"x", "y"})}))
+    assert decoded["s"] == frozenset({"x", "y"})
+
+
+def test_unserializable_payload_rejected():
+    with pytest.raises(WireError):
+        encode_message(Message(kind="k", src="a", dst="b",
+                               payload={"obj": object()}))
+
+
+def test_malformed_body_rejected():
+    with pytest.raises(WireError):
+        decode_body(b"not json")
+    with pytest.raises(WireError):
+        decode_body(b'{"kind": "k"}')

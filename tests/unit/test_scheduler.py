@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler, SimulationError
+
+
+def test_time_starts_at_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_call_later_runs_in_time_order():
+    sched = Scheduler()
+    order = []
+    sched.call_later(2.0, order.append, "b")
+    sched.call_later(1.0, order.append, "a")
+    sched.call_later(3.0, order.append, "c")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_runs_in_scheduling_order():
+    sched = Scheduler()
+    order = []
+    for tag in ("first", "second", "third"):
+        sched.call_at(5.0, order.append, tag)
+    sched.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.call_later(1.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [1.5]
+
+
+def test_run_until_stops_at_deadline():
+    sched = Scheduler()
+    ran = []
+    sched.call_later(1.0, ran.append, 1)
+    sched.call_later(5.0, ran.append, 5)
+    sched.run_until(2.0)
+    assert ran == [1]
+    assert sched.now == 2.0
+    sched.run_until(10.0)
+    assert ran == [1, 5]
+
+
+def test_run_until_deadline_is_inclusive():
+    sched = Scheduler()
+    ran = []
+    sched.call_at(2.0, ran.append, "x")
+    sched.run_until(2.0)
+    assert ran == ["x"]
+
+
+def test_cancelled_timer_does_not_fire():
+    sched = Scheduler()
+    ran = []
+    handle = sched.call_later(1.0, ran.append, "x")
+    handle.cancel()
+    sched.run()
+    assert ran == []
+    assert handle.cancelled
+    assert not handle.fired
+
+
+def test_cancel_after_fire_is_noop():
+    sched = Scheduler()
+    handle = sched.call_later(0.5, lambda: None)
+    sched.run()
+    assert handle.fired
+    handle.cancel()  # must not raise
+
+
+def test_scheduling_in_the_past_rejected():
+    sched = Scheduler()
+    sched.call_later(1.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Scheduler().call_later(-0.1, lambda: None)
+
+
+def test_run_until_past_deadline_rejected():
+    sched = Scheduler()
+    sched.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sched.run_until(2.0)
+
+
+def test_callbacks_can_schedule_more_work():
+    sched = Scheduler()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sched.call_later(1.0, chain, n + 1)
+
+    sched.call_later(1.0, chain, 1)
+    sched.run()
+    assert seen == [1, 2, 3]
+    assert sched.now == 3.0
+
+
+def test_event_budget_guards_infinite_loops():
+    sched = Scheduler()
+
+    def forever():
+        sched.call_later(0.1, forever)
+
+    sched.call_later(0.1, forever)
+    with pytest.raises(SimulationError):
+        sched.run(max_events=100)
+
+
+def test_pending_and_processed_counters():
+    sched = Scheduler()
+    sched.call_later(1.0, lambda: None)
+    handle = sched.call_later(2.0, lambda: None)
+    handle.cancel()
+    assert sched.pending_events == 1
+    sched.run()
+    assert sched.processed_events == 1

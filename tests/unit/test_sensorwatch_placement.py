@@ -1,0 +1,89 @@
+"""Unit tests for the sensor watch and resource-aware placement."""
+
+import pytest
+
+from repro.core.delivery import GAP
+from repro.core.graph import App
+from repro.core.home import Home, HomeConfig
+from repro.core.operators import Operator
+from repro.core.placement import active_replica_set, placement_chain
+from repro.core.plan import DeploymentPlan
+from repro.core.sensorwatch import _SensorModel
+from repro.core.windows import CountWindow
+
+
+def test_active_replica_set_orders_by_priority():
+    chain = ["c", "b", "a"]  # 'a' is the most preferred (last)
+    assert active_replica_set(chain, {"a", "b", "c"}, 1) == ["a"]
+    assert active_replica_set(chain, {"a", "b", "c"}, 2) == ["a", "b"]
+    assert active_replica_set(chain, {"b", "c"}, 2) == ["b", "c"]
+    assert active_replica_set(chain, set(), 2) == []
+    assert active_replica_set(chain, {"a"}, 3) == ["a"]
+    with pytest.raises(ValueError):
+        active_replica_set(chain, {"a"}, 0)
+
+
+def _plan_with_compute(compute: dict[str, float]) -> DeploymentPlan:
+    op = Operator("L")
+    op.add_sensor("s", GAP, CountWindow(1))
+    app = App("a", op)
+    return DeploymentPlan(
+        processes=list(compute),
+        sensor_hosts={"s": list(compute)},
+        actuator_hosts={},
+        apps=[app],
+        host_compute=compute,
+    )
+
+
+def test_compute_breaks_placement_ties():
+    plan = _plan_with_compute({"hub": 1.0, "tv": 4.0, "fridge": 2.0})
+    chain = placement_chain(plan.apps[0], plan)
+    # All equally connected: the beefiest appliance wins.
+    assert chain[-1] == "tv"
+    assert chain == ["hub", "fridge", "tv"]
+
+
+def test_connectivity_still_dominates_compute():
+    op = Operator("L")
+    op.add_sensor("s", GAP, CountWindow(1))
+    app = App("a", op)
+    plan = DeploymentPlan(
+        processes=["weak", "strong"],
+        sensor_hosts={"s": ["weak"]},  # only 'weak' hears the sensor
+        actuator_hosts={},
+        apps=[app],
+        host_compute={"weak": 0.5, "strong": 10.0},
+    )
+    assert placement_chain(app, plan)[-1] == "weak"
+
+
+def test_home_rejects_non_positive_compute():
+    home = Home()
+    with pytest.raises(ValueError):
+        home.add_process("p", compute=0.0)
+
+
+def test_sensor_model_ewma():
+    model = _SensorModel(last_seen=0.0)
+    model.observe(1.0, alpha=0.5)
+    assert model.ewma_gap == 1.0
+    model.observe(3.0, alpha=0.5)
+    assert model.ewma_gap == pytest.approx(1.5)
+    assert model.samples == 2
+
+
+def test_sensor_watch_requires_enough_samples():
+    """A sensor that fired once (no interval estimate) is never suspected."""
+    home = Home(HomeConfig(seed=1, sensor_watch=True))
+    home.add_process("p0", adapters=("ip",))
+    home.add_sensor("s1", kind="motion", technology="ip")
+    home.add_actuator("a1", technology="ip")
+    op = Operator("L", on_window=lambda ctx, c: None)
+    op.add_sensor("s1", GAP, CountWindow(1))
+    op.add_actuator("a1", GAP)
+    home.deploy(App("w", op))
+    home.start()
+    home.sensor("s1").emit(True)
+    home.run_until(120.0)
+    assert home.trace.count("sensor_suspected") == 0

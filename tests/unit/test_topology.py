@@ -1,0 +1,73 @@
+"""Unit tests for the floor-plan topology model."""
+
+from repro.net.radio import BLE, ZIGBEE, ZWAVE
+from repro.net.topology import HomeTopology, Position, segments_intersect
+
+
+def test_distance():
+    assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+
+def test_segment_intersection_basic():
+    assert segments_intersect(Position(0, 0), Position(2, 2),
+                              Position(0, 2), Position(2, 0))
+    assert not segments_intersect(Position(0, 0), Position(1, 0),
+                                  Position(0, 1), Position(1, 1))
+
+
+def test_segment_intersection_collinear_overlap():
+    assert segments_intersect(Position(0, 0), Position(4, 0),
+                              Position(2, 0), Position(6, 0))
+
+
+def test_unplaced_devices_are_reachable_at_base_loss():
+    topo = HomeTopology()
+    reachable, loss = topo.link_quality("sensor", "host", ZWAVE)
+    assert reachable
+    assert loss == ZWAVE.base_loss_rate
+
+
+def test_out_of_range_unreachable():
+    topo = HomeTopology()
+    topo.place("sensor", 0, 0).place("host", 100, 0)
+    reachable, loss = topo.link_quality("sensor", "host", ZIGBEE)  # 15 m range
+    assert not reachable
+    assert loss == 1.0
+    # BLE reaches 100 m.
+    reachable, _ = topo.link_quality("sensor", "host", BLE)
+    assert reachable
+
+
+def test_loss_grows_with_distance():
+    topo = HomeTopology()
+    topo.place("sensor", 0, 0).place("near", 5, 0).place("far", 35, 0)
+    _, near_loss = topo.link_quality("sensor", "near", ZWAVE)
+    _, far_loss = topo.link_quality("sensor", "far", ZWAVE)
+    assert far_loss > near_loss
+
+
+def test_walls_multiply_loss():
+    topo = HomeTopology()
+    topo.place("sensor", 0, 0).place("host", 10, 0)
+    _, clear_loss = topo.link_quality("sensor", "host", ZWAVE)
+    topo.add_wall(5, -5, 5, 5, loss_factor=20.0)
+    _, wall_loss = topo.link_quality("sensor", "host", ZWAVE)
+    assert wall_loss / clear_loss > 19.0
+    assert topo.walls_between("sensor", "host")
+
+
+def test_wall_not_crossing_has_no_effect():
+    topo = HomeTopology()
+    topo.place("sensor", 0, 0).place("host", 10, 0)
+    topo.add_wall(5, 1, 5, 5, loss_factor=20.0)
+    _, loss = topo.link_quality("sensor", "host", ZWAVE)
+    assert loss < ZWAVE.base_loss_rate * 5
+
+
+def test_loss_capped_at_one():
+    topo = HomeTopology()
+    topo.place("sensor", 0, 0).place("host", 39, 0)
+    for i in range(10):
+        topo.add_wall(1 + i, -5, 1 + i, 5, loss_factor=50.0)
+    _, loss = topo.link_quality("sensor", "host", ZWAVE)
+    assert loss == 1.0

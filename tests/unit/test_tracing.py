@@ -1,0 +1,60 @@
+"""Unit tests for the structured trace recorder."""
+
+from repro.sim.tracing import Trace
+
+
+def test_record_and_query():
+    trace = Trace()
+    trace.record(1.0, "ping", value=1)
+    trace.record(2.0, "pong", value=2)
+    trace.record(3.0, "ping", value=3)
+    assert trace.count("ping") == 2
+    assert [e["value"] for e in trace.of_kind("ping")] == [1, 3]
+
+
+def test_where_filters_on_fields():
+    trace = Trace()
+    trace.record(0.0, "msg", src="a", dst="b")
+    trace.record(0.0, "msg", src="a", dst="c")
+    assert len(trace.where("msg", dst="c")) == 1
+
+
+def test_keep_kinds_limits_storage_but_not_counts():
+    trace = Trace(keep_kinds={"kept"})
+    trace.record(0.0, "kept", x=1)
+    trace.record(0.0, "dropped", x=2)
+    assert trace.count("dropped") == 1
+    assert len(trace.of_kind("dropped")) == 0
+    assert len(trace.of_kind("kept")) == 1
+
+
+def test_subscribers_see_unstored_records():
+    trace = Trace(keep_kinds=set())
+    seen = []
+    trace.subscribe(lambda e: seen.append(e.kind))
+    trace.record(0.0, "anything")
+    assert seen == ["anything"]
+    assert len(trace) == 0
+
+
+def test_event_get_and_getitem():
+    trace = Trace()
+    trace.record(5.0, "k", a=1)
+    event = trace.events[0]
+    assert event["a"] == 1
+    assert event.get("missing", 42) == 42
+    assert event.time == 5.0
+
+
+def test_field_named_kind_is_allowed():
+    trace = Trace()
+    trace.record(0.0, "net_send", kind="keepalive")
+    assert trace.of_kind("net_send")[0]["kind"] == "keepalive"
+
+
+def test_counts_snapshot_is_a_copy():
+    trace = Trace()
+    trace.record(0.0, "a")
+    snapshot = trace.counts
+    snapshot["a"] += 10
+    assert trace.count("a") == 1

@@ -1,0 +1,138 @@
+"""Unit tests for the TCP-like home network transport."""
+
+import pytest
+
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.transport import HomeNetwork
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+class StubEndpoint:
+    def __init__(self, name: str):
+        self.name = name
+        self.alive = True
+        self.received: list[Message] = []
+
+    def deliver(self, message: Message) -> None:
+        self.received.append(message)
+
+
+@pytest.fixture
+def net():
+    sched = Scheduler()
+    network = HomeNetwork(sched, RandomSource(1), Trace(),
+                          latency=LatencyModel(jitter_fraction=0.0))
+    a, b = StubEndpoint("a"), StubEndpoint("b")
+    network.register(a)
+    network.register(b)
+    return sched, network, a, b
+
+
+def msg(src="a", dst="b", kind="k", **payload) -> Message:
+    return Message(kind=kind, src=src, dst=dst, payload=payload)
+
+
+def test_delivery_between_live_endpoints(net):
+    sched, network, a, b = net
+    network.send(msg(x=1))
+    sched.run()
+    assert len(b.received) == 1
+
+
+def test_unknown_destination_raises(net):
+    sched, network, a, b = net
+    with pytest.raises(KeyError):
+        network.send(msg(dst="ghost"))
+
+
+def test_duplicate_registration_rejected(net):
+    sched, network, a, b = net
+    with pytest.raises(ValueError):
+        network.register(StubEndpoint("a"))
+
+
+def test_fifo_per_pair_even_with_equal_sizes(net):
+    sched, network, a, b = net
+    for i in range(20):
+        network.send(msg(i=i))
+    sched.run()
+    assert [m["i"] for m in b.received] == list(range(20))
+
+
+def test_fifo_small_message_cannot_overtake_large(net):
+    sched, network, a, b = net
+    network.send(msg(kind="big", blob=b"x" * 100_000))
+    network.send(msg(kind="small", x=1))
+    sched.run()
+    assert [m.kind for m in b.received] == ["big", "small"]
+
+
+def test_crashed_sender_sends_nothing(net):
+    sched, network, a, b = net
+    a.alive = False
+    network.send(msg())
+    sched.run()
+    assert b.received == []
+
+
+def test_message_lost_if_destination_crashes_in_flight(net):
+    sched, network, a, b = net
+    network.send(msg())
+    b.alive = False
+    sched.run()
+    assert b.received == []
+
+
+def test_partition_blocks_and_heals(net):
+    sched, network, a, b = net
+    network.partition.set_partition([["a"], ["b"]])
+    network.send(msg())
+    sched.run()
+    assert b.received == []
+    network.partition.heal()
+    network.send(msg())
+    sched.run()
+    assert len(b.received) == 1
+
+
+def test_partition_drops_in_flight_messages(net):
+    sched, network, a, b = net
+    network.send(msg())
+    network.partition.set_partition([["a"], ["b"]])
+    sched.run()
+    assert b.received == []
+
+
+def test_bytes_accounting(net):
+    sched, network, a, b = net
+    network.send(msg(kind="data", x=1))
+    network.send(msg(kind="other", x=2))
+    sched.run()
+    assert network.messages_sent() == 2
+    assert network.messages_sent(kinds={"data"}) == 1
+    assert network.bytes_sent(kinds={"data"}) > 0
+    assert network.bytes_sent() == network.bytes_sent(kinds={"data", "other"})
+
+
+def test_larger_messages_take_longer():
+    sched = Scheduler()
+    network = HomeNetwork(sched, RandomSource(1), Trace(),
+                          latency=LatencyModel(jitter_fraction=0.0))
+    a, b = StubEndpoint("a"), StubEndpoint("b")
+    network.register(a)
+    network.register(b)
+    times = {}
+
+    small = msg(kind="small", x=1)
+    big = msg(kind="big", blob=b"y" * 50_000)
+    network.send(small)
+    sched.run()
+    times["small"] = sched.now
+    start = sched.now
+    network.send(big)
+    sched.run()
+    times["big"] = sched.now - start
+    assert times["big"] > times["small"]

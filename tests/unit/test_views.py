@@ -1,0 +1,52 @@
+"""Unit tests for local views and ring ordering."""
+
+import pytest
+
+from repro.membership.views import LocalView
+
+
+def test_view_always_contains_owner():
+    view = LocalView.of("a", [])
+    assert "a" in view
+    with pytest.raises(ValueError):
+        LocalView(owner="a", members=frozenset({"b"}))
+
+
+def test_ring_successor_cyclic_order():
+    view = LocalView.of("b", ["a", "c"])
+    assert view.ring_successor("a") == "b"
+    assert view.ring_successor("b") == "c"
+    assert view.ring_successor("c") == "a"
+
+
+def test_ring_successor_defaults_to_owner():
+    view = LocalView.of("b", ["a", "c"])
+    assert view.ring_successor() == "c"
+
+
+def test_singleton_view_has_no_successor():
+    assert LocalView.of("a", []).ring_successor() is None
+
+
+def test_successor_of_non_member_routes_around():
+    view = LocalView.of("a", ["c"])
+    # 'b' crashed and is absent; its successor is the next live name.
+    assert view.ring_successor("b") == "c"
+    assert view.ring_successor("d") == "a"
+
+
+def test_two_member_ring_is_symmetric():
+    view = LocalView.of("a", ["b"])
+    assert view.ring_successor("a") == "b"
+    assert view.ring_successor("b") == "a"
+
+
+def test_merged_with():
+    view = LocalView.of("a", ["b"])
+    assert view.merged_with(["c"]) == frozenset({"a", "b", "c"})
+
+
+def test_iteration_sorted_and_len():
+    view = LocalView.of("b", ["c", "a"])
+    assert list(view) == ["a", "b", "c"]
+    assert len(view) == 3

@@ -1,0 +1,155 @@
+"""Unit tests for windows, triggers, and evictors (Section 6.1)."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.windows import (
+    ClearAll,
+    CountWindow,
+    EveryInterval,
+    EvictOlderThan,
+    KeepAll,
+    KeepLast,
+    OnCount,
+    OnEveryEvent,
+    TimeWindow,
+    WindowInstance,
+)
+
+
+def ev(seq: int, at: float) -> Event:
+    return Event(sensor_id="s", seq=seq, emitted_at=at, value=seq, size_bytes=4)
+
+
+def collect_window(spec):
+    fired = []
+    return WindowInstance(stream="s", spec=spec, on_fire=fired.append), fired
+
+
+# -- count windows -----------------------------------------------------------------
+
+
+def test_count_window_fires_when_full():
+    window, fired = collect_window(CountWindow(3))
+    assert not window.add(ev(1, 0.0), 0.0)
+    assert not window.add(ev(2, 0.1), 0.1)
+    assert window.add(ev(3, 0.2), 0.2)
+    assert len(fired) == 1
+    assert [e.seq for e in fired[0].events] == [1, 2, 3]
+
+
+def test_count_window_clears_by_default():
+    window, fired = collect_window(CountWindow(2))
+    for seq in range(1, 5):
+        window.add(ev(seq, seq * 0.1), seq * 0.1)
+    assert len(fired) == 2
+    assert [e.seq for e in fired[0]] == [1, 2]
+    assert [e.seq for e in fired[1]] == [3, 4]
+
+
+def test_count_window_of_one_is_per_event():
+    window, fired = collect_window(CountWindow(1))
+    window.add(ev(1, 0.0), 0.0)
+    window.add(ev(2, 0.1), 0.1)
+    assert len(fired) == 2
+
+
+def test_sliding_count_window_keeps_last():
+    spec = CountWindow(3, evictor=KeepLast(2))
+    window, fired = collect_window(spec)
+    for seq in range(1, 6):
+        window.add(ev(seq, seq * 0.1), seq * 0.1)
+    # Fires at 3, then every event keeps the buffer at 3 (two survivors + 1).
+    assert [[e.seq for e in f] for f in fired] == [[1, 2, 3], [2, 3, 4], [3, 4, 5]]
+
+
+def test_count_bound_drops_oldest():
+    spec = CountWindow(2, trigger=OnCount(100))  # never fires on its own
+    window, fired = collect_window(spec)
+    for seq in range(1, 5):
+        window.add(ev(seq, seq * 0.1), seq * 0.1)
+    assert [e.seq for e in window.buffered] == [3, 4]
+    assert fired == []
+
+
+def test_count_window_validation():
+    with pytest.raises(ValueError):
+        CountWindow(0)
+    with pytest.raises(ValueError):
+        OnCount(0)
+
+
+# -- time windows -------------------------------------------------------------------------
+
+
+def test_time_window_defaults_to_interval_trigger():
+    spec = TimeWindow(60.0)
+    assert isinstance(spec.trigger, EveryInterval)
+    assert spec.trigger.interval == 60.0
+    assert isinstance(spec.evictor, ClearAll)
+
+
+def test_time_window_bounds_by_span():
+    spec = TimeWindow(10.0, trigger=OnCount(100))
+    window, _ = collect_window(spec)
+    window.add(ev(1, 0.0), 0.0)
+    window.add(ev(2, 5.0), 5.0)
+    window.add(ev(3, 12.0), 12.0)
+    assert [e.seq for e in window.buffered] == [2, 3]
+
+
+def test_time_window_fire_rebounds_aged_events():
+    spec = TimeWindow(10.0)
+    window, fired = collect_window(spec)
+    window.add(ev(1, 1.0), 1.0)
+    snapshot = window.fire(20.0)  # event aged out before the periodic fire
+    assert snapshot.empty
+    assert fired[0].empty
+
+
+def test_time_window_validation():
+    with pytest.raises(ValueError):
+        TimeWindow(0.0)
+    with pytest.raises(ValueError):
+        EveryInterval(0.0)
+
+
+# -- evictors ---------------------------------------------------------------------------------
+
+
+def test_evict_older_than():
+    evictor = EvictOlderThan(5.0)
+    buffer = [ev(1, 0.0), ev(2, 6.0), ev(3, 9.0)]
+    assert [e.seq for e in evictor.evict(buffer, 10.0)] == [2, 3]
+
+
+def test_keep_all_and_clear_all():
+    buffer = [ev(1, 0.0)]
+    assert KeepAll().evict(buffer, 1.0) == buffer
+    assert ClearAll().evict(buffer, 1.0) == []
+
+
+def test_keep_last_zero():
+    assert KeepLast(0).evict([ev(1, 0.0)], 1.0) == []
+    with pytest.raises(ValueError):
+        KeepLast(-1)
+
+
+def test_on_every_event_trigger():
+    assert OnEveryEvent().on_event([ev(1, 0.0)])
+    assert not OnEveryEvent().on_event([])
+
+
+# -- triggered snapshots --------------------------------------------------------------------------
+
+
+def test_triggered_window_accessors():
+    window, fired = collect_window(CountWindow(2))
+    window.add(ev(1, 0.0), 0.0)
+    window.add(ev(2, 0.5), 0.5)
+    snapshot = fired[0]
+    assert snapshot.stream == "s"
+    assert snapshot.values() == [1, 2]
+    assert len(snapshot) == 2
+    assert not snapshot.empty
+    assert snapshot.fired_at == 0.5

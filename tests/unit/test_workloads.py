@@ -1,0 +1,97 @@
+"""Unit tests for the evaluation workload builders."""
+
+import pytest
+
+from repro.core.delivery import GAP, GAPLESS
+from repro.eval.workloads import (
+    FIG1_LINK_LOSS,
+    OccupancyConfig,
+    OccupancyWorkload,
+    home_deployment,
+    noop_app,
+    single_sensor_home,
+)
+from repro.sim.random import RandomSource
+
+
+def test_single_sensor_home_receiving_by_count():
+    home, sensor = single_sensor_home(n_processes=5, receiving=2,
+                                      guarantee=GAPLESS)
+    assert home.radio.reachable_processes("s1") == ["p1", "p2"]
+    # Count n wraps around to include p0 (the all-receive configuration).
+    home5, _ = single_sensor_home(n_processes=5, receiving=5, guarantee=GAP)
+    assert home5.radio.reachable_processes("s1") == [f"p{i}" for i in range(5)]
+
+
+def test_single_sensor_home_validates_receivers():
+    with pytest.raises(ValueError):
+        single_sensor_home(n_processes=3, receiving=7, guarantee=GAP)
+    with pytest.raises(ValueError):
+        single_sensor_home(n_processes=3, receiving=["p9"], guarantee=GAP)
+    with pytest.raises(ValueError):
+        single_sensor_home(n_processes=0, receiving=1, guarantee=GAP)
+
+
+def test_app_is_pinned_to_p0():
+    home, _ = single_sensor_home(n_processes=4, receiving=["p1"],
+                                 guarantee=GAPLESS)
+    home.run_until(1.0)
+    actives = [n for n, p in home.processes.items()
+               if p.execution.runtimes["app"].active]
+    assert actives == ["p0"]
+
+
+def test_noop_app_delivery_configuration():
+    app = noop_app("s1", GAPLESS)
+    assert app.sensor_requirements()["s1"].delivery is GAPLESS
+
+
+def test_occupancy_workload_is_deterministic():
+    def schedule_counts(seed):
+        home, workload = home_deployment(seed=seed, days=1.0)
+        return workload.schedule()
+
+    assert schedule_counts(5) == schedule_counts(5)
+    assert schedule_counts(5) != schedule_counts(6)
+
+
+def test_occupancy_workload_volume_scales_with_days():
+    home1, w1 = home_deployment(seed=3, days=1.0)
+    home3, w3 = home_deployment(seed=3, days=3.0)
+    one = w1.schedule()
+    three = w3.schedule()
+    assert 2.0 < three / one < 4.0
+
+
+def test_fig1_links_are_installed():
+    home, _ = home_deployment(seed=1, days=1.0)
+    door1_hub = home.radio.link("door1", "hub")
+    assert door1_hub.loss_rate == FIG1_LINK_LOSS[("door1", "hub")]
+    assert door1_hub.loss_rate > 0.2  # the obstructed link
+    motion2_tv = home.radio.link("motion2", "tv")
+    assert motion2_tv.loss_rate < 0.02
+
+
+def test_emissions_happen_within_waking_hours():
+    home, workload = home_deployment(seed=7, days=1.0)
+    times = []
+
+    original = workload._emit_at
+
+    def capture(at, sensor):
+        times.append(at)
+        original(at, sensor)
+
+    workload._emit_at = capture
+    workload.schedule()
+    assert times
+    hours = [(t % 86_400.0) / 3600.0 for t in times]
+    # Nothing fires in the dead of night (cfg: wake ~6.5, sleep ~23).
+    assert all(4.5 <= h <= 24.0 for h in hours)
+
+
+def test_occupancy_config_defaults_match_fig1_calibration():
+    cfg = OccupancyConfig()
+    assert cfg.days == 15.0
+    lo, hi = cfg.door_events_per_transition
+    assert lo >= 8  # chatty commodity door sensors
