@@ -1,0 +1,60 @@
+"""Kernel throughput microbenchmarks (marked ``perf``; not part of tier-1).
+
+Run explicitly::
+
+    pytest benchmarks/test_kernel_throughput.py -m perf --no-header -q
+
+The numbers printed here are smoke-sized; the authoritative run (with
+seed-baseline speedups) is ``python -m repro.eval.cli perf``, which writes
+``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.perf import (
+    bench_combined,
+    bench_fig1,
+    bench_network,
+    bench_scheduler,
+    run_kernel_bench,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def test_scheduler_throughput(show):
+    result = bench_scheduler(sim_seconds=50.0)
+    show(f"scheduler: {result['events_per_s']:,.0f} events/s")
+    # Smoke floor: orders of magnitude below the optimized kernel's rate,
+    # only catching a catastrophic regression or a broken bench.
+    assert result["events_per_s"] > 100_000
+
+
+def test_network_throughput(show):
+    result = bench_network(messages=20_000)
+    show(f"network: {result['messages_per_s']:,.0f} messages/s")
+    assert result["messages"] == 20_000
+    assert result["messages_per_s"] > 20_000
+
+
+def test_combined_throughput(show):
+    result = bench_combined(sim_seconds=60.0)
+    show(f"combined: {result['events_per_s']:,.0f} events/s")
+    assert result["events_per_s"] > 100_000
+
+
+def test_fig1_wall_clock(show):
+    result = bench_fig1(days=2.0)
+    show(f"fig1 (2 days): {result['wall_clock_s']:.2f}s")
+    assert result["wall_clock_s"] < 10.0
+
+
+def test_run_kernel_bench_writes_json(tmp_path, show):
+    out = tmp_path / "BENCH_kernel.json"
+    results = run_kernel_bench(str(out), quick=True)
+    assert out.exists()
+    assert results["quick"] is True
+    for section in ("scheduler", "network", "combined", "fig1"):
+        assert section in results

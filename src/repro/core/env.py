@@ -27,6 +27,45 @@ class CancelHandle(Protocol):
     def cancel(self) -> None: ...
 
 
+class _ChainedRepeating:
+    """Default repeating timer: a self-re-arming chain of one-shots.
+
+    Used by runtimes whose scheduler has no native repeating primitive
+    (e.g. the asyncio runtime); the simulator overrides
+    :meth:`RuntimeEnv.schedule_repeating` with the allocation-free
+    :meth:`repro.sim.scheduler.Scheduler.call_repeating`.
+    """
+
+    __slots__ = ("_env", "_interval", "_fn", "_args", "_cancelled", "_inner")
+
+    def __init__(
+        self,
+        env: "RuntimeEnv",
+        interval: float,
+        fn: Callable[..., None],
+        args: tuple,
+        first_delay: float | None,
+    ) -> None:
+        self._env = env
+        self._interval = interval
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        delay = interval if first_delay is None else first_delay
+        self._inner = env.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        self._fn(*self._args)
+        if not self._cancelled:
+            self._inner = self._env.schedule(self._interval, self._tick)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._inner.cancel()
+
+
 class RuntimeEnv(abc.ABC):
     """What a protocol component may do to the outside world."""
 
@@ -44,6 +83,22 @@ class RuntimeEnv(abc.ABC):
     @abc.abstractmethod
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> CancelHandle:
         """Run ``fn(*args)`` after ``delay`` seconds; returns a cancellable handle."""
+
+    def schedule_repeating(
+        self,
+        interval: float,
+        fn: Callable[..., None],
+        *args: Any,
+        first_delay: float | None = None,
+    ) -> CancelHandle:
+        """Run ``fn(*args)`` every ``interval`` seconds until cancelled.
+
+        The first firing is after ``first_delay`` (default ``interval``).
+        Periodic services (heartbeats, poll epochs, anti-entropy) should
+        prefer this over re-arming one-shots: the simulator implements it
+        without per-tick allocations.
+        """
+        return _ChainedRepeating(self, interval, fn, args, first_delay)
 
     @abc.abstractmethod
     def register_handler(self, kind: str, fn: Callable[[Message], None]) -> None:

@@ -71,6 +71,7 @@ class PollCoordinator:
         self._epochs_with_event: set[int] = set()
         self._poll_handle = None
         self._retry_handle = None
+        self._boundary_handle = None
         self._current_epoch = -1
         self.polls_issued = 0
 
@@ -78,19 +79,28 @@ class PollCoordinator:
 
     def start(self) -> None:
         self._delivery.add_seen_listener(self._on_event_seen)
+        e = self.policy.epoch_s
         now = self._ctx.env.now()
-        epoch = math.floor(now / self.policy.epoch_s)
+        epoch = math.floor(now / e)
+        # One repeating timer drives all epoch boundaries (no per-epoch
+        # timer allocation); polls and gap checks remain one-shots because
+        # their offsets vary per epoch.
+        self._boundary_handle = self._ctx.env.schedule_repeating(
+            e, self._next_epoch,
+            first_delay=max(0.0, (epoch + 1) * e - now),
+        )
         self._begin_epoch(epoch)
 
     # -- epoch machinery ----------------------------------------------------------------
+
+    def _next_epoch(self) -> None:
+        self._begin_epoch(self._current_epoch + 1)
 
     def _begin_epoch(self, epoch: int) -> None:
         e = self.policy.epoch_s
         now = self._ctx.env.now()
         self._current_epoch = epoch
         next_boundary = (epoch + 1) * e
-        self._ctx.env.schedule(max(0.0, next_boundary - now),
-                               self._begin_epoch, epoch + 1)
         gap_check_at = next_boundary + GAP_CHECK_GRACE_FRACTION * e
         self._ctx.env.schedule(max(0.0, gap_check_at - now),
                                self._check_epoch_gap, epoch)

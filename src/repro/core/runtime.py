@@ -90,6 +90,7 @@ class RivuletProcess(RuntimeEnv):
         self._trace = trace
         self._rng_root = rng.child(f"process/{name}")
         self._rng_streams: dict[str, RandomSource] = {}
+        self._peers_cache: list[str] | None = None
         self.plan = plan
         self.device_info = device_info
         self.processing = processing or ProcessingModel()
@@ -194,6 +195,7 @@ class RivuletProcess(RuntimeEnv):
         self._handlers.clear()
         if self.heartbeat is not None:
             self.heartbeat.stop()
+        self._network.liveness_changed()
         self.trace("crash")
 
     def recover(self) -> None:
@@ -202,6 +204,7 @@ class RivuletProcess(RuntimeEnv):
             return
         self._incarnation += 1
         self._alive = True
+        self._network.liveness_changed()
         self.trace("recover", incarnation=self._incarnation)
         self.boot()
 
@@ -216,7 +219,7 @@ class RivuletProcess(RuntimeEnv):
     def send(self, dst: str, kind: str, **payload: Any) -> None:
         if not self._alive:
             return
-        self._network.send(Message(kind=kind, src=self.name, dst=dst, payload=payload))
+        self._network.send(Message(kind, self.name, dst, payload))
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> CancelHandle:
         incarnation = self._incarnation
@@ -226,6 +229,29 @@ class RivuletProcess(RuntimeEnv):
                 fn(*args)
 
         return _GuardedHandle(self._scheduler.call_later(delay, guarded))
+
+    def schedule_repeating(
+        self,
+        interval: float,
+        fn: Callable[..., None],
+        *args: Any,
+        first_delay: float | None = None,
+    ) -> CancelHandle:
+        incarnation = self._incarnation
+        handle: Any = None
+
+        def guarded() -> None:
+            if self._alive and self._incarnation == incarnation:
+                fn(*args)
+            elif handle is not None:
+                # The owning incarnation is gone; stop the repetition so a
+                # crashed process leaves no ticking timers behind.
+                handle.cancel()
+
+        handle = self._scheduler.call_repeating(
+            interval, guarded, first_delay=first_delay
+        )
+        return _GuardedHandle(handle)
 
     def register_handler(self, kind: str, fn: Callable[[Message], None]) -> None:
         self._handlers[kind] = fn
@@ -241,7 +267,13 @@ class RivuletProcess(RuntimeEnv):
         self._trace.record(self._scheduler.now, kind, process=self.name, **fields)
 
     def peers(self) -> list[str]:
-        return [p for p in self.plan.processes if p != self.name]
+        # The deployment plan is fixed for the lifetime of a run, so the
+        # peer list is computed once (heartbeats ask for it every tick).
+        peers = self._peers_cache
+        if peers is None:
+            peers = [p for p in self.plan.processes if p != self.name]
+            self._peers_cache = peers
+        return peers
 
     # -- transport endpoint ------------------------------------------------------------------
 

@@ -28,8 +28,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "perf"],
+        help="which table/figure to regenerate, or 'perf' for the kernel "
+        "throughput benchmark (writes BENCH_kernel.json)",
     )
     parser.add_argument("--duration", type=float, default=None,
                         help="run length in simulated seconds (paper: 200)")
@@ -41,7 +42,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="deployment length for fig1 (paper: 15)")
     parser.add_argument("--chart", action="store_true",
                         help="also draw an ASCII chart of the figure")
+    parser.add_argument("--quick", action="store_true",
+                        help="perf only: shrink workloads for a fast smoke run")
+    parser.add_argument("--out", type=str, default="BENCH_kernel.json",
+                        help="perf only: output path for the benchmark JSON")
     args = parser.parse_args(argv)
+
+    if args.experiment == "perf":
+        from repro.eval.perf import render_summary, run_kernel_bench
+
+        results = run_kernel_bench(args.out, quick=args.quick)
+        print(render_summary(results))
+        print(f"wrote {args.out}")
+        return 0
 
     seeds = None
     if args.seeds:

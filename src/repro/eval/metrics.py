@@ -146,13 +146,14 @@ class ReceptionCounter:
     def __init__(self, trace: Trace) -> None:
         self.counts: dict[tuple[str, str], int] = defaultdict(int)
         self.emitted: Counter[str] = Counter()
-        trace.subscribe(self._on_record)
+        trace.subscribe(self._on_delivered, kinds=("radio_delivered",))
+        trace.subscribe(self._on_emit, kinds=("sensor_emit",))
 
-    def _on_record(self, event) -> None:
-        if event.kind == "radio_delivered":
-            self.counts[(event["sensor"], event["process"])] += 1
-        elif event.kind == "sensor_emit":
-            self.emitted[event["sensor"]] += 1
+    def _on_delivered(self, event) -> None:
+        self.counts[(event["sensor"], event["process"])] += 1
+
+    def _on_emit(self, event) -> None:
+        self.emitted[event["sensor"]] += 1
 
     def matrix(self) -> dict[str, dict[str, int]]:
         matrix: dict[str, dict[str, int]] = defaultdict(dict)

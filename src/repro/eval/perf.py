@@ -1,0 +1,229 @@
+"""Kernel throughput microbenchmarks.
+
+The simulator's wall-clock cost is dominated by three hot paths —
+``Scheduler.step``/``run_until``, ``HomeNetwork.send`` and
+``Trace.record`` — so this module measures exactly those, end to end:
+
+- :func:`bench_scheduler` — repeating-timer workload (the heartbeat /
+  poll-epoch pattern), reported as scheduler callbacks per second;
+- :func:`bench_network` — keepalive-style send/deliver loop through the
+  full transport stack (wire sizing, latency model, FIFO ordering, trace
+  accounting), reported as delivered messages per second;
+- :func:`bench_combined` — a busy 8-process home mixing periodic keepalive
+  fan-out with cheap logic timers; events/sec counts scheduler callbacks
+  plus delivered messages. This is the "scheduler+network microbenchmark"
+  quoted in performance acceptance numbers;
+- :func:`bench_fig1` — wall-clock seconds for the paper's 15-simulated-day
+  Fig. 1 deployment, the heaviest single experiment in the suite.
+
+:func:`run_kernel_bench` runs all four and writes ``BENCH_kernel.json``
+next to the repo root so successive PRs leave a perf trajectory. The
+``seed_baseline`` block in that file holds the same benchmarks measured on
+the original growth seed; speedups are computed against it.
+
+Run from the command line::
+
+    python -m repro.eval.cli perf            # full run, writes BENCH_kernel.json
+    pytest benchmarks/test_kernel_throughput.py -m perf   # smoke version
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from repro.net.message import Message
+from repro.net.transport import HomeNetwork
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+#: The same benchmarks, measured on the growth seed (commit 74fb492) on the
+#: reference container — median of 3 interleaved runs. Used to report
+#: speedups in BENCH_kernel.json; re-measure when the hardware changes.
+SEED_BASELINE: dict[str, float] = {
+    "scheduler_events_per_s": 645_014.0,
+    "network_messages_per_s": 113_301.0,
+    "combined_events_per_s": 508_918.0,
+    "fig1_wall_clock_s": 2.56,
+}
+
+
+class _SinkEndpoint:
+    """A minimal transport endpoint that counts deliveries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.alive = True
+        self.delivered = 0
+
+    def deliver(self, message: Message) -> None:
+        self.delivered += 1
+
+
+def bench_scheduler(sim_seconds: float = 200.0, timers: int = 50) -> dict[str, float]:
+    """Repeating-timer throughput: ``timers`` periodic callbacks at ~10 ms."""
+    sched = Scheduler()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    for i in range(timers):
+        sched.call_repeating(0.01 + i * 1e-5, tick)
+    t0 = time.perf_counter()
+    sched.run_until(sim_seconds)
+    elapsed = time.perf_counter() - t0
+    return {
+        "events": float(fired[0]),
+        "seconds": elapsed,
+        "events_per_s": fired[0] / elapsed,
+    }
+
+
+def bench_network(messages: int = 100_000, processes: int = 4) -> dict[str, float]:
+    """Send/deliver throughput through the full transport stack."""
+    sched = Scheduler()
+    trace = Trace(keep_kinds=set())
+    net = HomeNetwork(sched, RandomSource(1), trace)
+    endpoints = [_SinkEndpoint(f"p{i}") for i in range(processes)]
+    for endpoint in endpoints:
+        net.register(endpoint)
+
+    sent = [0]
+
+    def send_batch() -> None:
+        for k in range(4):
+            dst = f"p{1 + k % (processes - 1)}"
+            net.send(Message("keepalive", "p0", dst, {"seq": sent[0]}))
+        sent[0] += 4
+        if sent[0] < messages:
+            sched.call_later(0.05, send_batch)
+
+    sched.call_later(0.0, send_batch)
+    t0 = time.perf_counter()
+    sched.run_until(float(messages))  # generous deadline; queue drains first
+    elapsed = time.perf_counter() - t0
+    delivered = sum(e.delivered for e in endpoints)
+    return {
+        "messages": float(delivered),
+        "seconds": elapsed,
+        "messages_per_s": delivered / elapsed,
+    }
+
+
+def bench_combined(sim_seconds: float = 300.0, processes: int = 8) -> dict[str, float]:
+    """The scheduler+network microbenchmark: a busy home's kernel mix.
+
+    Every process keepalives all peers roughly once a second while forty
+    cheap logic timers tick at ~50 ms — the same shape as a real deployment
+    (membership chatter plus application windows). Events/sec counts every
+    scheduler callback plus every delivered message.
+    """
+    sched = Scheduler()
+    trace = Trace(keep_kinds=set())
+    net = HomeNetwork(sched, RandomSource(1), trace)
+    endpoints = [_SinkEndpoint(f"p{i}") for i in range(processes)]
+    for endpoint in endpoints:
+        net.register(endpoint)
+
+    ticks = [0]
+    peer_names = [e.name for e in endpoints]
+
+    def make_keepalive(src: str):
+        def tick() -> None:
+            ticks[0] += 1
+            for dst in peer_names:
+                if dst != src:
+                    net.send(Message("keepalive", src, dst, {"seq": ticks[0]}))
+
+        return tick
+
+    def logic() -> None:
+        ticks[0] += 1
+
+    for i, endpoint in enumerate(endpoints):
+        sched.call_repeating(1.0 + 0.001 * i, make_keepalive(endpoint.name))
+    for i in range(40):
+        sched.call_repeating(0.05 + i * 1e-4, logic)
+
+    t0 = time.perf_counter()
+    sched.run_until(sim_seconds)
+    elapsed = time.perf_counter() - t0
+    events = sched.processed_events + sum(e.delivered for e in endpoints)
+    return {
+        "events": float(events),
+        "seconds": elapsed,
+        "events_per_s": events / elapsed,
+    }
+
+
+def bench_fig1(days: float = 15.0) -> dict[str, float]:
+    """Wall-clock for the Fig. 1 deployment (the suite's heaviest run)."""
+    from repro.eval.experiments import EXPERIMENTS
+
+    t0 = time.perf_counter()
+    EXPERIMENTS["fig1"](days=days)
+    elapsed = time.perf_counter() - t0
+    return {"days": days, "wall_clock_s": elapsed}
+
+
+def run_kernel_bench(
+    out_path: str | None = "BENCH_kernel.json", *, quick: bool = False
+) -> dict[str, Any]:
+    """Run all kernel benchmarks; optionally write ``BENCH_kernel.json``.
+
+    ``quick=True`` shrinks every workload (~1 s total) for smoke tests;
+    quick numbers are noisy and are not written with speedup comparisons.
+    """
+    if quick:
+        scheduler = bench_scheduler(sim_seconds=20.0)
+        network = bench_network(messages=10_000)
+        combined = bench_combined(sim_seconds=30.0)
+        fig1 = bench_fig1(days=1.0)
+    else:
+        scheduler = bench_scheduler()
+        network = bench_network()
+        combined = bench_combined()
+        fig1 = bench_fig1()
+
+    results: dict[str, Any] = {
+        "quick": quick,
+        "scheduler": scheduler,
+        "network": network,
+        "combined": combined,
+        "fig1": fig1,
+    }
+    if not quick:
+        baseline = SEED_BASELINE
+        results["seed_baseline"] = dict(baseline)
+        results["speedup"] = {
+            "scheduler": scheduler["events_per_s"] / baseline["scheduler_events_per_s"],
+            "network": network["messages_per_s"] / baseline["network_messages_per_s"],
+            "combined": combined["events_per_s"] / baseline["combined_events_per_s"],
+            "fig1": baseline["fig1_wall_clock_s"] / fig1["wall_clock_s"],
+        }
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return results
+
+
+def render_summary(results: dict[str, Any]) -> str:
+    """A terminal-friendly summary of :func:`run_kernel_bench` output."""
+    lines = [
+        "kernel throughput benchmark",
+        f"  scheduler : {results['scheduler']['events_per_s']:>12,.0f} events/s",
+        f"  network   : {results['network']['messages_per_s']:>12,.0f} messages/s",
+        f"  combined  : {results['combined']['events_per_s']:>12,.0f} events/s",
+        f"  fig1      : {results['fig1']['wall_clock_s']:>12.2f} s wall-clock",
+    ]
+    speedup = results.get("speedup")
+    if speedup:
+        lines.append(
+            "  vs seed   : "
+            + "  ".join(f"{name} {ratio:.2f}x" for name, ratio in sorted(speedup.items()))
+        )
+    return "\n".join(lines)

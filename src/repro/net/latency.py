@@ -50,7 +50,6 @@ class LatencyModel:
     def message_delay(
         self,
         wire_bytes: int,
-        *,
         live_processes: int = 2,
         rng: RandomSource | None = None,
     ) -> float:

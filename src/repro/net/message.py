@@ -5,27 +5,46 @@ handler at the destination, ``payload`` carries kind-specific fields. The
 simulator never pickles messages — they are passed by reference — but their
 *wire size* is computed faithfully by :mod:`repro.net.wire` so that network
 overhead numbers (Fig. 5) come out of a real cost model.
+
+Messages are **immutable once sent** (by convention: nothing may mutate a
+message after handing it to a transport). :mod:`repro.net.wire` relies on
+this to cache the computed payload/wire sizes directly on the instance, so
+a message forwarded over several hops — the Gap chain, the Gapless ring —
+is sized exactly once. The class is slot-based rather than a frozen
+dataclass: a home simulation creates one instance per keep-alive and
+protocol hop, making construction cost a kernel hot path.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 
 _message_counter = itertools.count()
 
 
-@dataclass(frozen=True)
 class Message:
     """One point-to-point message on the home (WiFi/IP) network."""
 
-    kind: str
-    src: str
-    dst: str
-    payload: dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_message_counter))
+    __slots__ = ("kind", "src", "dst", "payload", "msg_id",
+                 "_payload_bytes", "_wire_bytes")
+
+    def __init__(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        payload: dict[str, Any] | None = None,
+        msg_id: int | None = None,
+    ) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = {} if payload is None else payload
+        self.msg_id = next(_message_counter) if msg_id is None else msg_id
+        self._payload_bytes: int | None = None
+        self._wire_bytes: int | None = None
 
     def __getitem__(self, key: str) -> Any:
         return self.payload[key]

@@ -56,18 +56,28 @@ class HomeNetwork:
         self._endpoints: dict[str, Endpoint] = {}
         # Per-(src, dst) earliest next delivery time: enforces FIFO ordering.
         self._fifo_horizon: dict[tuple[str, str], float] = {}
+        self._live_count_cache: int | None = None
 
     def register(self, endpoint: Endpoint) -> None:
         if endpoint.name in self._endpoints:
             raise ValueError(f"endpoint {endpoint.name!r} already registered")
         self._endpoints[endpoint.name] = endpoint
+        self._live_count_cache = None
 
     @property
     def endpoints(self) -> dict[str, Endpoint]:
         return dict(self._endpoints)
 
+    def liveness_changed(self) -> None:
+        """Invalidate the live-process cache (a process crashed/recovered)."""
+        self._live_count_cache = None
+
     def live_process_count(self) -> int:
-        return sum(1 for e in self._endpoints.values() if e.alive)
+        count = self._live_count_cache
+        if count is None:
+            count = sum(1 for e in self._endpoints.values() if e.alive)
+            self._live_count_cache = count
+        return count
 
     def send(self, message: Message) -> None:
         """Transmit ``message``; delivery is scheduled, loss is possible.
@@ -75,76 +85,77 @@ class HomeNetwork:
         Wire bytes are accounted whenever the sender actually puts the
         message on the network (sender alive and not knowingly cut off).
         """
+        endpoints = self._endpoints
         src = message.src
         dst = message.dst
-        if dst not in self._endpoints:
+        if dst not in endpoints:
             raise KeyError(f"unknown destination process {dst!r}")
-        sender = self._endpoints.get(src)
+        sender = endpoints.get(src)
         if sender is not None and not sender.alive:
             # A crashed process performs no activity; guard against stray
             # timers firing after a crash.
             return
 
-        bytes_on_wire = wire_size(message)
+        scheduler = self._scheduler
+        now = scheduler.now
         if not self.partition.can_communicate(src, dst):
-            # TCP connect/retransmit fails; the payload never transits.
-            self._trace.record(
-                self._scheduler.now, "net_drop", src=src, dst=dst,
-                kind=message.kind, reason="partition",
+            # TCP connect/retransmit fails; the payload never transits —
+            # don't pay for sizing a message that never hits the wire.
+            self._trace.record_message(
+                now, "net_drop", src, dst, message.kind, reason="partition"
             )
             return
 
-        self._trace.record(
-            self._scheduler.now, "net_send", src=src, dst=dst,
-            kind=message.kind, bytes=bytes_on_wire,
+        bytes_on_wire = wire_size(message)
+        self._trace.record_message(
+            now, "net_send", src, dst, message.kind, bytes_on_wire
         )
         delay = self.latency.message_delay(
-            bytes_on_wire,
-            live_processes=self.live_process_count(),
-            rng=self._rng,
+            bytes_on_wire, self.live_process_count(), self._rng
         )
-        deliver_at = self._scheduler.now + delay
+        deliver_at = now + delay
         # In-order delivery per (src, dst) pair, like a TCP stream.
         pair = (src, dst)
         horizon = self._fifo_horizon.get(pair, 0.0)
         if deliver_at <= horizon:
             deliver_at = horizon + 1e-9
         self._fifo_horizon[pair] = deliver_at
-        self._scheduler.call_at(deliver_at, self._deliver, message)
+        scheduler.call_at(deliver_at, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
-        endpoint = self._endpoints[message.dst]
+        src = message.src
+        dst = message.dst
+        endpoint = self._endpoints[dst]
         if not endpoint.alive:
-            self._trace.record(
-                self._scheduler.now, "net_drop", src=message.src, dst=message.dst,
-                kind=message.kind, reason="dst_crashed",
+            self._trace.record_message(
+                self._scheduler.now, "net_drop", src, dst, message.kind,
+                reason="dst_crashed",
             )
             return
-        if not self.partition.can_communicate(message.src, message.dst):
-            self._trace.record(
-                self._scheduler.now, "net_drop", src=message.src, dst=message.dst,
-                kind=message.kind, reason="partition",
+        if not self.partition.can_communicate(src, dst):
+            self._trace.record_message(
+                self._scheduler.now, "net_drop", src, dst, message.kind,
+                reason="partition",
             )
             return
-        self._trace.record(
-            self._scheduler.now, "net_deliver", src=message.src, dst=message.dst,
-            kind=message.kind,
+        self._trace.record_message(
+            self._scheduler.now, "net_deliver", src, dst, message.kind
         )
         endpoint.deliver(message)
 
     # -- accounting helpers used by the evaluation harness ---------------------
 
     def bytes_sent(self, *, kinds: set[str] | None = None) -> int:
-        """Total wire bytes transmitted, optionally restricted to kinds."""
-        total = 0
-        for event in self._trace.of_kind("net_send"):
-            if kinds is None or event["kind"] in kinds:
-                total += event["bytes"]
-        return total
+        """Total wire bytes transmitted, optionally restricted to kinds.
+
+        Backed by the trace's incremental per-kind aggregates: O(1) in the
+        number of transmitted messages (previously a full trace scan).
+        """
+        if kinds is None:
+            return self._trace.bytes_of_kind("net_send")
+        return sum(self._trace.tally("net_send", kind)[1] for kind in kinds)
 
     def messages_sent(self, *, kinds: set[str] | None = None) -> int:
-        count = 0
-        for event in self._trace.of_kind("net_send"):
-            if kinds is None or event["kind"] in kinds:
-                count += 1
-        return count
+        if kinds is None:
+            return self._trace.count("net_send")
+        return sum(self._trace.tally("net_send", kind)[0] for kind in kinds)

@@ -20,6 +20,13 @@ that matters for that comparison:
 
 Sizes are computed structurally from the payload: events, process-id
 collections, numbers and strings each have well-defined encodings.
+
+Hot-path design (see docs/performance.md): messages are immutable once
+sent, so ``payload_size``/``wire_size`` are cached per :class:`Message`;
+the common payload shapes (event forwards, process-id sets, scalars) take a
+non-recursive exact-type fast path, and the fixed per-message overhead of
+the single-segment case — every protocol message except camera frames — is
+precomputed as :data:`SINGLE_SEGMENT_OVERHEAD`.
 """
 
 from __future__ import annotations
@@ -37,19 +44,51 @@ COMMAND_HEADER = 16
 TIMESTAMP_BYTES = 8
 MSS = 1448  # TCP maximum segment size payload on Ethernet
 
+SINGLE_SEGMENT_OVERHEAD = FRAME_OVERHEAD
+"""Fixed framing cost of any message whose app-layer bytes fit one segment."""
+
 
 class ProcessIdSet(frozenset):
     """A set of process identifiers; encoded compactly on the wire."""
 
 
+# Payload values with a fixed encoded size, dispatched on exact type (so
+# bool, a subclass of int, resolves to its own 1-byte entry).
+_FIXED_SIZES: dict[type, int] = {
+    type(None): 1,
+    bool: 1,
+    float: TIMESTAMP_BYTES,
+    int: 8,
+}
+
+
 def sizeof(value: Any) -> int:
     """Encoded size of one payload value, in bytes."""
-    if value is None:
-        return 1
+    t = type(value)
+    fixed = _FIXED_SIZES.get(t)
+    if fixed is not None:
+        return fixed
+    if t is str:
+        return 1 + len(value.encode("utf-8"))
+    if t is Event:
+        return EVENT_HEADER + value.size_bytes
+    if t is Command:
+        return COMMAND_HEADER + value.size_bytes
+    if t is ProcessIdSet:
+        return 1 + PROCESS_ID_BYTES * len(value)
+    if t is bytes:
+        return 4 + len(value)
+    return _sizeof_general(value)
+
+
+def _sizeof_general(value: Any) -> int:
+    """Containers and subclasses: the original recursive structural path."""
     if isinstance(value, Event):
         return EVENT_HEADER + value.size_bytes
     if isinstance(value, Command):
         return COMMAND_HEADER + value.size_bytes
+    if isinstance(value, ProcessIdSet):
+        return 1 + PROCESS_ID_BYTES * len(value)
     if isinstance(value, bool):
         return 1
     if isinstance(value, float):
@@ -58,8 +97,6 @@ def sizeof(value: Any) -> int:
         return 8
     if isinstance(value, str):
         return 1 + len(value.encode("utf-8"))
-    if isinstance(value, ProcessIdSet):
-        return 1 + PROCESS_ID_BYTES * len(value)
     if isinstance(value, bytes):
         return 4 + len(value)
     if isinstance(value, (list, tuple, set, frozenset)):
@@ -70,8 +107,24 @@ def sizeof(value: Any) -> int:
 
 
 def payload_size(message: Message) -> int:
-    """Application-layer size: Rivulet header plus encoded payload."""
-    return MESSAGE_HEADER + sum(sizeof(v) for v in message.payload.values())
+    """Application-layer size: Rivulet header plus encoded payload.
+
+    Cached on the message: messages are immutable once handed to the
+    transport, and retransmissions/multi-hop forwards re-send the same
+    object.
+    """
+    cached = message._payload_bytes
+    if cached is not None:
+        return cached
+    size = MESSAGE_HEADER
+    fixed_sizes = _FIXED_SIZES
+    for value in message.payload.values():
+        # Fixed-size scalars (None/bool/float/int) resolve without a call;
+        # everything else goes through the full sizing function.
+        fixed = fixed_sizes.get(type(value))
+        size += fixed if fixed is not None else sizeof(value)
+    message._payload_bytes = size
+    return size
 
 
 def wire_size(message: Message) -> int:
@@ -80,6 +133,13 @@ def wire_size(message: Message) -> int:
     Large payloads (camera frames) span multiple TCP segments; each segment
     pays :data:`FRAME_OVERHEAD`.
     """
+    cached = message._wire_bytes
+    if cached is not None:
+        return cached
     app_bytes = payload_size(message)
-    segments = max(1, -(-app_bytes // MSS))  # ceil division
-    return app_bytes + segments * FRAME_OVERHEAD
+    if app_bytes <= MSS:
+        total = app_bytes + SINGLE_SEGMENT_OVERHEAD
+    else:
+        total = app_bytes + -(-app_bytes // MSS) * FRAME_OVERHEAD  # ceil division
+    message._wire_bytes = total
+    return total

@@ -5,12 +5,27 @@ monotonically increasing tie-breaker so that callbacks scheduled for the same
 instant run in scheduling order, which keeps runs deterministic.
 
 Simulated time is a ``float`` number of seconds since the start of the run.
+
+Hot-path design (see docs/performance.md):
+
+- ``pending_events`` is O(1): a live-entry counter is maintained on push,
+  pop and cancel instead of scanning the heap;
+- cancelled entries stay in the heap (lazy cancel) and are dropped when
+  popped; when they pile up past half the heap, the heap is compacted;
+- ``run_until`` pops all entries sharing a timestamp in one batch, saving a
+  deadline comparison and method dispatch per event;
+- :meth:`call_repeating` serves the periodic-timer pattern (heartbeats,
+  poll epochs) with a single reusable handle instead of allocating a new
+  ``TimerHandle`` and closure per tick.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable
+
+_COMPACT_MIN_CANCELLED = 64
+"""Lazy-cancel compaction kicks in past this many dead heap entries."""
 
 
 class SimulationError(RuntimeError):
@@ -22,20 +37,37 @@ class TimerHandle:
 
     Returned by :meth:`Scheduler.call_at` / :meth:`Scheduler.call_later`.
     Cancelling an already-fired or already-cancelled timer is a no-op.
+    For repeating timers (:meth:`Scheduler.call_repeating`) the handle is
+    reused across firings; ``interval`` is then the repeat period.
     """
 
-    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired")
+    __slots__ = ("when", "interval", "_callback", "_args", "_cancelled",
+                 "_fired", "_in_heap", "_scheduler")
 
-    def __init__(self, when: float, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        args: tuple,
+        scheduler: "Scheduler | None" = None,
+        interval: float | None = None,
+    ):
         self.when = when
+        self.interval = interval
         self._callback = callback
         self._args = args
         self._cancelled = False
         self._fired = False
+        self._in_heap = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if it already ran)."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._in_heap and self._scheduler is not None:
+            self._scheduler._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -53,7 +85,8 @@ class TimerHandle:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
-        return f"<TimerHandle when={self.when:.6f} {state} cb={self._callback!r}>"
+        kind = "repeating " if self.interval is not None else ""
+        return f"<{kind}TimerHandle when={self.when:.6f} {state} cb={self._callback!r}>"
 
 
 class Scheduler:
@@ -68,6 +101,8 @@ class Scheduler:
         self._seq = 0
         self._heap: list[tuple[float, int, TimerHandle]] = []
         self._processed = 0
+        self._live = 0
+        self._lazy_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -81,8 +116,40 @@ class Scheduler:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled entries in the heap."""
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        """Number of not-yet-fired, not-cancelled entries in the heap (O(1))."""
+        return self._live
+
+    # -- internal bookkeeping ----------------------------------------------------
+
+    def _push(self, when: float, handle: TimerHandle) -> None:
+        self._seq += 1
+        handle.when = when
+        handle._in_heap = True
+        heapq.heappush(self._heap, (when, self._seq, handle))
+        self._live += 1
+
+    def _on_cancel(self) -> None:
+        """A still-scheduled handle was cancelled; compact if worthwhile."""
+        self._live -= 1
+        self._lazy_cancelled += 1
+        if (
+            self._lazy_cancelled > _COMPACT_MIN_CANCELLED
+            and self._lazy_cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        survivors = []
+        for entry in self._heap:
+            if entry[2]._cancelled:
+                entry[2]._in_heap = False
+            else:
+                survivors.append(entry)
+        heapq.heapify(survivors)
+        self._heap = survivors
+        self._lazy_cancelled = 0
+
+    # -- scheduling ----------------------------------------------------------------
 
     def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
         """Schedule ``callback(*args)`` at absolute time ``when``.
@@ -94,9 +161,11 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule at t={when:.6f}, time is already t={self._now:.6f}"
             )
-        handle = TimerHandle(when, callback, args)
+        handle = TimerHandle(when, callback, args, self)
+        handle._in_heap = True
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, handle))
+        self._live += 1
         return handle
 
     def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
@@ -105,15 +174,51 @@ class Scheduler:
             raise SimulationError(f"negative delay {delay!r}")
         return self.call_at(self._now + delay, callback, *args)
 
+    def call_repeating(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        first_delay: float | None = None,
+    ) -> TimerHandle:
+        """Run ``callback(*args)`` every ``interval`` seconds until cancelled.
+
+        The first firing happens after ``first_delay`` seconds (default:
+        ``interval``); each subsequent firing is scheduled at exactly
+        ``previous_when + interval``, matching the arithmetic of a callback
+        that re-arms itself with ``call_later(interval, ...)`` — so
+        converting self-rescheduling timers preserves determinism. One
+        handle is reused for every firing: no per-tick allocation.
+        """
+        if interval <= 0:
+            raise SimulationError(f"repeating interval must be > 0, got {interval!r}")
+        delay = interval if first_delay is None else first_delay
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        handle = TimerHandle(
+            self._now + delay, callback, args, self, interval=interval
+        )
+        self._push(handle.when, handle)
+        return handle
+
+    # -- execution -------------------------------------------------------------------
+
     def step(self) -> bool:
         """Run the next pending callback. Returns False if none remain."""
-        while self._heap:
-            when, _seq, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+        heap = self._heap
+        while heap:
+            when, _seq, handle = heapq.heappop(heap)
+            handle._in_heap = False
+            if handle._cancelled:
+                self._lazy_cancelled -= 1
                 continue
+            self._live -= 1
             self._now = when
             self._processed += 1
-            handle._run()
+            handle._fired = True
+            handle._callback(*handle._args)
+            if handle.interval is not None and not handle._cancelled:
+                self._push(when + handle.interval, handle)
             return True
         return False
 
@@ -128,16 +233,43 @@ class Scheduler:
             raise SimulationError(
                 f"deadline t={deadline:.6f} is in the past (now t={self._now:.6f})"
             )
-        while self._heap:
-            when, _seq, handle = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        while heap:
+            when = heap[0][0]
             if when > deadline:
                 break
-            heapq.heappop(self._heap)
-            if handle.cancelled:
+            _w, _seq, handle = pop(heap)
+            handle._in_heap = False
+            if handle._cancelled:
+                self._lazy_cancelled -= 1
                 continue
+            self._live -= 1
             self._now = when
-            self._processed += 1
-            handle._run()
+            while True:
+                self._processed += 1
+                handle._fired = True
+                handle._callback(*handle._args)
+                if handle.interval is not None and not handle._cancelled:
+                    interval = handle.interval
+                    handle.when = when + interval
+                    handle._in_heap = True
+                    self._seq += 1
+                    push(heap, (handle.when, self._seq, handle))
+                    self._live += 1
+                # Drain everything sharing this timestamp without re-checking
+                # the deadline. Callbacks scheduling new work at the same
+                # instant stay correctly ordered: new entries receive larger
+                # seq numbers than anything already queued here.
+                if not heap or heap[0][0] != when:
+                    break
+                _w, _seq, handle = pop(heap)
+                handle._in_heap = False
+                if handle._cancelled:
+                    self._lazy_cancelled -= 1
+                    break
+                self._live -= 1
         self._now = deadline
 
     def run(self, max_events: int = 10_000_000) -> None:

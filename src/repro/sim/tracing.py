@@ -4,22 +4,44 @@ The evaluation harness never instruments protocol code with ad-hoc counters;
 instead every interesting occurrence (event ingested, message sent, poll
 issued, logic delivery, promotion, ...) is recorded in one :class:`Trace`
 and the metrics in :mod:`repro.eval.metrics` are pure functions over it.
+
+Performance notes (see docs/performance.md). ``record()`` is one of the
+three hottest functions in the simulator, so the trace is organised for
+O(1) appends and O(1) aggregate queries:
+
+- events are stored **indexed by kind** as they arrive, so ``of_kind`` is a
+  dictionary lookup instead of a scan over the full stream;
+- incremental aggregates — per-kind counts, per-kind byte totals,
+  per-``(kind, sub-kind)`` message tallies and per-``(src, dst)`` pair
+  counts — are maintained inside ``record()`` so accounting helpers such as
+  :meth:`repro.net.transport.HomeNetwork.bytes_sent` never re-scan;
+- ``events`` / ``of_kind`` return **read-only views** over internal lists
+  (no copying); ``iter_kind`` is the matching lazy iterator;
+- :class:`TraceEvent` is slot-based, and ``digest()`` provides a stable
+  hash over the full record stream so determinism can be asserted cheaply.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
-from dataclasses import dataclass, field
+from collections.abc import Sequence
 from typing import Any, Callable, Iterator
 
 
-@dataclass(frozen=True)
 class TraceEvent:
-    """One timestamped occurrence; ``fields`` is kind-specific."""
+    """One timestamped occurrence; ``fields`` is kind-specific.
 
-    time: float
-    kind: str
-    fields: dict[str, Any] = field(default_factory=dict)
+    Immutable by convention (nothing in the codebase mutates a recorded
+    event); slot-based so that recording half a million of them stays cheap.
+    """
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: dict[str, Any]) -> None:
+        self.time = time
+        self.kind = kind
+        self.fields = fields
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
@@ -27,58 +49,354 @@ class TraceEvent:
     def get(self, key: str, default: Any = None) -> Any:
         return self.fields.get(key, default)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.kind == other.kind
+            and self.fields == other.fields
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent(time={self.time!r}, kind={self.kind!r}, fields={self.fields!r})"
+
+
+class EventsView(Sequence):
+    """A read-only, live view over an internal event list.
+
+    Supports indexing, slicing, iteration and ``len`` without copying; the
+    view reflects events recorded after it was obtained (it is a window
+    onto the trace, not a snapshot).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list[TraceEvent]) -> None:
+        self._items = items
+
+    def __getitem__(self, index):
+        result = self._items[index]
+        return EventsView(result) if isinstance(index, slice) else result
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventsView of {len(self._items)} events>"
+
+
+_EMPTY_VIEW = EventsView([])
+
+
+def _stable(value: Any) -> str:
+    """A deterministic string form of one trace field value.
+
+    Collections with unspecified iteration order (sets) are sorted; objects
+    whose ``repr`` would leak memory addresses are reduced to their type
+    name, so the digest is reproducible across processes and machines.
+    """
+    t = type(value)
+    if t in (int, float, bool, str, bytes, type(None)):
+        return repr(value)
+    if t in (list, tuple):
+        return "[" + ",".join(_stable(v) for v in value) + "]"
+    if t in (set, frozenset) or isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_stable(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted((_stable(k), _stable(v)) for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if type(value).__repr__ is object.__repr__:
+        return f"<{type(value).__name__}>"
+    return repr(value)
+
 
 class Trace:
     """An append-only, queryable log of :class:`TraceEvent`.
 
     Recording can be limited to a set of kinds to keep long experiments
-    (e.g. the 15-day Fig. 1 deployment) memory-friendly; counters are always
-    maintained for every kind.
+    (e.g. the 15-day Fig. 1 deployment) memory-friendly; counters and the
+    incremental aggregates are always maintained for every kind.
+
+    ``digest=True`` additionally feeds every record (kept or not) through a
+    streaming hash; :meth:`digest` then works even when nothing is stored.
     """
 
-    def __init__(self, keep_kinds: set[str] | None = None) -> None:
+    # _kind_state value layout: one mutable list per record kind, looked up
+    # once per record() call (the profile/count/kept-list/subscriber checks
+    # all ride on that single dictionary access).
+    _COUNT = 0       # records of this kind so far
+    _BYTES = 1       # running sum of the "bytes" field
+    _PROFILE = 2     # _HAS_* bitmask, decided on first sight of the kind
+    _KEPT = 3        # per-kind list of kept TraceEvents, or None
+    _SUBS = 4        # kind-scoped subscriber list, or None
+
+    _HAS_BYTES = 1
+    _HAS_SUB = 2
+    _HAS_PAIR = 4
+
+    def __init__(
+        self, keep_kinds: set[str] | None = None, *, digest: bool = False
+    ) -> None:
         self._events: list[TraceEvent] = []
-        self._counts: Counter[str] = Counter()
+        self._by_kind: dict[str, list[TraceEvent]] = {}
+        self._kind_state: dict[str, list] = {}
+        # (record kind, fields["kind"]) -> [count, bytes]; e.g. how many
+        # keepalive messages went over the wire and their byte total.
+        self._sub_tallies: dict[tuple[str, str], list[int]] = {}
+        # (record kind, src, dst) -> count, for records carrying src/dst.
+        self._pair_counts: dict[tuple[str, str, str], int] = {}
         self._keep_kinds = keep_kinds
         self._subscribers: list[Callable[[TraceEvent], None]] = []
+        self._kind_subscribers: dict[str, list[Callable[[TraceEvent], None]]] = {}
+        self._hasher = hashlib.blake2b(digest_size=16) if digest else None
+
+    def _new_kind(self, kind: str, fields: dict[str, Any]) -> list:
+        """First record of ``kind``: fix its aggregate profile and wiring.
+
+        Record schemas are stable per kind, so deciding once which of
+        bytes / sub-kind / (src, dst) the kind carries lets every later
+        record skip the field probes entirely.
+        """
+        profile = (
+            (self._HAS_BYTES if "bytes" in fields else 0)
+            | (self._HAS_SUB if "kind" in fields else 0)
+            | (self._HAS_PAIR if "src" in fields and "dst" in fields else 0)
+        )
+        kept: list[TraceEvent] | None = None
+        if self._keep_kinds is None or kind in self._keep_kinds:
+            kept = self._by_kind.setdefault(kind, [])
+        state = [0, 0, profile, kept, self._kind_subscribers.get(kind)]
+        self._kind_state[kind] = state
+        return state
 
     def record(self, time: float, kind: str, /, **fields: Any) -> None:
-        self._counts[kind] += 1
+        state = self._kind_state.get(kind)
+        if state is None:
+            state = self._new_kind(kind, fields)
+        state[0] += 1
+
+        profile = state[2]
+        if profile:
+            get = fields.get
+            nbytes = get("bytes") if profile & 1 else None
+            if nbytes is not None:
+                state[1] += nbytes
+            if profile & 2:
+                sub = get("kind")
+                if sub is not None:
+                    key = (kind, sub)
+                    tally = self._sub_tallies.get(key)
+                    if tally is None:
+                        self._sub_tallies[key] = tally = [0, 0]
+                    tally[0] += 1
+                    if nbytes is not None:
+                        tally[1] += nbytes
+            if profile & 4:
+                src = get("src")
+                dst = get("dst")
+                if src is not None and dst is not None:
+                    pkey = (kind, src, dst)
+                    pairs = self._pair_counts
+                    pairs[pkey] = pairs.get(pkey, 0) + 1
+
         event = None
-        if self._keep_kinds is None or kind in self._keep_kinds:
-            event = TraceEvent(time=time, kind=kind, fields=fields)
+        kept = state[3]
+        if kept is not None:
+            event = TraceEvent(time, kind, fields)
             self._events.append(event)
-        if self._subscribers:
+            kept.append(event)
+        kind_subs = state[4]
+        if kind_subs is not None or self._subscribers:
             if event is None:
-                event = TraceEvent(time=time, kind=kind, fields=fields)
+                event = TraceEvent(time, kind, fields)
             for subscriber in self._subscribers:
                 subscriber(event)
+            if kind_subs is not None:
+                for subscriber in kind_subs:
+                    subscriber(event)
+        if self._hasher is not None:
+            self._hasher.update(_record_bytes(time, kind, fields))
 
-    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
-        """Invoke ``callback`` for every future record (kept or not)."""
-        self._subscribers.append(callback)
+    def record_message(
+        self,
+        time: float,
+        kind: str,
+        src: str,
+        dst: str,
+        sub_kind: str,
+        nbytes: int | None = None,
+        reason: str | None = None,
+    ) -> None:
+        """Message-path fast lane for :meth:`record`.
+
+        Semantically identical to ``record(time, kind, src=src, dst=dst,
+        kind=sub_kind, [bytes=nbytes | reason=reason])`` — same aggregates,
+        same kept events, same digest bytes — but the transport's per-message
+        records skip the kwargs packing and per-field probing, which is
+        worth ~15% of a long run. Only :mod:`repro.net.transport` calls it.
+        """
+        state = self._kind_state.get(kind)
+        if state is None:
+            fields = {"src": src, "dst": dst, "kind": sub_kind}
+            if nbytes is not None:
+                fields["bytes"] = nbytes
+            if reason is not None:
+                fields["reason"] = reason
+            self.record(time, kind, **fields)
+            return
+        state[0] += 1
+        if nbytes is not None:
+            state[1] += nbytes
+        key = (kind, sub_kind)
+        tally = self._sub_tallies.get(key)
+        if tally is None:
+            self._sub_tallies[key] = tally = [0, 0]
+        tally[0] += 1
+        if nbytes is not None:
+            tally[1] += nbytes
+        pkey = (kind, src, dst)
+        pairs = self._pair_counts
+        pairs[pkey] = pairs.get(pkey, 0) + 1
+
+        kept = state[3]
+        kind_subs = state[4]
+        if (
+            kept is not None
+            or kind_subs is not None
+            or self._subscribers
+            or self._hasher is not None
+        ):
+            fields = {"src": src, "dst": dst, "kind": sub_kind}
+            if nbytes is not None:
+                fields["bytes"] = nbytes
+            if reason is not None:
+                fields["reason"] = reason
+            event = None
+            if kept is not None:
+                event = TraceEvent(time, kind, fields)
+                self._events.append(event)
+                kept.append(event)
+            if kind_subs is not None or self._subscribers:
+                if event is None:
+                    event = TraceEvent(time, kind, fields)
+                for subscriber in self._subscribers:
+                    subscriber(event)
+                if kind_subs is not None:
+                    for subscriber in kind_subs:
+                        subscriber(event)
+            if self._hasher is not None:
+                self._hasher.update(_record_bytes(time, kind, fields))
+
+    def subscribe(
+        self,
+        callback: Callable[[TraceEvent], None],
+        kinds: "tuple[str, ...] | None" = None,
+    ) -> None:
+        """Invoke ``callback`` for future records (kept or not).
+
+        With ``kinds``, the callback only sees records of those kinds and —
+        crucially for long runs — records of *other* kinds skip event
+        construction entirely when nothing else needs one.
+        """
+        if kinds is None:
+            self._subscribers.append(callback)
+        else:
+            for kind in kinds:
+                subs = self._kind_subscribers.setdefault(kind, [])
+                subs.append(callback)
+                state = self._kind_state.get(kind)
+                if state is not None:
+                    state[self._SUBS] = subs
+
+    # -- aggregates (maintained incrementally, all O(1)-ish) -------------------
 
     def count(self, kind: str) -> int:
-        return self._counts[kind]
+        state = self._kind_state.get(kind)
+        return state[self._COUNT] if state is not None else 0
 
     @property
     def counts(self) -> Counter:
-        return Counter(self._counts)
+        return Counter(
+            {kind: state[self._COUNT] for kind, state in self._kind_state.items()}
+        )
+
+    def bytes_of_kind(self, kind: str) -> int:
+        """Sum of the ``bytes`` field across all records of ``kind``."""
+        state = self._kind_state.get(kind)
+        return state[self._BYTES] if state is not None else 0
+
+    def tally(self, kind: str, sub_kind: str) -> tuple[int, int]:
+        """``(count, bytes)`` of records of ``kind`` whose ``kind`` field
+        equals ``sub_kind`` — e.g. ``tally("net_send", "keepalive")``."""
+        tally = self._sub_tallies.get((kind, sub_kind))
+        return (tally[0], tally[1]) if tally is not None else (0, 0)
+
+    def sub_kinds(self, kind: str) -> list[str]:
+        """All ``kind``-field values seen on records of ``kind``."""
+        return [sub for (k, sub) in self._sub_tallies if k == kind]
+
+    def pair_count(self, kind: str, src: str, dst: str) -> int:
+        """Records of ``kind`` with the given ``src``/``dst`` fields."""
+        return self._pair_counts.get((kind, src, dst), 0)
+
+    def pair_counts(self, kind: str) -> dict[tuple[str, str], int]:
+        """``(src, dst) -> count`` for all records of ``kind``."""
+        return {
+            (src, dst): count
+            for (k, src, dst), count in self._pair_counts.items()
+            if k == kind
+        }
+
+    # -- event access (read-only views, no copying) -----------------------------
 
     @property
-    def events(self) -> list[TraceEvent]:
-        return list(self._events)
+    def events(self) -> EventsView:
+        """All kept events, in record order (a read-only live view)."""
+        return EventsView(self._events)
 
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self._events if e.kind == kind]
+    def of_kind(self, kind: str) -> EventsView:
+        """Kept events of ``kind``, in record order (a read-only live view)."""
+        per_kind = self._by_kind.get(kind)
+        return EventsView(per_kind) if per_kind is not None else _EMPTY_VIEW
+
+    def iter_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """Lazy iterator over kept events of ``kind``."""
+        return iter(self._by_kind.get(kind, ()))
 
     def where(self, kind: str, **matches: Any) -> list[TraceEvent]:
         """Events of ``kind`` whose fields equal every given ``matches``."""
         return [
             e
-            for e in self._events
-            if e.kind == kind and all(e.get(k) == v for k, v in matches.items())
+            for e in self.of_kind(kind)
+            if all(e.get(k) == v for k, v in matches.items())
         ]
+
+    # -- determinism -------------------------------------------------------------
+
+    def digest(self) -> str:
+        """A stable hash over the full record stream.
+
+        Two runs of the same scenario with the same seed must produce equal
+        digests; the regression test in
+        ``tests/integration/test_determinism.py`` pins one such value.
+        With ``digest=True`` the hash is maintained incrementally (works
+        even with ``keep_kinds``); otherwise it is computed from the kept
+        events, which requires the trace to keep everything.
+        """
+        if self._hasher is not None:
+            return self._hasher.hexdigest()
+        if self._keep_kinds is not None:
+            raise RuntimeError(
+                "digest() on a kind-limited trace requires Trace(digest=True)"
+            )
+        hasher = hashlib.blake2b(digest_size=16)
+        for event in self._events:
+            hasher.update(_record_bytes(event.time, event.kind, event.fields))
+        return hasher.hexdigest()
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
@@ -87,5 +405,13 @@ class Trace:
         return len(self._events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        total = sum(self._counts.values())
-        return f"<Trace {total} records, {len(self._counts)} kinds>"
+        total = sum(state[self._COUNT] for state in self._kind_state.values())
+        return f"<Trace {total} records, {len(self._kind_state)} kinds>"
+
+
+def _record_bytes(time: float, kind: str, fields: dict[str, Any]) -> bytes:
+    parts = [repr(time), kind]
+    for key in sorted(fields):
+        parts.append(key)
+        parts.append(_stable(fields[key]))
+    return "|".join(parts).encode("utf-8", "backslashreplace")

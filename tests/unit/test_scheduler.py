@@ -129,3 +129,109 @@ def test_pending_and_processed_counters():
     assert sched.pending_events == 1
     sched.run()
     assert sched.processed_events == 1
+
+
+# -- call_repeating ------------------------------------------------------------
+
+
+def test_call_repeating_fires_every_interval():
+    sched = Scheduler()
+    times = []
+    sched.call_repeating(1.0, lambda: times.append(sched.now))
+    sched.run_until(4.5)
+    assert times == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_call_repeating_first_delay():
+    sched = Scheduler()
+    times = []
+    sched.call_repeating(1.0, lambda: times.append(sched.now), first_delay=0.25)
+    sched.run_until(3.0)
+    assert times == [0.25, 1.25, 2.25]
+
+
+def test_call_repeating_cancel_stops_ticks():
+    sched = Scheduler()
+    times = []
+    handle = sched.call_repeating(1.0, lambda: times.append(sched.now))
+    sched.run_until(2.5)
+    handle.cancel()
+    sched.run_until(10.0)
+    assert times == [1.0, 2.0]
+    assert sched.pending_events == 0
+
+
+def test_call_repeating_cancel_from_inside_callback():
+    sched = Scheduler()
+    fired = []
+    handle = sched.call_repeating(1.0, lambda: (fired.append(sched.now),
+                                                handle.cancel()))
+    sched.run_until(5.0)
+    assert fired == [1.0]
+
+
+def test_call_repeating_matches_rearming_call_later_exactly():
+    """Converting a self-re-arming timer must not perturb fire times."""
+    interval = 0.3  # deliberately not exactly representable
+    a, b = Scheduler(), Scheduler()
+    times_a, times_b = [], []
+
+    def rearm():
+        times_a.append(a.now)
+        a.call_later(interval, rearm)
+
+    a.call_later(interval, rearm)
+    b.call_repeating(interval, lambda: times_b.append(b.now))
+    a.run_until(10.0)
+    b.run_until(10.0)
+    assert times_a == times_b  # bit-for-bit, not approximately
+
+
+def test_call_repeating_rejects_bad_interval():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.call_repeating(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sched.call_repeating(-1.0, lambda: None)
+
+
+# -- O(1) pending + lazy-cancel compaction -------------------------------------
+
+
+def test_pending_events_tracks_cancellations():
+    sched = Scheduler()
+    handles = [sched.call_later(float(i + 1), lambda: None) for i in range(10)]
+    assert sched.pending_events == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert sched.pending_events == 6
+    handles[0].cancel()  # double-cancel is a no-op
+    assert sched.pending_events == 6
+    sched.run_until(20.0)
+    assert sched.pending_events == 0
+    assert sched.processed_events == 6
+
+
+def test_mass_cancellation_compacts_heap():
+    sched = Scheduler()
+    keep = [sched.call_later(1000.0 + i, lambda: None) for i in range(5)]
+    doomed = [sched.call_later(float(i + 1), lambda: None) for i in range(500)]
+    for handle in doomed:
+        handle.cancel()
+    # Lazy cancellation must not leave 500 dead entries in the heap.
+    assert len(sched._heap) < 100
+    assert sched.pending_events == 5
+    sched.run_until(2000.0)
+    assert sched.processed_events == 5
+    assert all(h.fired for h in keep)
+
+
+def test_cancelled_entries_skipped_after_compaction():
+    sched = Scheduler()
+    fired = []
+    sched.call_later(5.0, lambda: fired.append("kept"))
+    doomed = [sched.call_later(1.0, lambda: fired.append("no")) for _ in range(200)]
+    for handle in doomed:
+        handle.cancel()
+    sched.run_until(10.0)
+    assert fired == ["kept"]

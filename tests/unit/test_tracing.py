@@ -58,3 +58,147 @@ def test_counts_snapshot_is_a_copy():
     snapshot = trace.counts
     snapshot["a"] += 10
     assert trace.count("a") == 1
+
+# -- read-only views -----------------------------------------------------------
+
+
+def test_events_returns_live_view_not_copy():
+    trace = Trace()
+    trace.record(0.0, "a")
+    view = trace.events
+    assert len(view) == 1
+    trace.record(1.0, "a")
+    assert len(view) == 2  # a window onto the trace, not a snapshot
+
+
+def test_views_are_read_only():
+    trace = Trace()
+    trace.record(0.0, "a")
+    for view in (trace.events, trace.of_kind("a")):
+        assert not hasattr(view, "append")
+        with __import__("pytest").raises(TypeError):
+            view[0] = None
+
+
+def test_view_slicing_and_iteration():
+    trace = Trace()
+    for i in range(5):
+        trace.record(float(i), "a", i=i)
+    sliced = trace.events[1:4]
+    assert [e["i"] for e in sliced] == [1, 2, 3]
+    assert [e["i"] for e in trace.iter_kind("a")] == [0, 1, 2, 3, 4]
+
+
+def test_of_kind_unknown_is_empty():
+    trace = Trace()
+    assert len(trace.of_kind("nothing")) == 0
+    assert list(trace.iter_kind("nothing")) == []
+
+
+# -- incremental aggregates ----------------------------------------------------
+
+
+def test_bytes_of_kind_sums_incrementally():
+    trace = Trace()
+    trace.record(0.0, "net_send", bytes=10)
+    trace.record(1.0, "net_send", bytes=32)
+    trace.record(2.0, "other")
+    assert trace.bytes_of_kind("net_send") == 42
+    assert trace.bytes_of_kind("other") == 0
+
+
+def test_tally_tracks_sub_kind_count_and_bytes():
+    trace = Trace()
+    trace.record(0.0, "net_send", kind="keepalive", bytes=5)
+    trace.record(1.0, "net_send", kind="keepalive", bytes=7)
+    trace.record(2.0, "net_send", kind="event_fwd", bytes=100)
+    assert trace.tally("net_send", "keepalive") == (2, 12)
+    assert trace.tally("net_send", "event_fwd") == (1, 100)
+    assert trace.tally("net_send", "missing") == (0, 0)
+    assert sorted(trace.sub_kinds("net_send")) == ["event_fwd", "keepalive"]
+
+
+def test_pair_counts_track_src_dst():
+    trace = Trace(keep_kinds=set())  # aggregates work even storing nothing
+    trace.record(0.0, "net_send", src="a", dst="b", kind="k", bytes=1)
+    trace.record(1.0, "net_send", src="a", dst="b", kind="k", bytes=1)
+    trace.record(2.0, "net_send", src="b", dst="a", kind="k", bytes=1)
+    assert trace.pair_count("net_send", "a", "b") == 2
+    assert trace.pair_count("net_send", "b", "a") == 1
+    assert trace.pair_counts("net_send") == {("a", "b"): 2, ("b", "a"): 1}
+
+
+def test_record_message_matches_record():
+    """The transport's fast lane must be indistinguishable from record()."""
+    slow = Trace(digest=True)
+    fast = Trace(digest=True)
+    slow.record(0.0, "net_send", src="a", dst="b", kind="keepalive", bytes=9)
+    slow.record(1.0, "net_deliver", src="a", dst="b", kind="keepalive")
+    slow.record(2.0, "net_drop", src="a", dst="c", kind="keepalive", reason="partition")
+    fast.record_message(0.0, "net_send", "a", "b", "keepalive", 9)
+    fast.record_message(1.0, "net_deliver", "a", "b", "keepalive")
+    fast.record_message(2.0, "net_drop", "a", "c", "keepalive", reason="partition")
+    assert slow.digest() == fast.digest()
+    assert slow.counts == fast.counts
+    assert slow.bytes_of_kind("net_send") == fast.bytes_of_kind("net_send")
+    assert slow.tally("net_send", "keepalive") == fast.tally("net_send", "keepalive")
+    assert slow.pair_counts("net_send") == fast.pair_counts("net_send")
+    assert fast.events[0].fields == slow.events[0].fields
+
+
+# -- kind-filtered subscriptions -----------------------------------------------
+
+
+def test_kind_scoped_subscriber_only_sees_its_kinds():
+    trace = Trace(keep_kinds=set())
+    seen = []
+    trace.subscribe(lambda e: seen.append(e.kind), kinds=("wanted",))
+    trace.record(0.0, "wanted")
+    trace.record(1.0, "ignored")
+    trace.record(2.0, "wanted")
+    assert seen == ["wanted", "wanted"]
+
+
+def test_kind_scoped_subscription_after_records_exist():
+    trace = Trace()
+    trace.record(0.0, "k")
+    seen = []
+    trace.subscribe(lambda e: seen.append(e.time), kinds=("k",))
+    trace.record(1.0, "k")
+    assert seen == [1.0]
+
+
+# -- digest --------------------------------------------------------------------
+
+
+def test_digest_stable_for_identical_streams():
+    a, b = Trace(), Trace()
+    for t in (a, b):
+        t.record(0.0, "x", peers={"p2", "p1"}, mapping={"b": 2, "a": 1})
+        t.record(1.0, "y", values=[1, 2.5, None, True])
+    assert a.digest() == b.digest()
+
+
+def test_digest_differs_when_stream_differs():
+    a, b = Trace(), Trace()
+    a.record(0.0, "x", v=1)
+    b.record(0.0, "x", v=2)
+    assert a.digest() != b.digest()
+
+
+def test_incremental_digest_matches_recomputed():
+    streaming = Trace(digest=True)
+    stored = Trace()
+    for t in (streaming, stored):
+        t.record(0.0, "x", v=1)
+        t.record(1.0, "y", src="a", dst="b", kind="k", bytes=3)
+    assert streaming.digest() == stored.digest()
+
+
+def test_digest_requires_hasher_when_kinds_dropped():
+    trace = Trace(keep_kinds=set())
+    trace.record(0.0, "x")
+    import pytest
+
+    with pytest.raises(RuntimeError):
+        trace.digest()

@@ -105,3 +105,40 @@ def test_fig5_crossover_naive_broadcast_vs_ring():
     two_receivers = 2 * (n - 1) * wire_size(bcast)
 
     assert one_receiver < ring_bytes < two_receivers
+
+
+# -- per-message size caching --------------------------------------------------
+
+
+def test_payload_and_wire_size_cached_per_message():
+    message = Message("k", "a", "b", {"x": 1})
+    first = wire_size(message)
+    assert message._wire_bytes == first
+    assert message._payload_bytes == payload_size(message)
+    # Messages are immutable once sent; the cache makes that contract
+    # load-bearing — re-sizing the same object must not recompute.
+    message.payload["x"] = 999999
+    assert wire_size(message) == first
+
+
+def test_distinct_messages_sized_independently():
+    small = Message("k", "a", "b", {"x": 1})
+    big = Message("k", "a", "b", {"x": "y" * 500})
+    assert wire_size(big) > wire_size(small)
+
+
+def test_bool_sized_as_one_byte_via_fast_path():
+    # bool is an int subclass: exact-type dispatch must still give 1 byte,
+    # both directly and through a message payload.
+    assert sizeof(True) == 1
+    assert payload_size(Message("k", "a", "b", {"flag": True})) == \
+        MESSAGE_HEADER + 1
+
+
+def test_subclass_payload_values_fall_back_to_general_path():
+    class MyInt(int):
+        pass
+
+    assert sizeof(MyInt(7)) == 8
+    assert payload_size(Message("k", "a", "b", {"v": MyInt(7)})) == \
+        MESSAGE_HEADER + 8
