@@ -88,7 +88,7 @@ class LogicRuntime:
         )
         self.active = False
         self._processed: dict[str, IntervalSet] = {}
-        self._remote_watermarks: dict[str, int] = {}
+        self._remote_processed: dict[str, IntervalSet] = {}
         requirements = app.sensor_requirements()
         self._gapless_sensors = {
             s for s, req in requirements.items() if req.delivery is GAPLESS
@@ -130,15 +130,24 @@ class LogicRuntime:
         self._teardown_operator_state()
 
     def _replay_outstanding(self) -> None:
-        """Deliver journaled Gapless events the old active never confirmed."""
+        """Deliver journaled Gapless events the old active never confirmed.
+
+        "Confirmed" means the event's seq is covered by the processed
+        *ranges* the old active gossiped (or our own). A scalar high-water
+        mark is not enough: a partition can punch a hole below the maximum
+        (the active processed seq 5 but never received 4), and replaying
+        only ``seq > max`` would skip the hole forever.
+        """
         pending: list[tuple[str, Event]] = []
         for sensor in sorted(self._gapless_sensors):
             log = self.service.store.log_for(sensor)
-            watermark = self._remote_watermarks.get(sensor, 0)
-            processed = self._processed.get(sensor)
-            if processed is not None and processed.max_value is not None:
-                watermark = max(watermark, processed.max_value)
-            pending.extend((sensor, e) for e in log.events_after(watermark))
+            remote = self._remote_processed.get(sensor, IntervalSet())
+            own = self._processed.get(sensor)
+            pending.extend(
+                (sensor, e)
+                for e in log.events_missing_from(remote.ranges())
+                if own is None or e.seq not in own
+            )
         pending.sort(key=lambda pair: (pair[1].emitted_at, pair[0], pair[1].seq))
         if pending:
             self.env.trace(
@@ -293,16 +302,26 @@ class LogicRuntime:
                 f"operator {op.name!r} actuated unbound actuator {actuator!r}"
             )
         self._cmd_seq += 1
+        # ``issued_by`` must be unique per issuing runtime or command_ids
+        # collide: a recovered process restarts _cmd_seq from 0, so commands
+        # issued by incarnation k+1 would repeat incarnation k's ids. The
+        # suffix marks re-incarnated issuers (absent before the first crash,
+        # keeping the paper's plain "app@process" form in the common case).
+        incarnation = getattr(self.env, "incarnation", 0)
+        issuer = f"{self.app.name}@{self.env.name}"
+        if incarnation:
+            issuer += f"+{incarnation}"
         command = Command(
             actuator_id=actuator,
             seq=self._cmd_seq,
             issued_at=self.env.now(),
             action=action,
             value=value,
-            issued_by=f"{self.app.name}@{self.env.name}",
+            issued_by=issuer,
         )
         self.env.trace(
             "command_issued", app=self.app.name, actuator=actuator, action=action,
+            seq=self._cmd_seq,
         )
         self.service.send_command(command, self.app)
 
@@ -317,19 +336,19 @@ class LogicRuntime:
 
     # -- watermarks --------------------------------------------------------------------------
 
-    def watermarks(self) -> dict[str, int]:
-        """Per-sensor highest processed seq (piggybacked on keep-alives)."""
-        marks: dict[str, int] = {}
+    def watermarks(self) -> dict[str, list[tuple[int, int]]]:
+        """Per-sensor processed seq ranges (piggybacked on keep-alives)."""
+        marks: dict[str, list[tuple[int, int]]] = {}
         for sensor in self._gapless_sensors:
             processed = self._processed.get(sensor)
-            if processed is not None and processed.max_value is not None:
-                marks[sensor] = processed.max_value
+            if processed is not None and len(processed) > 0:
+                marks[sensor] = processed.ranges()
         return marks
 
-    def note_watermark(self, sensor: str, watermark: int) -> None:
-        current = self._remote_watermarks.get(sensor, 0)
-        if watermark > current:
-            self._remote_watermarks[sensor] = watermark
+    def note_watermark(self, sensor: str, ranges: list[tuple[int, int]]) -> None:
+        remote = self._remote_processed.setdefault(sensor, IntervalSet())
+        for lo, hi in ranges:
+            remote.add_range(lo, hi)
 
 
 class ExecutionService:
@@ -394,8 +413,8 @@ class ExecutionService:
         for runtime in self.runtimes.values():
             runtime.apply_view(view)
 
-    def _watermark_payload(self) -> dict[str, dict[str, int]]:
-        payload: dict[str, dict[str, int]] = {}
+    def _watermark_payload(self) -> dict[str, dict[str, list[tuple[int, int]]]]:
+        payload: dict[str, dict[str, list[tuple[int, int]]]] = {}
         for name, runtime in self.runtimes.items():
             if runtime.active:
                 marks = runtime.watermarks()
@@ -403,10 +422,12 @@ class ExecutionService:
                     payload[name] = marks
         return payload
 
-    def _on_watermarks(self, sender: str, value: dict[str, dict[str, int]]) -> None:
+    def _on_watermarks(
+        self, sender: str, value: dict[str, dict[str, list[tuple[int, int]]]]
+    ) -> None:
         for app_name, marks in value.items():
             runtime = self.runtimes.get(app_name)
             if runtime is None:
                 continue
-            for sensor, watermark in marks.items():
-                runtime.note_watermark(sensor, watermark)
+            for sensor, ranges in marks.items():
+                runtime.note_watermark(sensor, ranges)

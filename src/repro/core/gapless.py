@@ -72,6 +72,24 @@ class GaplessDelivery:
 
     def start(self) -> None:
         self._last_successor = self._ctx.heartbeat.view.ring_successor()
+        # Boot-time anti-entropy: a process that crashed and recovered before
+        # anyone suspected it sees no view change, so neither its stuck
+        # journal entries nor the ring forwards it swallowed while down are
+        # ever re-propagated. A non-empty journal at start means this is a
+        # recovery boot — sync with every peer: the query carries our own
+        # seen-ranges so each peer pushes back what we missed, and the reply
+        # lets us push out what only we hold. First boot has an empty
+        # journal, so the failure-free case costs no messages.
+        if self.sync_enabled and len(self._log) > 0:
+            me = self._ctx.env.name
+            ranges = tuple(self._log.seen.ranges())
+            for peer in sorted(self._ctx.heartbeat.view.members):
+                if peer == me:
+                    continue
+                self._ctx.env.trace("sync_query", sensor=self.sensor, peer=peer)
+                self._ctx.env.send(
+                    peer, GAPLESS_SYNC_QUERY, sensor=self.sensor, ranges=ranges,
+                )
 
     # -- ingest from the sensor hardware -----------------------------------------
 
@@ -155,21 +173,28 @@ class GaplessDelivery:
         self._ctx.env.send(
             message.src, GAPLESS_SYNC_REPLY, sensor=self.sensor, ranges=ranges,
         )
+        # A query that carries the querier's own seen-ranges (recovery boot)
+        # doubles as a pull: push back anything we hold that it lacks.
+        querier_ranges = message.get("ranges")
+        if querier_ranges is not None:
+            self._send_missing(message.src, [tuple(r) for r in querier_ranges])
 
     def on_sync_reply(self, message: Message) -> None:
-        peer_ranges = [tuple(r) for r in message["ranges"]]
+        self._send_missing(message.src, [tuple(r) for r in message["ranges"]])
+
+    def _send_missing(self, peer: str, peer_ranges: list[tuple[int, int]]) -> None:
         missing = self._log.events_missing_from(peer_ranges)
         if not missing:
             return
         self._ctx.env.trace(
-            "sync_send", sensor=self.sensor, peer=message.src, count=len(missing),
+            "sync_send", sensor=self.sensor, peer=peer, count=len(missing),
         )
         view = self._ctx.heartbeat.view
         for event in sorted(missing, key=lambda e: e.seq):
             # Re-injected events take the normal ring path at the peer, so
             # they keep propagating to everyone who still lacks them.
             self._send_forward(
-                message.src, event,
+                peer, event,
                 seen=ProcessIdSet({self._ctx.env.name}),
                 expected=ProcessIdSet(view.members),
             )

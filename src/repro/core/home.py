@@ -34,6 +34,7 @@ from repro.net.latency import LatencyModel, ProcessingModel
 from repro.net.radio import RadioNetwork
 from repro.net.topology import HomeTopology
 from repro.net.transport import HomeNetwork
+from repro.sim.faults import FaultError
 from repro.sim.random import RandomSource
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Trace
@@ -333,14 +334,32 @@ class Home:
         return self
 
     # -- fault-injection surface (the FaultPlan target protocol) --------------------------
+    #
+    # Every entry point validates its arguments and raises FaultError on an
+    # impossible injection (unknown names, crashing a dead process, loss
+    # rates outside [0, 1]) so that generated fault schedules fail loudly
+    # instead of silently misbehaving.
 
     def crash_process(self, name: str) -> None:
-        self._live_process(name).crash()
+        process = self._fault_process(name)
+        if not process.alive:
+            raise FaultError(f"cannot crash {name!r}: already crashed")
+        process.crash()
 
     def recover_process(self, name: str) -> None:
-        self._live_process(name).recover()
+        process = self._fault_process(name)
+        if process.alive:
+            raise FaultError(f"cannot recover {name!r}: process is live")
+        process.recover()
 
     def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
+        self.start()
+        for group in groups:
+            for name in group:
+                if name not in self.processes:
+                    raise FaultError(
+                        f"cannot partition unknown process {name!r}"
+                    )
         self.network.partition.set_partition(groups)
         self.trace.record(self.scheduler.now, "partition",
                           groups=[list(g) for g in groups])
@@ -350,19 +369,28 @@ class Home:
         self.trace.record(self.scheduler.now, "partition_healed")
 
     def fail_sensor(self, name: str) -> None:
-        self.sensor(name).fail()
+        self._fault_device(name, self._sensors, "sensor").fail()
 
     def recover_sensor(self, name: str) -> None:
-        self.sensor(name).recover()
+        self._fault_device(name, self._sensors, "sensor").recover()
 
     def fail_actuator(self, name: str) -> None:
-        self.actuator(name).fail()
+        self._fault_device(name, self._actuators, "actuator").fail()
 
     def recover_actuator(self, name: str) -> None:
-        self.actuator(name).recover()
+        self._fault_device(name, self._actuators, "actuator").recover()
 
     def set_link_loss(self, device: str, process: str, loss_rate: float) -> None:
-        self.radio.set_link_loss(device, process, loss_rate)
+        if not 0.0 <= loss_rate <= 1.0:
+            raise FaultError(
+                f"loss rate must be in [0, 1], got {loss_rate}"
+            )
+        try:
+            self.radio.set_link_loss(device, process, loss_rate)
+        except KeyError as exc:
+            raise FaultError(
+                f"no radio link {device!r} -> {process!r}"
+            ) from exc
 
     # -- accessors --------------------------------------------------------------------------
 
@@ -405,6 +433,19 @@ class Home:
             return self.processes[name]
         except KeyError:
             raise KeyError(f"unknown process {name!r}") from None
+
+    def _fault_process(self, name: str) -> RivuletProcess:
+        self.start()
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise FaultError(f"unknown process {name!r}") from None
+
+    def _fault_device(self, name: str, devices: dict, what: str) -> Any:
+        try:
+            return devices[name]
+        except KeyError:
+            raise FaultError(f"unknown {what} {name!r}") from None
 
     def _ensure_not_started(self) -> None:
         if self._started:

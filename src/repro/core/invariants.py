@@ -1,0 +1,370 @@
+"""Protocol invariant oracles for chaos campaigns.
+
+Each oracle is a pure function over a :class:`RunRecord` — the trace plus
+the end state of a finished run — returning a list of :class:`Violation`.
+The oracles encode each delivery mode's *actual* guarantee rather than a
+generic assertion:
+
+- **at-least-once delivery** — Gapless (Section 4.1): every event that was
+  ingested by any process must eventually be processed by every interested
+  application. Gap and naive-broadcast are best-effort, so for them the
+  check only applies to fault-free, loss-free runs (where nothing can
+  legitimately be dropped).
+- **no duplicate actuation** — the same ``command_id`` must not be applied
+  by a device more than once, except when the delivery service deliberately
+  re-routed the command around a suspected bearer (each re-route can yield
+  at most one extra application). Distinct commands with equal payloads are
+  *not* duplicates: concurrent actives during a partition issue distinct
+  ``command_id``s by design (Section 5's idempotent-actuator argument).
+- **no delivery to crashed processes** — a crashed process performs no
+  protocol steps: no record attributed to it may fall strictly inside one
+  of its down intervals.
+- **membership convergence** — after every partition heals and the run
+  quiesces, each live process's view must contain exactly the live
+  processes.
+- **poll epoch monotonicity** — per (process, sensor), issued poll epochs
+  never decrease, and an epoch gap is reported at most once per epoch.
+- **delivered events exist** — sanity: nothing may be delivered to an
+  application that no sensor ever emitted.
+
+The oracles only see trace kinds listed in :data:`ORACLE_TRACE_KINDS`, so
+campaign runs can use ``keep_trace_kinds`` to bound memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.tracing import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.home import Home
+
+#: Trace kinds the oracles read. A campaign home may restrict its trace to
+#: this set (plus whatever else it wants) without blinding any checker.
+ORACLE_TRACE_KINDS: frozenset[str] = frozenset({
+    "sensor_emit", "poll_served",
+    "ingest", "relay_receive", "rbcast_receive",
+    "logic_delivery",
+    "crash", "recover",
+    "poll_issued", "epoch_gap",
+    "command_issued", "command_rerouted", "actuation",
+    "partition", "partition_healed",
+    "promotion", "demotion", "promotion_replay",
+})
+
+#: Record kinds that represent protocol activity attributed to a process
+#: (``fields["process"]``); none may occur while that process is down.
+_PROCESS_ACTIVITY_KINDS = (
+    "ingest", "relay_receive", "rbcast_receive", "logic_delivery",
+    "poll_issued", "command_issued",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to debug the run."""
+
+    oracle: str
+    message: str
+    at: float | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        when = f" @t={self.at:.3f}" if self.at is not None else ""
+        return f"[{self.oracle}]{when} {self.message}"
+
+
+@dataclass
+class RunRecord:
+    """Everything the oracles need from one finished run.
+
+    Built from a live :class:`~repro.core.home.Home` via :meth:`from_home`,
+    or by hand in property tests that exercise the oracles on synthetic
+    violating traces.
+    """
+
+    trace: Trace
+    alive: dict[str, bool]
+    """End-state liveness per process."""
+
+    views: dict[str, frozenset[str]]
+    """End-state membership view members, per *live* process."""
+
+    sensor_modes: dict[str, str]
+    """Sensor -> guarantee name ("gap" | "gapless" | "naive-broadcast")."""
+
+    consumers: dict[str, tuple[str, ...]]
+    """Sensor -> names of the apps consuming it."""
+
+    actuations: list[tuple[str, tuple, float]] = field(default_factory=list)
+    """Applied commands: (actuator, command_id, time), in application order."""
+
+    fault_free: bool = False
+    """True when no fault of any kind was injected during the run."""
+
+    lossless: bool = True
+    """True when every sensor-process link ran at zero loss throughout."""
+
+    @classmethod
+    def from_home(
+        cls, home: "Home", *, fault_free: bool = False, lossless: bool = True
+    ) -> "RunRecord":
+        alive = {name: p.alive for name, p in home.processes.items()}
+        views: dict[str, frozenset[str]] = {}
+        sensor_modes: dict[str, str] = {}
+        for name, process in home.processes.items():
+            if process.alive and process.heartbeat is not None:
+                views[name] = frozenset(process.heartbeat.view.members)
+            if process.alive and process.delivery is not None:
+                for sensor, instance in process.delivery.instances.items():
+                    sensor_modes.setdefault(sensor, instance.guarantee_name)
+        consumers: dict[str, tuple[str, ...]] = {}
+        for app in home.apps:
+            for sensor in app.sensor_requirements():
+                consumers[sensor] = consumers.get(sensor, ()) + (app.name,)
+        actuations: list[tuple[str, tuple, float]] = []
+        for name in home.actuator_names:
+            for rec in home.actuator(name).history:
+                if rec.applied:
+                    actuations.append((name, rec.command.command_id, rec.time))
+        actuations.sort(key=lambda item: item[2])
+        return cls(
+            trace=home.trace,
+            alive=alive,
+            views=views,
+            sensor_modes=sensor_modes,
+            consumers=consumers,
+            actuations=actuations,
+            fault_free=fault_free,
+            lossless=lossless,
+        )
+
+
+# -- individual oracles ------------------------------------------------------------
+
+
+def check_delivery_guarantee(record: RunRecord) -> list[Violation]:
+    """Every ingested event reaches every interested app, per mode.
+
+    Gapless: unconditional — the journal survives crashes and anti-entropy
+    re-propagates, so once *any* process ingested an event it must be
+    processed (the run is expected to end healed and quiescent).
+    Gap / naive-broadcast: best-effort; only enforceable when the run was
+    fault-free and loss-free.
+    """
+    violations: list[Violation] = []
+    delivered: dict[tuple[str, str], set[int]] = {}
+    for entry in record.trace.iter_kind("logic_delivery"):
+        key = (entry["app"], entry["sensor"])
+        delivered.setdefault(key, set()).add(entry["seq"])
+
+    must_check_best_effort = record.fault_free and record.lossless
+    for entry in record.trace.iter_kind("ingest"):
+        sensor = entry["sensor"]
+        mode = record.sensor_modes.get(sensor, "gapless")
+        if mode != "gapless" and not must_check_best_effort:
+            continue
+        for app in record.consumers.get(sensor, ()):
+            if entry["seq"] not in delivered.get((app, sensor), set()):
+                violations.append(Violation(
+                    oracle="delivery_guarantee",
+                    message=(
+                        f"event {sensor}#{entry['seq']} was ingested "
+                        f"(mode={mode}) but never processed by app {app!r}"
+                    ),
+                    at=entry.time,
+                    context={"sensor": sensor, "seq": entry["seq"],
+                             "app": app, "mode": mode},
+                ))
+    return violations
+
+
+def check_delivered_events_exist(record: RunRecord) -> list[Violation]:
+    """No app may process an event its sensor never emitted."""
+    emitted: dict[str, set[int]] = {}
+    for kind in ("sensor_emit", "poll_served"):
+        for entry in record.trace.iter_kind(kind):
+            emitted.setdefault(entry["sensor"], set()).add(entry["seq"])
+    violations: list[Violation] = []
+    for entry in record.trace.iter_kind("logic_delivery"):
+        sensor = entry["sensor"]
+        if sensor.startswith("op:"):
+            continue  # derived streams are emitted by operators, not sensors
+        if entry["seq"] not in emitted.get(sensor, set()):
+            violations.append(Violation(
+                oracle="delivered_events_exist",
+                message=(
+                    f"app {entry['app']!r} processed {sensor}#{entry['seq']} "
+                    "which was never emitted"
+                ),
+                at=entry.time,
+                context={"sensor": sensor, "seq": entry["seq"]},
+            ))
+    return violations
+
+
+def check_no_duplicate_actuation(record: RunRecord) -> list[Violation]:
+    """A command_id is applied once; re-routes excuse at most one extra."""
+    reroutes: dict[str, int] = {}
+    for entry in record.trace.iter_kind("command_rerouted"):
+        actuator = entry["actuator"]
+        reroutes[actuator] = reroutes.get(actuator, 0) + 1
+
+    applications: dict[tuple, int] = {}
+    for _, command_id, _ in record.actuations:
+        applications[command_id] = applications.get(command_id, 0) + 1
+
+    violations: list[Violation] = []
+    excess_per_actuator: dict[str, int] = {}
+    for command_id, count in applications.items():
+        if count > 1:
+            actuator = command_id[0]
+            excess_per_actuator[actuator] = (
+                excess_per_actuator.get(actuator, 0) + count - 1
+            )
+    for actuator, excess in sorted(excess_per_actuator.items()):
+        allowed = reroutes.get(actuator, 0)
+        if excess > allowed:
+            violations.append(Violation(
+                oracle="no_duplicate_actuation",
+                message=(
+                    f"actuator {actuator!r} applied {excess} duplicate "
+                    f"command(s) but only {allowed} re-route(s) occurred"
+                ),
+                context={"actuator": actuator, "excess": excess,
+                         "reroutes": allowed},
+            ))
+    return violations
+
+
+def _down_intervals(record: RunRecord) -> dict[str, list[tuple[float, float]]]:
+    intervals: dict[str, list[tuple[float, float]]] = {}
+    open_since: dict[str, float] = {}
+    for entry in record.trace.events:
+        if entry.kind == "crash":
+            open_since[entry["process"]] = entry.time
+        elif entry.kind == "recover":
+            start = open_since.pop(entry["process"], None)
+            if start is not None:
+                intervals.setdefault(entry["process"], []).append(
+                    (start, entry.time)
+                )
+    for process, start in open_since.items():
+        intervals.setdefault(process, []).append((start, float("inf")))
+    return intervals
+
+
+def check_no_delivery_to_crashed(record: RunRecord) -> list[Violation]:
+    """No protocol activity may be attributed to a down process.
+
+    Strict interiors only: activity *at* the crash or recovery instant is
+    legitimate (the crash handler itself, boot-time replay).
+    """
+    intervals = _down_intervals(record)
+    if not intervals:
+        return []
+    violations: list[Violation] = []
+    for kind in _PROCESS_ACTIVITY_KINDS:
+        for entry in record.trace.iter_kind(kind):
+            process = entry.get("process")
+            if process is None:
+                continue
+            for start, end in intervals.get(process, ()):
+                if start < entry.time < end:
+                    violations.append(Violation(
+                        oracle="no_delivery_to_crashed",
+                        message=(
+                            f"{kind} attributed to {process!r} at "
+                            f"t={entry.time:.3f} inside its down interval "
+                            f"({start:.3f}, {end:.3f})"
+                        ),
+                        at=entry.time,
+                        context={"kind": kind, "process": process},
+                    ))
+                    break
+    return violations
+
+
+def check_views_converge(record: RunRecord) -> list[Violation]:
+    """End-state: every live process sees exactly the live processes."""
+    live = frozenset(name for name, ok in record.alive.items() if ok)
+    violations: list[Violation] = []
+    for process in sorted(live):
+        view = record.views.get(process)
+        if view is None:
+            violations.append(Violation(
+                oracle="views_converge",
+                message=f"live process {process!r} reported no view",
+                context={"process": process},
+            ))
+        elif view != live:
+            violations.append(Violation(
+                oracle="views_converge",
+                message=(
+                    f"process {process!r} view {sorted(view)} != live set "
+                    f"{sorted(live)} after heal"
+                ),
+                context={"process": process, "view": sorted(view),
+                         "live": sorted(live)},
+            ))
+    return violations
+
+
+def check_poll_epochs_monotonic(record: RunRecord) -> list[Violation]:
+    """Per (process, sensor): poll epochs never regress; gaps are unique."""
+    violations: list[Violation] = []
+    last_epoch: dict[tuple[str, str], int] = {}
+    for entry in record.trace.iter_kind("poll_issued"):
+        key = (entry.get("process", "?"), entry["sensor"])
+        previous = last_epoch.get(key)
+        epoch = entry["epoch"]
+        if previous is not None and epoch < previous:
+            violations.append(Violation(
+                oracle="poll_epochs_monotonic",
+                message=(
+                    f"poll epoch regressed on {key[1]}@{key[0]}: "
+                    f"{previous} -> {epoch}"
+                ),
+                at=entry.time,
+                context={"process": key[0], "sensor": key[1],
+                         "previous": previous, "epoch": epoch},
+            ))
+        last_epoch[key] = epoch
+
+    seen_gaps: set[tuple[str, str, int]] = set()
+    for entry in record.trace.iter_kind("epoch_gap"):
+        key = (entry.get("process", "?"), entry["sensor"], entry["epoch"])
+        if key in seen_gaps:
+            violations.append(Violation(
+                oracle="poll_epochs_monotonic",
+                message=(
+                    f"epoch gap for {key[1]}@{key[0]} epoch {key[2]} "
+                    "reported twice"
+                ),
+                at=entry.time,
+                context={"process": key[0], "sensor": key[1],
+                         "epoch": key[2]},
+            ))
+        seen_gaps.add(key)
+    return violations
+
+
+#: All oracles, in reporting order.
+ALL_ORACLES = (
+    check_delivery_guarantee,
+    check_delivered_events_exist,
+    check_no_duplicate_actuation,
+    check_no_delivery_to_crashed,
+    check_views_converge,
+    check_poll_epochs_monotonic,
+)
+
+
+def check_all(record: RunRecord) -> list[Violation]:
+    """Run every oracle; the run passes iff the result is empty."""
+    violations: list[Violation] = []
+    for oracle in ALL_ORACLES:
+        violations.extend(oracle(record))
+    return violations

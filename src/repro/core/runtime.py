@@ -210,6 +210,11 @@ class RivuletProcess(RuntimeEnv):
 
     # -- RuntimeEnv implementation -----------------------------------------------------
 
+    @property
+    def incarnation(self) -> int:
+        """How many times this process has recovered (0 before any crash)."""
+        return self._incarnation
+
     def now(self) -> float:
         return self._scheduler.now
 

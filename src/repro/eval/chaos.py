@@ -1,0 +1,345 @@
+"""Chaos campaigns: randomized fault schedules checked by invariant oracles.
+
+A campaign sweeps seeds x intensity profiles x delivery modes over one
+standard chaos scenario (four processes, two restricted-reach push sensors,
+a coordinated poll sensor, two actuators, two small apps). Each run:
+
+1. samples a random-but-valid :class:`~repro.sim.faults.FaultPlan` from the
+   seed (see :mod:`repro.sim.chaos`),
+2. replays it against a fresh deterministic home while a scripted workload
+   drives the sensors,
+3. performs a guarded cleanup at 70% of the horizon (recover everything,
+   heal, restore link losses) and lets the run quiesce,
+4. checks every invariant oracle in :mod:`repro.core.invariants`,
+5. on violation, shrinks the plan with delta debugging to a minimal
+   reproducer.
+
+Results go to ``CHAOS_report.json`` with a content digest, so determinism
+is checkable by re-running with the same seeds and comparing digests. Any
+recorded run is replayable by seed alone (:func:`replay_run`).
+
+Command line::
+
+    python -m repro.eval.cli chaos --seeds 20 --horizon 3600
+    python -m repro.eval.cli chaos --replay gapless-mild-s3 --report CHAOS_report.json
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.core.delivery import GAP, GAPLESS, PollMode, PollingPolicy
+from repro.core.delivery_service import GaplessOptions
+from repro.core.graph import App
+from repro.core.home import Home, HomeConfig
+from repro.core.invariants import ORACLE_TRACE_KINDS, RunRecord, check_all
+from repro.core.operators import Operator
+from repro.core.windows import CountWindow
+from repro.sim.chaos import (
+    FaultDomain, FaultScheduleGenerator, PROFILES, shrink,
+)
+from repro.sim.faults import FaultPlan
+from repro.sim.random import RandomSource
+
+#: Delivery modes the campaign sweeps for the push sensors.
+MODES = ("gapless", "gap", "naive-broadcast")
+
+#: Default intensity profiles for a campaign.
+DEFAULT_INTENSITIES = ("mild", "severe")
+
+#: Fractions of the horizon: guarded cleanup, last scripted emission.
+CLEANUP_FRACTION = 0.7
+EMISSION_STOP_FRACTION = 0.8
+
+_PROCESSES = ("p0", "p1", "p2", "p3")
+_PUSH_SENSORS = {"m1": ("p1", "p2"), "d1": ("p3",)}
+_POLL_SENSOR = ("t1", ("p0", "p1"))
+_LINKS = tuple(
+    (sensor, process)
+    for sensor, hosts in sorted(_PUSH_SENSORS.items())
+    for process in hosts
+)
+
+#: Mean seconds between scripted emissions, per push sensor.
+_EMIT_MEANS = {"m1": 20.0, "d1": 45.0}
+
+
+def chaos_domain() -> FaultDomain:
+    """The fault domain of the standard chaos scenario."""
+    return FaultDomain(
+        processes=_PROCESSES,
+        sensors=tuple(sorted(_PUSH_SENSORS)) + (_POLL_SENSOR[0],),
+        actuators=("a1", "a2"),
+        links=_LINKS,
+    )
+
+
+def build_chaos_home(
+    seed: int,
+    mode: str,
+    *,
+    gapless_options: GaplessOptions | None = None,
+) -> Home:
+    """The standard chaos scenario home, not yet started.
+
+    ``mode`` selects the delivery protocol of the push sensors; the poll
+    sensor always runs Gapless with a coordinated polling policy so every
+    campaign run exercises the poll-epoch machinery too.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown delivery mode {mode!r} (choose from {MODES})")
+    push_delivery = GAP if mode == "gap" else GAPLESS
+    override = (
+        {name: "naive-broadcast" for name in _PUSH_SENSORS}
+        if mode == "naive-broadcast" else {}
+    )
+    config = HomeConfig(
+        seed=seed,
+        keep_trace_kinds=set(ORACLE_TRACE_KINDS),
+        delivery_override=override,
+        gapless_options=gapless_options or GaplessOptions(),
+    )
+    home = Home(config)
+    for name in _PROCESSES:
+        home.add_process(name, adapters=("ip", "zwave"))
+    for name, hosts in sorted(_PUSH_SENSORS.items()):
+        kind = "motion" if name.startswith("m") else "door"
+        home.add_sensor(name, kind=kind, technology="ip", processes=list(hosts))
+    poll_name, poll_hosts = _POLL_SENSOR
+    home.add_sensor(poll_name, kind="temperature", technology="zwave",
+                    processes=list(poll_hosts))
+    home.add_actuator("a1", processes=["p0"])
+    home.add_actuator("a2", processes=["p1"])
+
+    def alarm_logic(ctx, combined) -> None:
+        events = combined.all_events()
+        if events:
+            ctx.actuate("a1", "set", bool(events[-1].value))
+
+    alarm = Operator("AlarmLogic", on_window=alarm_logic)
+    for name in sorted(_PUSH_SENSORS):
+        alarm.add_sensor(name, push_delivery, CountWindow(1))
+    alarm.add_actuator("a1", push_delivery)
+
+    def climate_logic(ctx, combined) -> None:
+        events = combined.all_events()
+        if events and events[-1].value is not None:
+            ctx.actuate("a2", "set", round(float(events[-1].value)))
+
+    climate = Operator("ClimateLogic", on_window=climate_logic)
+    climate.add_sensor(
+        poll_name, GAPLESS, CountWindow(1),
+        polling=PollingPolicy(epoch_s=30.0, mode=PollMode.COORDINATED),
+    )
+    climate.add_actuator("a2", GAPLESS)
+
+    home.deploy(App("alarm", alarm))
+    home.deploy(App("climate", climate))
+    return home
+
+
+def _schedule_workload(home: Home, seed: int, horizon: float) -> None:
+    """Pre-schedule scripted push-sensor emissions from a dedicated stream.
+
+    The stream is independent of the fault plan, so the workload is
+    identical whether a full plan or a shrunk reproducer is replayed.
+    """
+    source = RandomSource(seed).child("chaos-workload")
+    stop = horizon * EMISSION_STOP_FRACTION
+    for name in sorted(_PUSH_SENSORS):
+        rng = source.child(name)
+        sensor = home.sensor(name)
+        t = 1.0
+        toggle = True
+        while True:
+            t += rng.expovariate(1.0 / _EMIT_MEANS[name])
+            if t >= stop:
+                break
+            home.scheduler.call_at(t, sensor.emit, toggle)
+            toggle = not toggle
+
+
+def _schedule_cleanup(home: Home, horizon: float) -> None:
+    """Guarded repairs at 70% of the horizon so every run ends whole.
+
+    The fault generator already pairs faults with repairs inside its
+    window; this sweep only matters for shrunk sub-plans whose repair
+    action was removed. Every repair checks state first, so it never
+    raises ``FaultError`` whatever subset of the plan ran.
+    """
+    def cleanup() -> None:
+        for name, process in sorted(home.processes.items()):
+            if not process.alive:
+                home.recover_process(name)
+        home.heal_partition()
+        for name in home.sensor_names:
+            if home.sensor(name).failed:
+                home.recover_sensor(name)
+        for name in home.actuator_names:
+            if home.actuator(name).failed:
+                home.recover_actuator(name)
+        for sensor, process in _LINKS:
+            home.set_link_loss(sensor, process, 0.0)
+
+    home.scheduler.call_at(horizon * CLEANUP_FRACTION, cleanup)
+
+
+def run_chaos_case(
+    seed: int,
+    mode: str,
+    horizon: float,
+    plan: FaultPlan,
+    *,
+    gapless_options: GaplessOptions | None = None,
+) -> tuple[list, Home]:
+    """One run: apply ``plan``, drive the workload, check every oracle."""
+    home = build_chaos_home(seed, mode, gapless_options=gapless_options)
+    home.start()
+    plan.apply(home)
+    _schedule_cleanup(home, horizon)
+    _schedule_workload(home, seed, horizon)
+    home.run_until(horizon)
+    record = RunRecord.from_home(
+        home,
+        fault_free=len(plan) == 0,
+        lossless=not any(a.kind == "set_link_loss" for a in plan.actions),
+    )
+    return check_all(record), home
+
+
+def run_campaign(
+    seeds: list[int],
+    horizon: float = 3600.0,
+    *,
+    intensities: tuple[str, ...] = DEFAULT_INTENSITIES,
+    modes: tuple[str, ...] = MODES,
+    gapless_options: GaplessOptions | None = None,
+    out_path: str | None = "CHAOS_report.json",
+    max_shrink_evals: int = 64,
+    progress: bool = False,
+) -> dict[str, Any]:
+    """Sweep seeds x intensities x modes; write ``CHAOS_report.json``."""
+    domain = chaos_domain()
+    runs: list[dict[str, Any]] = []
+    for mode in modes:
+        for intensity in intensities:
+            generator = FaultScheduleGenerator(
+                domain, PROFILES[intensity], horizon
+            )
+            for seed in seeds:
+                run_id = f"{mode}-{intensity}-s{seed}"
+                plan = generator.generate(seed)
+                violations, _ = run_chaos_case(
+                    seed, mode, horizon, plan,
+                    gapless_options=gapless_options,
+                )
+                entry: dict[str, Any] = {
+                    "run_id": run_id,
+                    "seed": seed,
+                    "mode": mode,
+                    "intensity": intensity,
+                    "fault_actions": len(plan),
+                    "verdict": "fail" if violations else "pass",
+                    "violations": [str(v) for v in violations],
+                }
+                if violations:
+                    def is_failing(candidate: FaultPlan) -> bool:
+                        candidate_violations, _ = run_chaos_case(
+                            seed, mode, horizon, candidate,
+                            gapless_options=gapless_options,
+                        )
+                        return bool(candidate_violations)
+
+                    reproducer = shrink(
+                        plan, is_failing, max_evals=max_shrink_evals
+                    )
+                    entry["reproducer"] = reproducer.to_dicts()
+                    entry["reproducer_actions"] = len(reproducer)
+                runs.append(entry)
+                if progress:  # pragma: no cover - console noise
+                    print(f"  {run_id}: {entry['verdict']} "
+                          f"({entry['fault_actions']} fault actions)")
+
+    failures = sum(1 for r in runs if r["verdict"] == "fail")
+    report: dict[str, Any] = {
+        "campaign": {
+            "horizon": horizon,
+            "seeds": list(seeds),
+            "intensities": list(intensities),
+            "modes": list(modes),
+        },
+        "runs": runs,
+        "summary": {"total": len(runs), "failures": failures},
+    }
+    report["digest"] = report_digest(report)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def report_digest(report: dict[str, Any]) -> str:
+    """A stable hash of a report's content (ignoring any digest field)."""
+    content = {k: v for k, v in report.items() if k != "digest"}
+    canonical = json.dumps(content, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def replay_run(
+    report: dict[str, Any], run_id: str, *,
+    gapless_options: GaplessOptions | None = None,
+) -> dict[str, Any]:
+    """Re-execute one recorded run (its reproducer if present, else the
+    regenerated full plan) and return the fresh verdict."""
+    matches = [r for r in report["runs"] if r["run_id"] == run_id]
+    if not matches:
+        known = ", ".join(r["run_id"] for r in report["runs"][:10])
+        raise KeyError(f"no run {run_id!r} in report (e.g. {known})")
+    entry = matches[0]
+    horizon = report["campaign"]["horizon"]
+    if "reproducer" in entry:
+        plan = FaultPlan.from_dicts(entry["reproducer"])
+        source = "reproducer"
+    else:
+        generator = FaultScheduleGenerator(
+            chaos_domain(), PROFILES[entry["intensity"]], horizon
+        )
+        plan = generator.generate(entry["seed"])
+        source = "regenerated plan"
+    violations, _ = run_chaos_case(
+        entry["seed"], entry["mode"], horizon, plan,
+        gapless_options=gapless_options,
+    )
+    return {
+        "run_id": run_id,
+        "source": source,
+        "fault_actions": len(plan),
+        "verdict": "fail" if violations else "pass",
+        "violations": [str(v) for v in violations],
+        "recorded_verdict": entry["verdict"],
+    }
+
+
+def render_campaign_summary(report: dict[str, Any]) -> str:
+    """A terminal-friendly summary of :func:`run_campaign` output."""
+    summary = report["summary"]
+    campaign = report["campaign"]
+    lines = [
+        "chaos campaign",
+        f"  runs      : {summary['total']} "
+        f"({len(campaign['seeds'])} seeds x {len(campaign['intensities'])} "
+        f"intensities x {len(campaign['modes'])} modes)",
+        f"  horizon   : {campaign['horizon']:.0f} s",
+        f"  failures  : {summary['failures']}",
+        f"  digest    : {report['digest']}",
+    ]
+    for run in report["runs"]:
+        if run["verdict"] == "fail":
+            shrunk = run.get("reproducer_actions")
+            note = f", reproducer has {shrunk} action(s)" if shrunk else ""
+            lines.append(f"  FAIL {run['run_id']}: "
+                         f"{len(run['violations'])} violation(s){note}")
+    return "\n".join(lines)

@@ -21,6 +21,73 @@ def _supported_kwargs(fn, **candidates):
     return {k: v for k, v in candidates.items() if k in parameters and v is not None}
 
 
+def _run_chaos(args) -> int:
+    import json
+
+    from repro.eval.chaos import (
+        DEFAULT_INTENSITIES, MODES, render_campaign_summary, replay_run,
+        run_campaign,
+    )
+    from repro.sim.chaos import PROFILES
+
+    if args.replay:
+        try:
+            with open(args.report, "r", encoding="utf-8") as fh:
+                report = json.load(fh)
+        except FileNotFoundError:
+            print(f"error: no report at {args.report!r} "
+                  "(run a campaign first)", file=sys.stderr)
+            return 2
+        try:
+            result = replay_run(report, args.replay)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"replayed {result['run_id']} from {result['source']} "
+              f"({result['fault_actions']} fault actions)")
+        print(f"verdict: {result['verdict']} "
+              f"(recorded: {result['recorded_verdict']})")
+        for violation in result["violations"]:
+            print(f"  {violation}")
+        return 0 if result["verdict"] == result["recorded_verdict"] else 1
+
+    try:
+        if args.seeds and "," not in args.seeds:
+            seeds = list(range(int(args.seeds)))
+        elif args.seeds:
+            seeds = [int(s) for s in args.seeds.split(",")]
+        else:
+            seeds = list(range(5))
+    except ValueError:
+        print(f"error: --seeds wants an integer or a comma-separated "
+              f"list of integers, got {args.seeds!r}", file=sys.stderr)
+        return 2
+    intensities = (
+        tuple(args.intensities.split(",")) if args.intensities
+        else DEFAULT_INTENSITIES
+    )
+    modes = tuple(args.modes.split(",")) if args.modes else MODES
+    for intensity in intensities:
+        if intensity not in PROFILES:
+            print(f"error: unknown intensity {intensity!r} "
+                  f"(choose from {', '.join(sorted(PROFILES))})",
+                  file=sys.stderr)
+            return 2
+    for mode in modes:
+        if mode not in MODES:
+            print(f"error: unknown mode {mode!r} "
+                  f"(choose from {', '.join(MODES)})", file=sys.stderr)
+            return 2
+    out = args.out or "CHAOS_report.json"
+    report = run_campaign(
+        seeds, args.horizon, intensities=intensities, modes=modes,
+        out_path=out, progress=True,
+    )
+    print(render_campaign_summary(report))
+    print(f"wrote {out}")
+    return 1 if report["summary"]["failures"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="rivulet-experiment",
@@ -28,14 +95,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "perf"],
-        help="which table/figure to regenerate, or 'perf' for the kernel "
-        "throughput benchmark (writes BENCH_kernel.json)",
+        choices=sorted(EXPERIMENTS) + ["all", "perf", "chaos"],
+        help="which table/figure to regenerate, 'perf' for the kernel "
+        "throughput benchmark (writes BENCH_kernel.json), or 'chaos' for a "
+        "randomized fault-injection campaign (writes CHAOS_report.json)",
     )
     parser.add_argument("--duration", type=float, default=None,
                         help="run length in simulated seconds (paper: 200)")
     parser.add_argument("--seeds", type=str, default=None,
-                        help="comma-separated seeds, e.g. 1,2,3")
+                        help="comma-separated seeds, e.g. 1,2,3 (for chaos, "
+                        "a lone integer N means seeds 0..N-1)")
     parser.add_argument("--seed", type=int, default=None,
                         help="single seed (experiments that take one)")
     parser.add_argument("--days", type=float, default=None,
@@ -44,16 +113,35 @@ def main(argv: list[str] | None = None) -> int:
                         help="also draw an ASCII chart of the figure")
     parser.add_argument("--quick", action="store_true",
                         help="perf only: shrink workloads for a fast smoke run")
-    parser.add_argument("--out", type=str, default="BENCH_kernel.json",
-                        help="perf only: output path for the benchmark JSON")
+    parser.add_argument("--out", type=str, default=None,
+                        help="perf/chaos: output path for the result JSON "
+                        "(default BENCH_kernel.json / CHAOS_report.json)")
+    parser.add_argument("--horizon", type=float, default=3600.0,
+                        help="chaos only: per-run horizon in simulated "
+                        "seconds (default 3600)")
+    parser.add_argument("--intensities", type=str, default=None,
+                        help="chaos only: comma-separated intensity profiles "
+                        "(default mild,severe)")
+    parser.add_argument("--modes", type=str, default=None,
+                        help="chaos only: comma-separated delivery modes "
+                        "(default gapless,gap,naive-broadcast)")
+    parser.add_argument("--replay", type=str, default=None,
+                        help="chaos only: replay one recorded run_id from "
+                        "the report instead of running a campaign")
+    parser.add_argument("--report", type=str, default="CHAOS_report.json",
+                        help="chaos only: report to read for --replay")
     args = parser.parse_args(argv)
+
+    if args.experiment == "chaos":
+        return _run_chaos(args)
 
     if args.experiment == "perf":
         from repro.eval.perf import render_summary, run_kernel_bench
 
-        results = run_kernel_bench(args.out, quick=args.quick)
+        out = args.out or "BENCH_kernel.json"
+        results = run_kernel_bench(out, quick=args.quick)
         print(render_summary(results))
-        print(f"wrote {args.out}")
+        print(f"wrote {out}")
         return 0
 
     seeds = None

@@ -1,0 +1,297 @@
+"""Randomized fault schedules and failing-plan shrinking.
+
+:class:`FaultScheduleGenerator` samples random-but-*valid*
+:class:`~repro.sim.faults.FaultPlan`s from a :class:`FaultDomain` (what can
+break) and an :class:`IntensityProfile` (how often and for how long).
+Validity is structural: crashes pair with recoveries, at most one partition
+is open at a time, at least one process always stays up, link-loss ramps
+restore the base rate — so any generated plan replays without
+:class:`~repro.sim.faults.FaultError` and any run ends with the home whole
+again (the campaign runner still performs a guarded cleanup at the end of
+the fault window as a belt-and-braces measure).
+
+:func:`shrink` is greedy delta debugging (ddmin) over a failing plan's
+actions: it searches for a small sub-plan that still makes the caller's
+``is_failing`` predicate true. Sub-plans preserve the relative order of the
+surviving actions, and :meth:`FaultPlan.apply`'s explicit ``(at, insertion
+index)`` ordering makes the minimized reproducer replay identically.
+
+All sampling draws from named :class:`~repro.sim.random.RandomSource`
+streams, so a (seed, domain, profile, horizon) tuple always yields the same
+plan — campaigns are replayable by seed alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.sim.faults import FaultAction, FaultPlan
+from repro.sim.random import RandomSource
+
+_HOUR = 3600.0
+
+#: The fault window as fractions of the horizon: no faults before warm-up
+#: finishes, none after the cleanup point so every run ends healed.
+FAULT_WINDOW = (0.05, 0.65)
+
+
+@dataclass(frozen=True)
+class IntensityProfile:
+    """How hard the campaign leans on the home (rates are per hour)."""
+
+    name: str
+    crash_rate: float
+    """Process crash arrivals per hour."""
+
+    partition_rate: float
+    """Network partition arrivals per hour (one open at a time)."""
+
+    device_fail_rate: float
+    """Sensor/actuator outage arrivals per hour (shared across devices)."""
+
+    link_ramp_rate: float
+    """Link-loss ramp arrivals per hour."""
+
+    mean_downtime_s: float = 60.0
+    """Mean process downtime (exponential)."""
+
+    mean_partition_s: float = 45.0
+    """Mean partition duration (exponential)."""
+
+    mean_outage_s: float = 90.0
+    """Mean device outage duration (exponential)."""
+
+    mean_ramp_s: float = 120.0
+    """Mean duration of a link-loss ramp (exponential)."""
+
+    max_link_loss: float = 0.6
+    """Upper bound for a ramped loss rate."""
+
+
+PROFILES: dict[str, IntensityProfile] = {
+    "mild": IntensityProfile(
+        name="mild", crash_rate=4.0, partition_rate=2.0,
+        device_fail_rate=4.0, link_ramp_rate=4.0,
+        mean_downtime_s=40.0, mean_partition_s=30.0,
+        mean_outage_s=60.0, mean_ramp_s=90.0, max_link_loss=0.4,
+    ),
+    "moderate": IntensityProfile(
+        name="moderate", crash_rate=12.0, partition_rate=6.0,
+        device_fail_rate=10.0, link_ramp_rate=10.0,
+        mean_downtime_s=60.0, mean_partition_s=45.0,
+        mean_outage_s=90.0, mean_ramp_s=120.0, max_link_loss=0.6,
+    ),
+    "severe": IntensityProfile(
+        name="severe", crash_rate=30.0, partition_rate=15.0,
+        device_fail_rate=24.0, link_ramp_rate=24.0,
+        mean_downtime_s=90.0, mean_partition_s=60.0,
+        mean_outage_s=120.0, mean_ramp_s=180.0, max_link_loss=0.8,
+    ),
+}
+
+
+@dataclass
+class FaultDomain:
+    """What the generator is allowed to break."""
+
+    processes: Sequence[str]
+    sensors: Sequence[str] = ()
+    actuators: Sequence[str] = ()
+    links: Sequence[tuple[str, str]] = ()
+    """(device, process) pairs whose loss rate may be ramped."""
+
+    base_loss: dict[tuple[str, str], float] = field(default_factory=dict)
+    """Loss rate a ramped link is restored to (default 0)."""
+
+
+class FaultScheduleGenerator:
+    """Samples valid fault plans, deterministically per seed."""
+
+    def __init__(
+        self,
+        domain: FaultDomain,
+        profile: IntensityProfile,
+        horizon: float,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if len(domain.processes) < 1:
+            raise ValueError("the fault domain needs at least one process")
+        self.domain = domain
+        self.profile = profile
+        self.horizon = horizon
+        self.window = (horizon * FAULT_WINDOW[0], horizon * FAULT_WINDOW[1])
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _arrivals(self, rng, rate_per_hour: float) -> list[float]:
+        """Poisson arrival times inside the fault window."""
+        if rate_per_hour <= 0:
+            return []
+        start, end = self.window
+        times: list[float] = []
+        t = start
+        while True:
+            t += rng.expovariate(rate_per_hour / _HOUR)
+            if t >= end:
+                return times
+            times.append(t)
+
+    def generate(self, seed: int) -> FaultPlan:
+        """One random-but-valid plan; the same seed yields the same plan."""
+        source = RandomSource(seed).child("chaos")
+        arrivals: list[tuple[float, str]] = []
+        for category, rate in (
+            ("crash", self.profile.crash_rate),
+            ("partition", self.profile.partition_rate),
+            ("device", self.profile.device_fail_rate),
+            ("link", self.profile.link_ramp_rate),
+        ):
+            rng = source.child(category)
+            arrivals.extend((t, category) for t in self._arrivals(rng, rate))
+        arrivals.sort()  # (time, category) — unique times w.p. 1, still total
+
+        draw = source.child("choices")
+        plan = FaultPlan()
+        end = self.window[1]
+        down_until: dict[str, float] = {}
+        device_down_until: dict[str, float] = {}
+        partitioned_until = 0.0
+
+        def up_processes(now: float) -> list[str]:
+            return [p for p in self.domain.processes
+                    if down_until.get(p, 0.0) <= now]
+
+        for t, category in arrivals:
+            if category == "crash":
+                up = up_processes(t)
+                if len(up) < 2:
+                    continue  # keep at least one process up
+                victim = draw.choice(up)
+                back = min(t + draw.expovariate(
+                    1.0 / self.profile.mean_downtime_s), end)
+                if back <= t:
+                    continue
+                plan.crash(victim, at=t)
+                plan.recover(victim, at=back)
+                down_until[victim] = back
+            elif category == "partition":
+                if t < partitioned_until or len(self.domain.processes) < 2:
+                    continue  # one partition at a time
+                names = list(self.domain.processes)
+                draw.shuffle(names)
+                cut = draw.randint(1, len(names) - 1)
+                heal_at = min(t + draw.expovariate(
+                    1.0 / self.profile.mean_partition_s), end)
+                if heal_at <= t:
+                    continue
+                plan.partition([names[:cut], names[cut:]], at=t)
+                plan.heal(at=heal_at)
+                partitioned_until = heal_at
+            elif category == "device":
+                devices = list(self.domain.sensors) + list(self.domain.actuators)
+                candidates = [d for d in devices
+                              if device_down_until.get(d, 0.0) <= t]
+                if not candidates:
+                    continue
+                device = draw.choice(candidates)
+                back = min(t + draw.expovariate(
+                    1.0 / self.profile.mean_outage_s), end)
+                if back <= t:
+                    continue
+                if device in self.domain.sensors:
+                    plan.fail_sensor(device, at=t)
+                    plan.recover_sensor(device, at=back)
+                else:
+                    plan.fail_actuator(device, at=t)
+                    plan.recover_actuator(device, at=back)
+                device_down_until[device] = back
+            else:  # link-loss ramp
+                if not self.domain.links:
+                    continue
+                device, process = draw.choice(list(self.domain.links))
+                loss = draw.uniform(0.1, self.profile.max_link_loss)
+                restore_at = min(t + draw.expovariate(
+                    1.0 / self.profile.mean_ramp_s), end)
+                if restore_at <= t:
+                    continue
+                base = self.domain.base_loss.get((device, process), 0.0)
+                plan.set_link_loss(device, process, round(loss, 3), at=t)
+                plan.set_link_loss(device, process, base, at=restore_at)
+        return plan
+
+
+# -- shrinking (greedy delta debugging) ---------------------------------------------
+
+
+def normalize(actions: Sequence[FaultAction]) -> list[FaultAction]:
+    """Drop actions an arbitrary subset made invalid, preserving order.
+
+    Removing a ``recover`` from a plan leaves its process down, so a later
+    ``crash`` of the same process would raise ``FaultError`` on replay.
+    This simulates the crash/recover state machine over the actions in
+    apply order and drops the contradictions; every other action kind is
+    unconditionally replayable. The result is a valid plan whose surviving
+    actions keep their relative order.
+    """
+    ordered = sorted(enumerate(actions), key=lambda pair: (pair[1].at, pair[0]))
+    down: set[str] = set()
+    dropped: set[int] = set()
+    for index, action in ordered:
+        if action.kind == "crash_process":
+            process = action.args[0]
+            if process in down:
+                dropped.add(index)
+            else:
+                down.add(process)
+        elif action.kind == "recover_process":
+            process = action.args[0]
+            if process in down:
+                down.discard(process)
+            else:
+                dropped.add(index)
+    return [a for i, a in enumerate(actions) if i not in dropped]
+
+
+def shrink(
+    plan: FaultPlan,
+    is_failing: Callable[[FaultPlan], bool],
+    *,
+    max_evals: int = 64,
+) -> FaultPlan:
+    """Minimize a failing plan with ddmin.
+
+    ``is_failing(candidate)`` re-runs the scenario under ``candidate`` and
+    reports whether it still violates an invariant; it is called at most
+    ``max_evals`` times. The input plan is assumed failing. Candidates are
+    passed through :func:`normalize` so they always replay cleanly.
+    """
+    current = normalize(plan.actions)
+    evals = 0
+
+    def still_failing(actions: list[FaultAction]) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        return is_failing(FaultPlan(actions=list(actions)))
+
+    n = 2
+    while len(current) >= 2 and evals < max_evals:
+        chunk = max(1, len(current) // n)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            candidate = normalize(
+                current[:start] + current[start + chunk:]
+            )
+            if candidate and still_failing(candidate):
+                current = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(current), n * 2)
+    return FaultPlan(actions=current)

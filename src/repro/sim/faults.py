@@ -23,6 +23,15 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol, Sequence
 
 
+class FaultError(RuntimeError):
+    """An invalid fault injection (crash an unknown or already-crashed
+    process, recover a live one, a loss rate outside [0, 1], ...).
+
+    Raised by :class:`repro.core.home.Home`'s fault entry points so that
+    generated fault schedules fail loudly instead of silently misbehaving.
+    """
+
+
 class _FaultTarget(Protocol):  # pragma: no cover - typing only
     scheduler: Any
 
@@ -108,10 +117,52 @@ class FaultPlan:
         return FaultPlan(actions=self.actions + other.actions)
 
     def apply(self, target: _FaultTarget) -> None:
-        """Schedule every action on the target's scheduler."""
-        for action in sorted(self.actions, key=lambda a: a.at):
+        """Schedule every action on the target's scheduler.
+
+        Ordering is total and explicit: actions are applied by ``(at,
+        insertion index)``, so two actions with the same timestamp fire in
+        the order they were added to the plan. Because any sub-plan (e.g. a
+        shrunk reproducer) preserves the relative insertion order of the
+        surviving actions, replaying it schedules them identically.
+        """
+        ordered = sorted(
+            enumerate(self.actions), key=lambda pair: (pair[1].at, pair[0])
+        )
+        for _, action in ordered:
             method = getattr(target, action.kind)
             target.scheduler.call_at(action.at, method, *action.args)
+
+    # -- serialization (CHAOS_report.json reproducers) ------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """A JSON-serializable form: one dict per action, in plan order."""
+        out: list[dict[str, Any]] = []
+        for action in self.actions:
+            args: list[Any] = []
+            for arg in action.args:
+                if isinstance(arg, tuple):  # partition groups
+                    args.append([list(g) for g in arg])
+                else:
+                    args.append(arg)
+            out.append({"at": action.at, "kind": action.kind, "args": args})
+        return out
+
+    @classmethod
+    def from_dicts(cls, dicts: Sequence[dict[str, Any]]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dicts` output (JSON round-trip)."""
+        actions: list[FaultAction] = []
+        for entry in dicts:
+            args: list[Any] = []
+            for arg in entry.get("args", ()):
+                if isinstance(arg, list):  # partition groups
+                    args.append(tuple(tuple(g) for g in arg))
+                else:
+                    args.append(arg)
+            actions.append(
+                FaultAction(at=float(entry["at"]), kind=str(entry["kind"]),
+                            args=tuple(args))
+            )
+        return cls(actions=actions)
 
     def __len__(self) -> int:
         return len(self.actions)

@@ -32,17 +32,30 @@ def test_timers_from_old_incarnation_do_not_fire(make_home):
     assert fired == [], "a pre-crash timer fired after recovery"
 
 
-def test_crash_is_idempotent_and_so_is_recover(make_home):
+def test_double_crash_and_double_recover_raise_fault_error(make_home):
+    import pytest
+
+    from repro.sim.faults import FaultError
+
     home, _ = make_home(receiving=["p1"])
     home.run_until(1.0)
     process = home.processes["p3"]
     home.crash_process("p3")
-    home.crash_process("p3")
+    with pytest.raises(FaultError, match="already crashed"):
+        home.crash_process("p3")
     assert not process.alive
     home.recover_process("p3")
     incarnation_once = process._incarnation
-    home.recover_process("p3")
+    with pytest.raises(FaultError, match="is live"):
+        home.recover_process("p3")
     assert process._incarnation == incarnation_once
+    assert process.alive
+    # The runtime's own crash()/recover() stay idempotent; only the Home
+    # fault-injection surface validates.
+    process.crash()
+    process.crash()
+    process.recover()
+    process.recover()
     assert process.alive
 
 

@@ -1,0 +1,216 @@
+"""Unit tests for the randomized fault-schedule generator and shrinker."""
+
+import pytest
+
+from repro.sim.chaos import (
+    FAULT_WINDOW,
+    FaultDomain,
+    FaultScheduleGenerator,
+    IntensityProfile,
+    PROFILES,
+    normalize,
+    shrink,
+)
+from repro.sim.faults import FaultPlan
+
+HORIZON = 3600.0
+
+
+def domain() -> FaultDomain:
+    return FaultDomain(
+        processes=("p0", "p1", "p2"),
+        sensors=("s1", "s2"),
+        actuators=("a1",),
+        links=(("s1", "p0"), ("s2", "p1")),
+    )
+
+
+def generator(profile: str = "severe") -> FaultScheduleGenerator:
+    return FaultScheduleGenerator(domain(), PROFILES[profile], HORIZON)
+
+
+# -- sampling -----------------------------------------------------------------
+
+
+def test_same_seed_same_plan():
+    a = generator().generate(7)
+    b = generator().generate(7)
+    assert a.actions == b.actions
+    assert len(a) > 0
+
+
+def test_different_seeds_differ():
+    plans = {tuple(generator().generate(s).actions) for s in range(5)}
+    assert len(plans) > 1
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_actions_stay_inside_the_fault_window(seed):
+    lo, hi = HORIZON * FAULT_WINDOW[0], HORIZON * FAULT_WINDOW[1]
+    plan = generator().generate(seed)
+    for action in plan.actions:
+        assert lo <= action.at <= hi
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_crashes_pair_with_recoveries(seed):
+    plan = generator().generate(seed)
+    down: set[str] = set()
+    ordered = sorted(enumerate(plan.actions),
+                     key=lambda pair: (pair[1].at, pair[0]))
+    for _, action in ordered:
+        if action.kind == "crash_process":
+            assert action.args[0] not in down
+            down.add(action.args[0])
+        elif action.kind == "recover_process":
+            assert action.args[0] in down
+            down.discard(action.args[0])
+    assert not down, "every crash must have a matching recovery"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_at_least_one_process_stays_up(seed):
+    plan = generator().generate(seed)
+    total = len(domain().processes)
+    down: set[str] = set()
+    ordered = sorted(enumerate(plan.actions),
+                     key=lambda pair: (pair[1].at, pair[0]))
+    for _, action in ordered:
+        if action.kind == "crash_process":
+            down.add(action.args[0])
+        elif action.kind == "recover_process":
+            down.discard(action.args[0])
+        assert len(down) < total
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_at_most_one_partition_open(seed):
+    plan = generator().generate(seed)
+    open_partition = False
+    ordered = sorted(enumerate(plan.actions),
+                     key=lambda pair: (pair[1].at, pair[0]))
+    for _, action in ordered:
+        if action.kind == "set_partition":
+            assert not open_partition
+            open_partition = True
+        elif action.kind == "heal_partition":
+            assert open_partition
+            open_partition = False
+    assert not open_partition
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_link_ramps_restore_base_loss(seed):
+    plan = generator().generate(seed)
+    current: dict[tuple[str, str], float] = {}
+    ordered = sorted(enumerate(plan.actions),
+                     key=lambda pair: (pair[1].at, pair[0]))
+    for _, action in ordered:
+        if action.kind == "set_link_loss":
+            device, process, rate = action.args
+            current[(device, process)] = rate
+    for link, rate in current.items():
+        assert rate == domain().base_loss.get(link, 0.0)
+
+
+def test_zero_rates_yield_empty_plan():
+    silent = IntensityProfile(
+        name="silent", crash_rate=0.0, partition_rate=0.0,
+        device_fail_rate=0.0, link_ramp_rate=0.0,
+    )
+    plan = FaultScheduleGenerator(domain(), silent, HORIZON).generate(1)
+    assert len(plan) == 0
+
+
+def test_single_process_domain_never_crashes_it():
+    solo = FaultDomain(processes=("p0",))
+    plan = FaultScheduleGenerator(solo, PROFILES["severe"], HORIZON).generate(3)
+    assert not any(a.kind == "crash_process" for a in plan.actions)
+
+
+def test_invalid_horizon_rejected():
+    with pytest.raises(ValueError):
+        FaultScheduleGenerator(domain(), PROFILES["mild"], 0.0)
+
+
+def test_empty_domain_rejected():
+    with pytest.raises(ValueError):
+        FaultScheduleGenerator(
+            FaultDomain(processes=()), PROFILES["mild"], HORIZON
+        )
+
+
+# -- normalize ----------------------------------------------------------------
+
+
+def test_normalize_keeps_valid_plans_intact():
+    plan = generator().generate(5)
+    assert normalize(plan.actions) == list(plan.actions)
+
+
+def test_normalize_drops_orphaned_crash_and_recover():
+    plan = (FaultPlan()
+            .crash("p0", at=10.0)
+            .crash("p0", at=20.0)      # p0 already down: dropped
+            .recover("p0", at=30.0)
+            .recover("p0", at=40.0))   # p0 already up: dropped
+    kept = normalize(plan.actions)
+    assert [(a.kind, a.at) for a in kept] == [
+        ("crash_process", 10.0),
+        ("recover_process", 30.0),
+    ]
+
+
+def test_normalize_preserves_other_kinds():
+    plan = (FaultPlan()
+            .fail_sensor("s1", at=5.0)
+            .recover("p0", at=6.0)     # p0 was never crashed: dropped
+            .set_link_loss("s1", "p0", 0.5, at=7.0))
+    kept = normalize(plan.actions)
+    assert [a.kind for a in kept] == ["fail_sensor", "set_link_loss"]
+
+
+# -- shrink -------------------------------------------------------------------
+
+
+def _failing_if_contains(kind: str, name: str):
+    def is_failing(plan: FaultPlan) -> bool:
+        return any(a.kind == kind and a.args[:1] == (name,)
+                   for a in plan.actions)
+    return is_failing
+
+
+def test_shrink_finds_single_culprit():
+    plan = generator().generate(2)
+    assert len(plan) > 3
+    culprit = next(a for a in plan.actions if a.kind == "crash_process")
+    shrunk = shrink(plan, _failing_if_contains("crash_process",
+                                               culprit.args[0]))
+    assert len(shrunk) < len(plan)
+    assert any(a.kind == "crash_process" for a in shrunk.actions)
+    # the result itself still satisfies the predicate
+    assert _failing_if_contains("crash_process", culprit.args[0])(shrunk)
+
+
+def test_shrink_result_is_normalized():
+    plan = generator().generate(4)
+    shrunk = shrink(plan, lambda p: True)
+    assert normalize(shrunk.actions) == list(shrunk.actions)
+
+
+def test_shrink_respects_eval_budget():
+    calls = 0
+
+    def counting(plan: FaultPlan) -> bool:
+        nonlocal calls
+        calls += 1
+        return False  # nothing ever fails: worst case for ddmin
+
+    shrink(generator().generate(6), counting, max_evals=10)
+    assert calls <= 10
+
+
+def test_shrink_of_singleton_plan_is_identity():
+    plan = FaultPlan().fail_sensor("s1", at=100.0)
+    shrunk = shrink(plan, lambda p: True)
+    assert shrunk.actions == plan.actions

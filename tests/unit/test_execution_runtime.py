@@ -184,10 +184,28 @@ def test_watermark_gossip_limits_replay():
     app = App("a", op)
     rig = Rig(app, name="p0", processes=("p0", "p1"))
     runtime = rig.service.runtimes["a"]
-    # The remote active on p1 advertises it processed up to seq 5.
-    rig.service._on_watermarks("p1", {"a": {"s": 5}})
+    # The remote active on p1 advertises the seq ranges it processed.
+    rig.service._on_watermarks("p1", {"a": {"s": [(1, 5)]}})
     for seq in range(1, 9):
         rig.feed("s", seq, seq)
     rig.run(5.0)  # p1 never heartbeats -> p0 promotes
     assert runtime.active
-    assert seen == [[6], [7], [8]]  # only events above the watermark
+    assert seen == [[6], [7], [8]]  # only events outside the gossiped ranges
+
+
+def test_watermark_gossip_replays_holes_below_the_maximum():
+    """Ranges gossip replays events the old active skipped (a hole below
+    its high-water mark), which a scalar watermark would lose forever."""
+    seen = []
+    op = Operator("L", on_window=lambda ctx, c: seen.append(c.all_values()))
+    op.add_sensor("s", GAPLESS, CountWindow(1))
+    app = App("a", op)
+    rig = Rig(app, name="p0", processes=("p0", "p1"))
+    runtime = rig.service.runtimes["a"]
+    # p1 processed 1-3 and 5-6 but never saw 4 (partition hole).
+    rig.service._on_watermarks("p1", {"a": {"s": [(1, 3), (5, 6)]}})
+    for seq in range(1, 7):
+        rig.feed("s", seq, seq)
+    rig.run(5.0)  # p1 never heartbeats -> p0 promotes
+    assert runtime.active
+    assert seen == [[4]]  # the hole is replayed, the rest is not

@@ -1,5 +1,7 @@
 """Unit tests for the declarative fault plan."""
 
+import json
+
 import pytest
 
 from repro.sim.faults import FaultPlan
@@ -62,3 +64,43 @@ def test_merge_plans():
     merged = a.merge(b)
     assert len(merged) == 2
     assert len(a) == 1 and len(b) == 1
+
+
+def test_same_timestamp_fires_in_insertion_order():
+    target = RecordingTarget()
+    plan = (FaultPlan()
+            .recover("hub", at=10.0)
+            .crash("tv", at=10.0)
+            .heal(at=10.0))
+    plan.apply(target)
+    target.scheduler.run()
+    assert [name for _, name, _ in target.calls] == [
+        "recover_process", "crash_process", "heal_partition",
+    ]
+
+
+def test_sub_plan_preserves_relative_order():
+    # dropping actions (as the shrinker does) must not reorder survivors
+    full = (FaultPlan()
+            .crash("a", at=5.0)
+            .crash("b", at=5.0)
+            .recover("a", at=5.0))
+    sub = FaultPlan(actions=[full.actions[0], full.actions[2]])
+    target = RecordingTarget()
+    sub.apply(target)
+    target.scheduler.run()
+    assert [name for _, name, _ in target.calls] == [
+        "crash_process", "recover_process",
+    ]
+
+
+def test_to_dicts_round_trips_through_json():
+    plan = (FaultPlan()
+            .crash("hub", at=10.0)
+            .partition([["a", "b"], ["c"]], at=12.0)
+            .heal(at=15.0)
+            .set_link_loss("s", "hub", 0.25, at=20.0)
+            .recover("hub", at=30.0))
+    wire = json.loads(json.dumps(plan.to_dicts()))
+    rebuilt = FaultPlan.from_dicts(wire)
+    assert rebuilt.actions == plan.actions
