@@ -20,7 +20,7 @@ from repro.core.home import Home, HomeConfig
 from repro.core.operators import Operator
 from repro.core.windows import TimeWindow
 from repro.eval.report import render_table
-from tests.integration.conftest import collector_app, five_process_home
+from tests.integration.conftest import five_process_home
 
 
 def _crash_recovery_run(sync_enabled: bool) -> dict:

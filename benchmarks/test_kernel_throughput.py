@@ -53,8 +53,25 @@ def test_fig1_wall_clock(show):
 
 def test_run_kernel_bench_writes_json(tmp_path, show):
     out = tmp_path / "BENCH_kernel.json"
-    results = run_kernel_bench(str(out), quick=True)
+    results = run_kernel_bench(str(out), quick=True, jobs=2)
     assert out.exists()
     assert results["quick"] is True
-    for section in ("scheduler", "network", "combined", "fig1"):
+    for section in ("scheduler", "network", "combined", "fig1", "sweep"):
         assert section in results
+    sweep = results["sweep"]
+    show(f"sweep: {sweep['runs']} runs, {sweep['parallel_speedup']:.2f}x "
+         f"parallel, warm replay {sweep['cache_warm_fraction']*100:.1f}% of cold")
+    assert sweep["digests_match"] is True
+    # cache-warm acceptance bar: replay in < 10% of the cold wall-clock
+    assert sweep["cache_warm_fraction"] < 0.10
+
+    # every run appends a timestamped line to the perf trajectory
+    history = tmp_path / "BENCH_history.jsonl"
+    assert history.exists()
+    run_kernel_bench(str(out), quick=True, jobs=2, sweep=False)
+    lines = history.read_text().splitlines()
+    assert len(lines) == 2
+    import json
+
+    entry = json.loads(lines[0])
+    assert {"timestamp", "git_rev", "scheduler_events_per_s"} <= set(entry)

@@ -25,15 +25,11 @@ Paper (Table 2)                                Here
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Protocol
+from typing import Any, Callable, Protocol
 
 from repro.core.combiners import CombinedWindows, Combiner, PassThroughCombiner
 from repro.core.delivery import Delivery, PollingPolicy
 from repro.core.windows import WindowSpec
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.events import Event
-
 
 class OperatorContext(Protocol):
     """What an operator's window handler may do (provided by the runtime)."""

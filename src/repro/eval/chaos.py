@@ -21,12 +21,18 @@ recorded run is replayable by seed alone (:func:`replay_run`).
 Command line::
 
     python -m repro.eval.cli chaos --seeds 20 --horizon 3600
+    python -m repro.eval.cli chaos --seeds 20 --jobs 4        # multi-core fan-out
+    python -m repro.eval.cli chaos --seeds 20 --no-cache      # force cold re-runs
     python -m repro.eval.cli chaos --replay gapless-mild-s3 --report CHAOS_report.json
+
+Campaign cells are independent, so ``--jobs N`` fans them out over a
+process pool (see :mod:`repro.eval.parallel`); results merge in task
+order, keeping the report digest byte-identical to a sequential run.
 """
 
 from __future__ import annotations
 
-import hashlib
+import dataclasses
 import json
 from typing import Any
 
@@ -37,6 +43,9 @@ from repro.core.home import Home, HomeConfig
 from repro.core.invariants import ORACLE_TRACE_KINDS, RunRecord, check_all
 from repro.core.operators import Operator
 from repro.core.windows import CountWindow
+from repro.eval.cache import RunCache
+from repro.eval.parallel import SweepTask, run_sweep
+from repro.eval.report import report_digest
 from repro.sim.chaos import (
     FaultDomain, FaultScheduleGenerator, PROFILES, shrink,
 )
@@ -209,6 +218,103 @@ def run_chaos_case(
     return check_all(record), home
 
 
+#: Dotted runner name the sweep executor resolves inside workers.
+CELL_RUNNER = "repro.eval.chaos:run_campaign_cell"
+
+
+def _case_spec(
+    seed: int,
+    mode: str,
+    intensity: str,
+    horizon: float,
+    gapless_options: GaplessOptions | None,
+    max_shrink_evals: int,
+) -> dict[str, Any]:
+    """The JSON-pure, picklable spec of one campaign cell."""
+    return {
+        "seed": seed,
+        "mode": mode,
+        "intensity": intensity,
+        "horizon": horizon,
+        "gapless_options": (
+            dataclasses.asdict(gapless_options)
+            if gapless_options is not None else None
+        ),
+        "max_shrink_evals": max_shrink_evals,
+    }
+
+
+def run_campaign_cell(spec: dict[str, Any]) -> dict[str, Any]:
+    """One campaign cell, rebuilt entirely from its spec.
+
+    Regenerates the fault plan from the seed, runs the case, and (on
+    violation) shrinks to a minimal reproducer — all inside the worker,
+    so shrinking parallelizes with the rest of the sweep. The returned
+    entry is a pure function of the spec, which is what makes ``--jobs N``
+    merges and cache replays byte-identical to sequential runs.
+    """
+    seed = spec["seed"]
+    mode = spec["mode"]
+    intensity = spec["intensity"]
+    horizon = spec["horizon"]
+    options_dict = spec.get("gapless_options")
+    gapless_options = (
+        GaplessOptions(**options_dict) if options_dict is not None else None
+    )
+    generator = FaultScheduleGenerator(chaos_domain(), PROFILES[intensity], horizon)
+    plan = generator.generate(seed)
+    violations, _ = run_chaos_case(
+        seed, mode, horizon, plan, gapless_options=gapless_options,
+    )
+    entry: dict[str, Any] = {
+        "run_id": f"{mode}-{intensity}-s{seed}",
+        "seed": seed,
+        "mode": mode,
+        "intensity": intensity,
+        "fault_actions": len(plan),
+        "verdict": "fail" if violations else "pass",
+        "violations": [str(v) for v in violations],
+    }
+    if violations:
+        def is_failing(candidate: FaultPlan) -> bool:
+            candidate_violations, _ = run_chaos_case(
+                seed, mode, horizon, candidate,
+                gapless_options=gapless_options,
+            )
+            return bool(candidate_violations)
+
+        reproducer = shrink(
+            plan, is_failing, max_evals=spec["max_shrink_evals"]
+        )
+        entry["reproducer"] = reproducer.to_dicts()
+        entry["reproducer_actions"] = len(reproducer)
+    return entry
+
+
+def campaign_tasks(
+    seeds: list[int],
+    horizon: float,
+    *,
+    intensities: tuple[str, ...] = DEFAULT_INTENSITIES,
+    modes: tuple[str, ...] = MODES,
+    gapless_options: GaplessOptions | None = None,
+    max_shrink_evals: int = 64,
+) -> list[SweepTask]:
+    """The campaign's cell list, in the canonical (mode, intensity, seed) order."""
+    tasks: list[SweepTask] = []
+    for mode in modes:
+        for intensity in intensities:
+            for seed in seeds:
+                tasks.append(SweepTask(
+                    index=len(tasks),
+                    task_id=f"{mode}-{intensity}-s{seed}",
+                    runner=CELL_RUNNER,
+                    spec=_case_spec(seed, mode, intensity, horizon,
+                                    gapless_options, max_shrink_evals),
+                ))
+    return tasks
+
+
 def run_campaign(
     seeds: list[int],
     horizon: float = 3600.0,
@@ -219,50 +325,51 @@ def run_campaign(
     out_path: str | None = "CHAOS_report.json",
     max_shrink_evals: int = 64,
     progress: bool = False,
+    jobs: int | None = 1,
+    cache: RunCache | None = None,
 ) -> dict[str, Any]:
-    """Sweep seeds x intensities x modes; write ``CHAOS_report.json``."""
-    domain = chaos_domain()
+    """Sweep seeds x intensities x modes; write ``CHAOS_report.json``.
+
+    ``jobs`` fans the cells out over a process pool (``None`` = all
+    cores); results are merged in task order so the report digest is
+    independent of ``jobs``. ``cache`` replays unchanged cells from the
+    content-addressed run cache instead of recomputing them.
+    """
+    tasks = campaign_tasks(
+        seeds, horizon, intensities=intensities, modes=modes,
+        gapless_options=gapless_options, max_shrink_evals=max_shrink_evals,
+    )
+
+    def report_progress(done: int, total: int, result) -> None:  # pragma: no cover
+        if result.ok:
+            tag = "cached" if result.cached else f"{result.seconds:.1f}s"
+            print(f"  [{done}/{total}] {result.task.task_id}: "
+                  f"{result.value['verdict']} "
+                  f"({result.value['fault_actions']} fault actions, {tag})")
+        else:
+            print(f"  [{done}/{total}] {result.task.task_id}: ERROR")
+
+    results = run_sweep(
+        tasks, jobs=jobs, cache=cache,
+        progress=report_progress if progress else None,
+    )
     runs: list[dict[str, Any]] = []
-    for mode in modes:
-        for intensity in intensities:
-            generator = FaultScheduleGenerator(
-                domain, PROFILES[intensity], horizon
-            )
-            for seed in seeds:
-                run_id = f"{mode}-{intensity}-s{seed}"
-                plan = generator.generate(seed)
-                violations, _ = run_chaos_case(
-                    seed, mode, horizon, plan,
-                    gapless_options=gapless_options,
-                )
-                entry: dict[str, Any] = {
-                    "run_id": run_id,
-                    "seed": seed,
-                    "mode": mode,
-                    "intensity": intensity,
-                    "fault_actions": len(plan),
-                    "verdict": "fail" if violations else "pass",
-                    "violations": [str(v) for v in violations],
-                }
-                if violations:
-                    def is_failing(candidate: FaultPlan) -> bool:
-                        candidate_violations, _ = run_chaos_case(
-                            seed, mode, horizon, candidate,
-                            gapless_options=gapless_options,
-                        )
-                        return bool(candidate_violations)
+    for result in results:
+        if result.ok:
+            runs.append(result.value)
+        else:
+            runs.append({
+                "run_id": result.task.task_id,
+                "seed": result.task.spec["seed"],
+                "mode": result.task.spec["mode"],
+                "intensity": result.task.spec["intensity"],
+                "fault_actions": 0,
+                "verdict": "error",
+                "violations": [],
+                "error": result.error,
+            })
 
-                    reproducer = shrink(
-                        plan, is_failing, max_evals=max_shrink_evals
-                    )
-                    entry["reproducer"] = reproducer.to_dicts()
-                    entry["reproducer_actions"] = len(reproducer)
-                runs.append(entry)
-                if progress:  # pragma: no cover - console noise
-                    print(f"  {run_id}: {entry['verdict']} "
-                          f"({entry['fault_actions']} fault actions)")
-
-    failures = sum(1 for r in runs if r["verdict"] == "fail")
+    failures = sum(1 for r in runs if r["verdict"] != "pass")
     report: dict[str, Any] = {
         "campaign": {
             "horizon": horizon,
@@ -279,13 +386,6 @@ def run_campaign(
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return report
-
-
-def report_digest(report: dict[str, Any]) -> str:
-    """A stable hash of a report's content (ignoring any digest field)."""
-    content = {k: v for k, v in report.items() if k != "digest"}
-    canonical = json.dumps(content, sort_keys=True, separators=(",", ":"))
-    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def replay_run(

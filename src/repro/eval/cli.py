@@ -4,7 +4,15 @@ Installed as ``rivulet-experiment``::
 
     rivulet-experiment fig5                # quick defaults
     rivulet-experiment fig6 --duration 200 --seeds 1,2,3,4,5
+    rivulet-experiment all --jobs 4        # parallel per-seed sweep
+    rivulet-experiment chaos --seeds 20 --jobs 4
     rivulet-experiment all                 # everything, quick defaults
+
+``--jobs N`` fans independent simulation cells out over a process pool;
+``--jobs N`` and ``--jobs 1`` produce byte-identical report digests.
+Sweeps cache per-cell results under ``.rivulet-cache/`` keyed on the
+source tree and the cell spec; ``--no-cache`` disables both lookup and
+storage.
 """
 
 from __future__ import annotations
@@ -14,6 +22,73 @@ import inspect
 import sys
 
 from repro.eval.experiments import EXPERIMENTS
+
+
+class CliError(Exception):
+    """A usage error: printed to stderr, exit status 2."""
+
+
+def parse_seed_list(
+    text: str | None, default: list[int], *, lone_int_is_range: bool = False,
+) -> list[int]:
+    """Shared ``--seeds`` parsing for the experiments and chaos surfaces.
+
+    A comma-separated list names explicit seeds. A lone integer is that
+    single seed on the experiments surface; on the chaos surface
+    (``lone_int_is_range=True``) it means seeds ``0..N-1``, matching the
+    documented ``chaos --seeds 20`` campaign shorthand. Raises
+    :class:`CliError` (exit 2) on anything else.
+    """
+    if not text:
+        return list(default)
+    try:
+        if "," not in text:
+            value = int(text)
+            return list(range(value)) if lone_int_is_range else [value]
+        seeds = [int(s) for s in text.split(",") if s.strip()]
+        if not seeds:
+            raise ValueError(text)
+        return seeds
+    except ValueError:
+        raise CliError(
+            f"--seeds wants an integer or a comma-separated list of "
+            f"integers, got {text!r}"
+        ) from None
+
+
+def parse_choice_list(
+    text: str | None, valid: tuple[str, ...], default: tuple[str, ...],
+    option: str,
+) -> tuple[str, ...]:
+    """Shared comma-separated choice parsing (``--intensities``, ``--modes``)."""
+    if not text:
+        return tuple(default)
+    chosen = tuple(part.strip() for part in text.split(","))
+    for value in chosen:
+        if value not in valid:
+            raise CliError(
+                f"unknown {option} {value!r} "
+                f"(choose from {', '.join(sorted(valid))})"
+            )
+    return chosen
+
+
+def parse_jobs(jobs: int | None) -> int | None:
+    """Reject ``--jobs 0`` and negatives up front with a usage error."""
+    if jobs is not None and jobs < 1:
+        raise CliError(
+            f"--jobs wants a positive worker count, got {jobs} "
+            "(omit the flag for sequential, or pass --jobs 1)"
+        )
+    return jobs
+
+
+def _make_cache(args):
+    from repro.eval.cache import RunCache
+
+    if args.no_cache:
+        return None
+    return RunCache(args.cache_dir)
 
 
 def _supported_kwargs(fn, **candidates):
@@ -35,14 +110,13 @@ def _run_chaos(args) -> int:
             with open(args.report, "r", encoding="utf-8") as fh:
                 report = json.load(fh)
         except FileNotFoundError:
-            print(f"error: no report at {args.report!r} "
-                  "(run a campaign first)", file=sys.stderr)
-            return 2
+            raise CliError(
+                f"no report at {args.report!r} (run a campaign first)"
+            ) from None
         try:
             result = replay_run(report, args.replay)
         except KeyError as exc:
-            print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 2
+            raise CliError(str(exc.args[0])) from None
         print(f"replayed {result['run_id']} from {result['source']} "
               f"({result['fault_actions']} fault actions)")
         print(f"verdict: {result['verdict']} "
@@ -51,41 +125,47 @@ def _run_chaos(args) -> int:
             print(f"  {violation}")
         return 0 if result["verdict"] == result["recorded_verdict"] else 1
 
-    try:
-        if args.seeds and "," not in args.seeds:
-            seeds = list(range(int(args.seeds)))
-        elif args.seeds:
-            seeds = [int(s) for s in args.seeds.split(",")]
-        else:
-            seeds = list(range(5))
-    except ValueError:
-        print(f"error: --seeds wants an integer or a comma-separated "
-              f"list of integers, got {args.seeds!r}", file=sys.stderr)
-        return 2
-    intensities = (
-        tuple(args.intensities.split(",")) if args.intensities
-        else DEFAULT_INTENSITIES
+    seeds = parse_seed_list(
+        args.seeds, default=list(range(5)), lone_int_is_range=True,
     )
-    modes = tuple(args.modes.split(",")) if args.modes else MODES
-    for intensity in intensities:
-        if intensity not in PROFILES:
-            print(f"error: unknown intensity {intensity!r} "
-                  f"(choose from {', '.join(sorted(PROFILES))})",
-                  file=sys.stderr)
-            return 2
-    for mode in modes:
-        if mode not in MODES:
-            print(f"error: unknown mode {mode!r} "
-                  f"(choose from {', '.join(MODES)})", file=sys.stderr)
-            return 2
+    intensities = parse_choice_list(
+        args.intensities, tuple(sorted(PROFILES)), DEFAULT_INTENSITIES,
+        "intensity",
+    )
+    modes = parse_choice_list(args.modes, MODES, MODES, "mode")
     out = args.out or "CHAOS_report.json"
     report = run_campaign(
         seeds, args.horizon, intensities=intensities, modes=modes,
-        out_path=out, progress=True,
+        out_path=out, progress=True, jobs=args.jobs or 1,
+        cache=_make_cache(args),
     )
     print(render_campaign_summary(report))
     print(f"wrote {out}")
     return 1 if report["summary"]["failures"] else 0
+
+
+def _run_experiment_sweep(args, names: list[str]) -> int:
+    from repro.eval.experiments import ExperimentTable, run_experiment_sweep
+
+    seeds = parse_seed_list(args.seeds, default=[])
+    report = run_experiment_sweep(
+        names, jobs=args.jobs, cache=_make_cache(args),
+        seeds=tuple(seeds) or None, duration=args.duration, days=args.days,
+        out_path=args.out, progress=True,
+    )
+    for cell in report["cells"]:
+        print(f"-- cell {cell['cell_id']} --")
+        if "error" in cell:
+            print(f"  ERROR:\n{cell['error']}")
+            continue
+        print(ExperimentTable.from_dict(cell["table"]).render())
+        print()
+    summary = report["summary"]
+    print(f"sweep: {summary['total']} cells, {summary['errors']} errors")
+    print(f"sweep digest: {report['digest']}")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 1 if summary["errors"] else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -114,8 +194,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="perf only: shrink workloads for a fast smoke run")
     parser.add_argument("--out", type=str, default=None,
-                        help="perf/chaos: output path for the result JSON "
-                        "(default BENCH_kernel.json / CHAOS_report.json)")
+                        help="output path for the result JSON (default "
+                        "BENCH_kernel.json / CHAOS_report.json; experiments "
+                        "sweeps write only when given)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan sweep cells out over N worker processes "
+                        "(digests are identical for every N; experiments "
+                        "run the legacy sequential path when omitted)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed run cache")
+    parser.add_argument("--cache-dir", type=str, default=".rivulet-cache",
+                        help="run cache directory (default .rivulet-cache)")
     parser.add_argument("--horizon", type=float, default=3600.0,
                         help="chaos only: per-run horizon in simulated "
                         "seconds (default 3600)")
@@ -132,23 +221,35 @@ def main(argv: list[str] | None = None) -> int:
                         help="chaos only: report to read for --replay")
     args = parser.parse_args(argv)
 
-    if args.experiment == "chaos":
-        return _run_chaos(args)
+    try:
+        parse_jobs(args.jobs)
 
-    if args.experiment == "perf":
-        from repro.eval.perf import render_summary, run_kernel_bench
+        if args.experiment == "chaos":
+            return _run_chaos(args)
 
-        out = args.out or "BENCH_kernel.json"
-        results = run_kernel_bench(out, quick=args.quick)
-        print(render_summary(results))
-        print(f"wrote {out}")
-        return 0
+        if args.experiment == "perf":
+            from repro.eval.perf import render_summary, run_kernel_bench
 
-    seeds = None
-    if args.seeds:
-        seeds = tuple(int(s) for s in args.seeds.split(","))
+            out = args.out or "BENCH_kernel.json"
+            results = run_kernel_bench(out, quick=args.quick, jobs=args.jobs)
+            print(render_summary(results))
+            print(f"wrote {out}")
+            return 0
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        names = (
+            sorted(EXPERIMENTS) if args.experiment == "all"
+            else [args.experiment]
+        )
+        if args.jobs is not None:
+            return _run_experiment_sweep(args, names)
+
+        seeds = None
+        if args.seeds:
+            seeds = tuple(parse_seed_list(args.seeds, default=[]))
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     for name in names:
         fn = EXPERIMENTS[name]
         kwargs = _supported_kwargs(

@@ -11,6 +11,8 @@ in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import inspect
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -64,6 +66,26 @@ class ExperimentTable:
         if len(rows) != 1:
             raise KeyError(f"{len(rows)} rows match {matches} in {self.experiment}")
         return rows[0][self.columns.index(value_column)]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-pure snapshot (lists only, no tuples) for sweep reports."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentTable":
+        return cls(
+            experiment=data["experiment"],
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=list(data["notes"]),
+        )
 
 
 # -- Fig. 1: reception skew in a 15-day home deployment ---------------------------------------
@@ -215,7 +237,7 @@ def fig4b_delay_local(
     return table
 
 
-# -- Fig. 5: network overhead -----------------------------------------------------------------------
+# -- Fig. 5: network overhead ----------------------------------------------------------------------
 
 
 def _overhead_run(
@@ -268,7 +290,7 @@ def fig5_network_overhead(
     return table
 
 
-# -- Fig. 6: sensor-process link loss -------------------------------------------------------------------
+# -- Fig. 6: sensor-process link loss --------------------------------------------------------------
 
 
 def fig6_link_loss(
@@ -307,7 +329,7 @@ def fig6_link_loss(
     return table
 
 
-# -- Fig. 7: process failure ---------------------------------------------------------------------------
+# -- Fig. 7: process failure -----------------------------------------------------------------------
 
 
 def fig7_process_failure(
@@ -351,7 +373,7 @@ def fig7_process_failure(
     return table
 
 
-# -- Fig. 8: coordinated polling -------------------------------------------------------------------------
+# -- Fig. 8: coordinated polling -------------------------------------------------------------------
 
 
 FIG8_SENSORS: tuple[tuple[str, str, float], ...] = (
@@ -417,7 +439,7 @@ def fig8_coordinated_polling(
     return table
 
 
-# -- registry ----------------------------------------------------------------------------------------------
+# -- registry --------------------------------------------------------------------------------------
 
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
@@ -431,3 +453,135 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "fig7": fig7_process_failure,
     "fig8": fig8_coordinated_polling,
 }
+
+
+# -- parallel sweep: one cell per (experiment, seed) ---------------------------------------------
+
+#: Dotted runner name the sweep executor resolves inside workers.
+CELL_RUNNER = "repro.eval.experiments:run_experiment_cell"
+
+
+def sweep_cells(
+    names: list[str],
+    *,
+    seeds: tuple[int, ...] | None = None,
+    duration: float | None = None,
+    days: float | None = None,
+) -> list[dict[str, Any]]:
+    """Expand experiments into independent per-seed cell specs.
+
+    Experiments that average over a ``seeds`` tuple split into one cell
+    per seed (each cell runs ``seeds=(s,)``); single-``seed`` experiments
+    get one cell per requested seed; seedless ones (table3) are a single
+    cell. Each spec is JSON-pure and fully describes its cell, so cells
+    fan out to workers and content-address into the run cache.
+    """
+    cells: list[dict[str, Any]] = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}")
+        parameters = inspect.signature(EXPERIMENTS[name]).parameters
+        base: dict[str, Any] = {}
+        if duration is not None and "duration" in parameters:
+            base["duration"] = duration
+        if days is not None and "days" in parameters:
+            base["days"] = days
+        if "seeds" in parameters:
+            cell_seeds = seeds or tuple(parameters["seeds"].default)
+            for seed in cell_seeds:
+                cells.append({
+                    "cell_id": f"{name}-s{seed}",
+                    "experiment": name,
+                    "kwargs": {**base, "seeds": [seed]},
+                })
+        elif "seed" in parameters:
+            cell_seeds = seeds or (parameters["seed"].default,)
+            for seed in cell_seeds:
+                cells.append({
+                    "cell_id": f"{name}-s{seed}",
+                    "experiment": name,
+                    "kwargs": {**base, "seed": seed},
+                })
+        else:
+            cells.append({"cell_id": name, "experiment": name, "kwargs": base})
+    return cells
+
+
+def run_experiment_cell(spec: dict[str, Any]) -> dict[str, Any]:
+    """Execute one cell spec; the result is a pure function of the spec."""
+    kwargs = dict(spec["kwargs"])
+    if "seeds" in kwargs:
+        kwargs["seeds"] = tuple(kwargs["seeds"])
+    table = EXPERIMENTS[spec["experiment"]](**kwargs)
+    return {
+        "cell_id": spec["cell_id"],
+        "experiment": spec["experiment"],
+        "kwargs": spec["kwargs"],
+        "table": table.to_dict(),
+    }
+
+
+def run_experiment_sweep(
+    names: list[str],
+    *,
+    jobs: int | None = 1,
+    cache: Any = None,
+    seeds: tuple[int, ...] | None = None,
+    duration: float | None = None,
+    days: float | None = None,
+    out_path: str | None = None,
+    progress: bool = False,
+) -> dict[str, Any]:
+    """Run experiments as a parallel per-seed sweep with a digested report.
+
+    The report's ``digest`` (see :func:`repro.eval.report.report_digest`)
+    is independent of ``jobs`` and of cache hits: cells merge in task
+    order and each cell is a pure function of its spec.
+    """
+    from repro.eval.parallel import SweepTask, run_sweep
+    from repro.eval.report import report_digest
+
+    specs = sweep_cells(names, seeds=seeds, duration=duration, days=days)
+    tasks = [
+        SweepTask(index=i, task_id=spec["cell_id"], runner=CELL_RUNNER, spec=spec)
+        for i, spec in enumerate(specs)
+    ]
+
+    def report_progress(done: int, total: int, result) -> None:  # pragma: no cover
+        tag = "cached" if result.cached else f"{result.seconds:.1f}s"
+        status = "ok" if result.ok else "ERROR"
+        print(f"  [{done}/{total}] {result.task.task_id}: {status} ({tag})")
+
+    results = run_sweep(
+        tasks, jobs=jobs, cache=cache,
+        progress=report_progress if progress else None,
+    )
+    cells: list[dict[str, Any]] = []
+    errors = 0
+    for result in results:
+        if result.ok:
+            cells.append(result.value)
+        else:
+            errors += 1
+            cells.append({
+                "cell_id": result.task.task_id,
+                "experiment": result.task.spec["experiment"],
+                "kwargs": result.task.spec["kwargs"],
+                "error": result.error,
+            })
+    report: dict[str, Any] = {
+        "sweep": {
+            "experiments": list(names),
+            "seeds": list(seeds) if seeds is not None else None,
+            "duration": duration,
+            "days": days,
+        },
+        "cells": cells,
+        "summary": {"total": len(cells), "errors": errors},
+    }
+    report["digest"] = report_digest(report)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

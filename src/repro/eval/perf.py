@@ -16,21 +16,34 @@ The simulator's wall-clock cost is dominated by three hot paths —
 - :func:`bench_fig1` — wall-clock seconds for the paper's 15-simulated-day
   Fig. 1 deployment, the heaviest single experiment in the suite.
 
-:func:`run_kernel_bench` runs all four and writes ``BENCH_kernel.json``
-next to the repo root so successive PRs leave a perf trajectory. The
-``seed_baseline`` block in that file holds the same benchmarks measured on
-the original growth seed; speedups are computed against it.
+- :func:`bench_sweep` — the parallel sweep executor measured end to end:
+  the chaos acceptance campaign run sequentially, through a ``--jobs N``
+  process pool against a cold run cache, and again with the cache warm.
+
+:func:`run_kernel_bench` runs all five and writes ``BENCH_kernel.json``
+next to the repo root so successive PRs leave a perf trajectory; each run
+also **appends** a timestamped line (with the git revision) to
+``BENCH_history.jsonl``, which accretes across PRs instead of being
+overwritten. The ``seed_baseline`` block in ``BENCH_kernel.json`` holds
+the same benchmarks measured on the original growth seed; speedups are
+computed against it.
 
 Run from the command line::
 
     python -m repro.eval.cli perf            # full run, writes BENCH_kernel.json
+    python -m repro.eval.cli perf --jobs 4   # pick the sweep-bench pool size
     pytest benchmarks/test_kernel_throughput.py -m perf   # smoke version
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
+import subprocess
+import tempfile
 import time
+from pathlib import Path
 from typing import Any
 
 from repro.net.message import Message
@@ -169,13 +182,124 @@ def bench_fig1(days: float = 15.0) -> dict[str, float]:
     return {"days": days, "wall_clock_s": elapsed}
 
 
+def bench_sweep(
+    *,
+    jobs: int | None = None,
+    quick: bool = False,
+    seeds: list[int] | None = None,
+    horizon: float | None = None,
+    intensities: tuple[str, ...] | None = None,
+    modes: tuple[str, ...] | None = None,
+) -> dict[str, Any]:
+    """Sweep-executor benchmark: sequential vs pooled vs cache-warm.
+
+    Runs the same chaos campaign three ways — ``jobs=1`` without a cache,
+    ``jobs=N`` against a cold cache, then ``jobs=N`` again with that cache
+    warm — and reports wall clocks, the parallel speedup, the warm-replay
+    fraction, and whether all three digests matched (they must).
+
+    The full (non-quick) configuration is the 120-run acceptance campaign
+    from the chaos engine (20 seeds x {mild, severe} x 3 modes at a
+    3600 s horizon); ``quick=True`` shrinks it to a 6-run smoke sweep.
+    """
+    from repro.eval.cache import RunCache
+    from repro.eval.chaos import DEFAULT_INTENSITIES, MODES, run_campaign
+
+    if quick:
+        seeds = seeds if seeds is not None else [0, 1, 2]
+        horizon = horizon if horizon is not None else 600.0
+        intensities = intensities or ("mild",)
+        modes = modes or ("gapless", "gap")
+    else:
+        seeds = seeds if seeds is not None else list(range(20))
+        horizon = horizon if horizon is not None else 3600.0
+        intensities = intensities or DEFAULT_INTENSITIES
+        modes = modes or MODES
+    workers = jobs if jobs is not None else 4
+
+    def campaign(n_jobs: int, cache: RunCache | None) -> tuple[float, str]:
+        t0 = time.perf_counter()
+        report = run_campaign(
+            seeds, horizon, intensities=intensities, modes=modes,
+            out_path=None, jobs=n_jobs, cache=cache,
+        )
+        return time.perf_counter() - t0, report["digest"]
+
+    sequential_s, digest_seq = campaign(1, None)
+    with tempfile.TemporaryDirectory(prefix="rivulet-bench-cache-") as tmp:
+        cache = RunCache(tmp)
+        parallel_s, digest_par = campaign(workers, cache)
+        warm_s, digest_warm = campaign(workers, cache)
+
+    total = len(seeds) * len(intensities) * len(modes)
+    return {
+        "runs": total,
+        "horizon": horizon,
+        "jobs": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "cache_warm_s": warm_s,
+        "parallel_speedup": sequential_s / parallel_s,
+        "cache_warm_fraction": warm_s / sequential_s,
+        "digests_match": digest_seq == digest_par == digest_warm,
+    }
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def append_history(results: dict[str, Any], out_path: str | Path) -> None:
+    """Append one timestamped line to ``BENCH_history.jsonl``.
+
+    ``BENCH_kernel.json`` is overwritten on every run; the history file
+    next to it accretes, so the perf trajectory across PRs survives.
+    """
+    entry: dict[str, Any] = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_rev": _git_rev(),
+        "quick": results["quick"],
+        "scheduler_events_per_s": results["scheduler"]["events_per_s"],
+        "network_messages_per_s": results["network"]["messages_per_s"],
+        "combined_events_per_s": results["combined"]["events_per_s"],
+        "fig1_wall_clock_s": results["fig1"]["wall_clock_s"],
+    }
+    sweep = results.get("sweep")
+    if sweep:
+        entry["sweep_parallel_speedup"] = sweep["parallel_speedup"]
+        entry["sweep_cache_warm_fraction"] = sweep["cache_warm_fraction"]
+    speedup = results.get("speedup")
+    if speedup:
+        entry["speedup_vs_seed"] = speedup
+    history_path = Path(out_path).parent / "BENCH_history.jsonl"
+    with open(history_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True))
+        fh.write("\n")
+
+
 def run_kernel_bench(
-    out_path: str | None = "BENCH_kernel.json", *, quick: bool = False
+    out_path: str | None = "BENCH_kernel.json",
+    *,
+    quick: bool = False,
+    jobs: int | None = None,
+    sweep: bool = True,
 ) -> dict[str, Any]:
     """Run all kernel benchmarks; optionally write ``BENCH_kernel.json``.
 
     ``quick=True`` shrinks every workload (~1 s total) for smoke tests;
     quick numbers are noisy and are not written with speedup comparisons.
+    Each run also appends a timestamped line (with the git revision) to
+    ``BENCH_history.jsonl`` next to ``out_path``.
     """
     if quick:
         scheduler = bench_scheduler(sim_seconds=20.0)
@@ -195,6 +319,8 @@ def run_kernel_bench(
         "combined": combined,
         "fig1": fig1,
     }
+    if sweep:
+        results["sweep"] = bench_sweep(jobs=jobs, quick=quick)
     if not quick:
         baseline = SEED_BASELINE
         results["seed_baseline"] = dict(baseline)
@@ -208,6 +334,7 @@ def run_kernel_bench(
         with open(out_path, "w", encoding="utf-8") as fh:
             json.dump(results, fh, indent=2, sort_keys=True)
             fh.write("\n")
+        append_history(results, out_path)
     return results
 
 
@@ -220,6 +347,17 @@ def render_summary(results: dict[str, Any]) -> str:
         f"  combined  : {results['combined']['events_per_s']:>12,.0f} events/s",
         f"  fig1      : {results['fig1']['wall_clock_s']:>12.2f} s wall-clock",
     ]
+    sweep = results.get("sweep")
+    if sweep:
+        lines.append(
+            f"  sweep     : {sweep['runs']} runs, "
+            f"seq {sweep['sequential_s']:.1f}s / "
+            f"jobs={sweep['jobs']} {sweep['parallel_s']:.1f}s "
+            f"({sweep['parallel_speedup']:.2f}x on {sweep['cpu_count']} cpu) / "
+            f"warm {sweep['cache_warm_s']:.1f}s "
+            f"({sweep['cache_warm_fraction']*100:.1f}% of cold), "
+            f"digests {'match' if sweep['digests_match'] else 'DIFFER'}"
+        )
     speedup = results.get("speedup")
     if speedup:
         lines.append(

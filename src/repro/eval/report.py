@@ -7,8 +7,24 @@ number the paper reports.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Sequence
+
+
+def report_digest(report: dict[str, Any]) -> str:
+    """A stable hash of a report's content (ignoring any digest field).
+
+    Canonical JSON (sorted keys, no whitespace) through blake2b, so two
+    reports are byte-identical iff their digests match. Shared by the
+    chaos campaign report and the parallel experiment-sweep report; the
+    ``--jobs N`` == ``--jobs 1`` determinism guarantee is stated in terms
+    of this digest.
+    """
+    content = {k: v for k, v in report.items() if k != "digest"}
+    canonical = json.dumps(content, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def _format_cell(value: Any) -> str:

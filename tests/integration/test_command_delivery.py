@@ -1,8 +1,5 @@
 """Integration tests for actuation command routing (Sections 4 and 5)."""
 
-from tests.integration.conftest import five_process_home
-
-
 def test_commands_forwarded_to_actuator_host(make_home):
     home, _ = make_home(receiving=["p1"])
     home.run_until(1.0)

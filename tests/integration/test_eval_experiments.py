@@ -4,8 +4,6 @@ Each experiment runs with reduced parameters; assertions target the paper's
 qualitative claims, not absolute numbers.
 """
 
-import pytest
-
 from repro.eval.experiments import (
     EXPERIMENTS,
     fig1_deployment_skew,

@@ -1,0 +1,102 @@
+"""Tier-1 determinism and smoke tests for parallel sweep execution.
+
+These exercise the real process-pool path (``jobs=2``) on every test run:
+the hard guarantee is that ``--jobs N`` produces **byte-identical** report
+digests to ``--jobs 1``, for both the experiments sweep and the chaos
+campaign, with and without the run cache.
+"""
+
+from repro.eval.cache import RunCache
+from repro.eval.chaos import run_campaign
+from repro.eval.experiments import run_experiment_sweep
+
+CAMPAIGN = dict(
+    seeds=[0, 1], horizon=600.0, intensities=("mild",),
+    modes=("gapless",), out_path=None,
+)
+
+
+# -- chaos campaign -----------------------------------------------------------
+
+
+def test_chaos_campaign_jobs2_matches_sequential_digest():
+    sequential = run_campaign(**CAMPAIGN, jobs=1)
+    pooled = run_campaign(**CAMPAIGN, jobs=2)
+    assert sequential["digest"] == pooled["digest"]
+    assert pooled["summary"] == {"total": 2, "failures": 0}
+    assert [r["run_id"] for r in pooled["runs"]] == [
+        "gapless-mild-s0", "gapless-mild-s1",
+    ]
+
+
+def test_chaos_campaign_cache_replays_identically(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    cold = run_campaign(**CAMPAIGN, jobs=2, cache=cache)
+    assert cache.stats() == {"hits": 0, "misses": 2}
+    warm = run_campaign(**CAMPAIGN, jobs=2, cache=cache)
+    assert cache.hits == 2
+    assert cold["digest"] == warm["digest"]
+    # an interrupted sweep resumes: dropping one entry leaves one hit
+    sequential = run_campaign(**CAMPAIGN, jobs=1, cache=cache)
+    assert sequential["digest"] == cold["digest"]
+
+
+# -- experiments sweep --------------------------------------------------------
+
+
+def test_experiment_sweep_jobs2_matches_sequential_digest():
+    kwargs = dict(seeds=(1, 2), duration=4.0)
+    sequential = run_experiment_sweep(["table3", "fig4b"], jobs=1, **kwargs)
+    pooled = run_experiment_sweep(["table3", "fig4b"], jobs=2, **kwargs)
+    assert sequential["digest"] == pooled["digest"]
+    assert [c["cell_id"] for c in pooled["cells"]] == [
+        "table3", "fig4b-s1", "fig4b-s2",
+    ]
+    assert pooled["summary"] == {"total": 3, "errors": 0}
+
+
+def test_experiment_sweep_cache_preserves_digest(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    kwargs = dict(seeds=(1,), duration=4.0)
+    cold = run_experiment_sweep(["fig4b"], jobs=2, cache=cache, **kwargs)
+    warm = run_experiment_sweep(["fig4b"], jobs=1, cache=cache, **kwargs)
+    assert cold["digest"] == warm["digest"]
+    assert cache.hits == 1
+
+
+# -- CLI surface --------------------------------------------------------------
+
+
+def test_cli_chaos_sweep_with_jobs_and_cache(tmp_path, capsys):
+    from repro.eval.cli import main
+
+    out = tmp_path / "report.json"
+    argv = ["chaos", "--seeds", "0,1", "--horizon", "600",
+            "--intensities", "mild", "--modes", "gapless",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert out.exists()
+    assert main(argv) == 0  # warm-cache rerun, same digest line
+    second = capsys.readouterr().out
+    digest = [l for l in first.splitlines() if "digest" in l]
+    assert digest == [l for l in second.splitlines() if "digest" in l]
+
+
+def test_cli_rejects_nonpositive_jobs(capsys):
+    from repro.eval.cli import main
+
+    assert main(["chaos", "--jobs", "0"]) == 2
+    assert "positive worker count" in capsys.readouterr().err
+    assert main(["all", "--jobs", "-3"]) == 2
+    assert "positive worker count" in capsys.readouterr().err
+
+
+def test_cli_experiment_sweep_prints_digest(capsys):
+    from repro.eval.cli import main
+
+    assert main(["table3", "--jobs", "2", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep digest:" in out
+    assert "Off-the-shelf sensor classification" in out

@@ -12,7 +12,6 @@ from repro.core.home import Home
 from repro.core.operators import Operator
 from repro.core.windows import CountWindow
 from repro.devices.actuator import test_and_set as tas
-from tests.integration.conftest import five_process_home
 
 
 def actives(home, app="collector"):

@@ -1,7 +1,5 @@
 """Integration tests for coordinated polling (Section 4.1, Fig. 8)."""
 
-import pytest
-
 from repro.core.delivery import GAP, GAPLESS, PollingPolicy, PollMode
 from repro.core.graph import App
 from repro.core.home import Home

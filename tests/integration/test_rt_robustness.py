@@ -3,8 +3,6 @@
 import asyncio
 import struct
 
-import pytest
-
 from repro.core.delivery import GAPLESS
 from repro.core.graph import App
 from repro.core.operators import Operator

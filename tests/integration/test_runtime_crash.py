@@ -1,8 +1,5 @@
 """Crash-recovery semantics of the process runtime (Section 3.1)."""
 
-from repro.core.delivery import GAPLESS
-from tests.integration.conftest import five_process_home
-
 
 def test_crashed_process_sends_and_receives_nothing(make_home):
     home, _ = make_home(receiving=["p1"])

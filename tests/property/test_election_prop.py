@@ -1,6 +1,6 @@
 """Property-based tests for election and the replica-set invariants."""
 
-from hypothesis import assume, given, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.election import AppElection
 from repro.core.placement import active_process, active_replica_set

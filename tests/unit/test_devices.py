@@ -175,7 +175,7 @@ def test_unknown_kind_and_technology_rejected(rig):
         technology_named("carrier-pigeon")
 
 
-# -- actuators ----------------------------------------------------------------------------------------
+# -- actuators -------------------------------------------------------------------------------------
 
 
 def make_actuator(rig, **kwargs) -> Actuator:
@@ -232,7 +232,7 @@ def test_test_and_set_requires_support(rig):
         actuator.handle_command(cmd(value=tas(None, "x")))
 
 
-# -- battery --------------------------------------------------------------------------------------------
+# -- battery ---------------------------------------------------------------------------------------
 
 
 def test_battery_levels():

@@ -5,8 +5,6 @@ These drive :class:`repro.core.execution.ExecutionService` directly on a
 combiners align, derived events flow downstream, watermarks gossip.
 """
 
-import pytest
-
 from repro.core.delivery import EpochGap, GAP, GAPLESS
 from repro.core.eventlog import EventStore
 from repro.core.events import Event

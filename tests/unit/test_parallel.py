@@ -1,0 +1,135 @@
+"""Unit tests for the parallel sweep executor."""
+
+import time
+
+import pytest
+
+from repro.eval.cache import RunCache
+from repro.eval.parallel import (
+    SweepTask,
+    resolve_jobs,
+    resolve_runner,
+    run_sweep,
+)
+
+#: Dotted path of this module, usable as a runner namespace in workers.
+HERE = "tests.unit.test_parallel"
+
+
+def echo_cell(spec):
+    return {"value": spec["value"] * 2}
+
+
+def slow_echo_cell(spec):
+    time.sleep(spec.get("sleep", 0.0))
+    return {"value": spec["value"] * 2}
+
+
+def failing_cell(spec):
+    if spec["value"] == 2:
+        raise ValueError("cell 2 always explodes")
+    return {"value": spec["value"]}
+
+
+def _tasks(runner, specs):
+    return [
+        SweepTask(index=i, task_id=f"t{i}", runner=f"{HERE}:{runner}", spec=spec)
+        for i, spec in enumerate(specs)
+    ]
+
+
+# -- jobs resolution ----------------------------------------------------------
+
+
+def test_resolve_jobs_defaults_to_available_cores():
+    assert resolve_jobs(None) >= 1
+
+
+@pytest.mark.parametrize("jobs", [0, -1, -8])
+def test_resolve_jobs_rejects_nonpositive(jobs):
+    with pytest.raises(ValueError, match="positive worker count"):
+        resolve_jobs(jobs)
+
+
+def test_resolve_runner_validates_shape():
+    with pytest.raises(ValueError, match="pkg.mod:fn"):
+        resolve_runner("no-colon-here")
+    assert resolve_runner(f"{HERE}:echo_cell") is echo_cell
+
+
+# -- ordered merge ------------------------------------------------------------
+
+
+def test_sequential_results_arrive_in_task_order():
+    results = run_sweep(_tasks("echo_cell", [{"value": v} for v in (5, 1, 3)]))
+    assert [r.value["value"] for r in results] == [10, 2, 6]
+    assert all(r.ok and not r.cached for r in results)
+
+
+def test_pool_merge_is_by_index_not_completion_order():
+    # The first task sleeps longest, so with 2 workers it finishes last;
+    # the merged order must still be task order.
+    specs = [{"value": v, "sleep": s}
+             for v, s in ((9, 0.3), (7, 0.0), (5, 0.0), (3, 0.0))]
+    results = run_sweep(_tasks("slow_echo_cell", specs), jobs=2)
+    assert [r.value["value"] for r in results] == [18, 14, 10, 6]
+
+
+def test_worker_exception_is_a_per_cell_error():
+    results = run_sweep(
+        _tasks("failing_cell", [{"value": v} for v in (1, 2, 3)]), jobs=2,
+    )
+    assert [r.ok for r in results] == [True, False, True]
+    assert "cell 2 always explodes" in results[1].error
+    assert results[1].value is None
+    assert results[0].value == {"value": 1}
+
+
+# -- graceful fallback --------------------------------------------------------
+
+
+def test_pool_unavailable_falls_back_to_sequential(monkeypatch, capsys):
+    import repro.eval.parallel as parallel
+
+    def broken_executor(jobs):
+        raise OSError("no semaphores on this platform")
+
+    monkeypatch.setattr(parallel, "_make_executor", broken_executor)
+    results = run_sweep(
+        _tasks("echo_cell", [{"value": v} for v in (1, 2)]), jobs=4,
+    )
+    assert [r.value["value"] for r in results] == [2, 4]
+    assert "process pools unavailable" in capsys.readouterr().err
+
+
+# -- cache integration --------------------------------------------------------
+
+
+def test_cache_short_circuits_hits_and_stores_misses(tmp_path):
+    cache = RunCache(tmp_path, tree_digest="t1")
+    tasks = _tasks("echo_cell", [{"value": 1}, {"value": 2}])
+    first = run_sweep(tasks, cache=cache)
+    assert [r.cached for r in first] == [False, False]
+    second = run_sweep(tasks, cache=cache)
+    assert [r.cached for r in second] == [True, True]
+    assert [r.value for r in first] == [r.value for r in second]
+    assert cache.stats() == {"hits": 2, "misses": 2}
+
+
+def test_cache_does_not_store_errors(tmp_path):
+    cache = RunCache(tmp_path, tree_digest="t1")
+    tasks = _tasks("failing_cell", [{"value": 2}])
+    assert not run_sweep(tasks, cache=cache)[0].ok
+    assert not run_sweep(tasks, cache=cache)[0].cached
+
+
+def test_progress_counts_every_cell(tmp_path):
+    cache = RunCache(tmp_path, tree_digest="t1")
+    tasks = _tasks("echo_cell", [{"value": v} for v in (1, 2, 3)])
+    run_sweep(tasks, cache=cache)
+    seen = []
+    run_sweep(
+        tasks, cache=cache,
+        progress=lambda done, total, result: seen.append((done, total)),
+    )
+    assert seen == [(1, 3), (2, 3), (3, 3)]

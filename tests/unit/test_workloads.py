@@ -6,12 +6,10 @@ from repro.core.delivery import GAP, GAPLESS
 from repro.eval.workloads import (
     FIG1_LINK_LOSS,
     OccupancyConfig,
-    OccupancyWorkload,
     home_deployment,
     noop_app,
     single_sensor_home,
 )
-from repro.sim.random import RandomSource
 
 
 def test_single_sensor_home_receiving_by_count():
