@@ -216,7 +216,7 @@ class RivuletProcess(RuntimeEnv):
         return self._incarnation
 
     def now(self) -> float:
-        return self._scheduler.now
+        return self._scheduler._now
 
     def local_time(self) -> float:
         return self.clock.time()
@@ -269,7 +269,7 @@ class RivuletProcess(RuntimeEnv):
         return cached
 
     def trace(self, kind: str, /, **fields: Any) -> None:
-        self._trace.record(self._scheduler.now, kind, process=self.name, **fields)
+        self._trace.record(self._scheduler._now, kind, process=self.name, **fields)
 
     def peers(self) -> list[str]:
         # The deployment plan is fixed for the lifetime of a run, so the

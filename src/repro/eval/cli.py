@@ -175,10 +175,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "perf", "chaos"],
+        choices=sorted(EXPERIMENTS) + ["all", "perf", "chaos", "profile"],
         help="which table/figure to regenerate, 'perf' for the kernel "
-        "throughput benchmark (writes BENCH_kernel.json), or 'chaos' for a "
-        "randomized fault-injection campaign (writes CHAOS_report.json)",
+        "throughput benchmark (writes BENCH_kernel.json), 'chaos' for a "
+        "randomized fault-injection campaign (writes CHAOS_report.json), or "
+        "'profile' to run cProfile over hot workloads (writes "
+        "PROFILE_report.json)",
     )
     parser.add_argument("--duration", type=float, default=None,
                         help="run length in simulated seconds (paper: 200)")
@@ -219,6 +221,12 @@ def main(argv: list[str] | None = None) -> int:
                         "the report instead of running a campaign")
     parser.add_argument("--report", type=str, default="CHAOS_report.json",
                         help="chaos only: report to read for --replay")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="profile only: comma-separated workloads to "
+                        "profile (default fig1,network; also: chaos)")
+    parser.add_argument("--top", type=int, default=None, metavar="N",
+                        help="profile only: hotspots to keep per workload "
+                        "(default 25)")
     args = parser.parse_args(argv)
 
     try:
@@ -226,6 +234,24 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.experiment == "chaos":
             return _run_chaos(args)
+
+        if args.experiment == "profile":
+            from repro.eval.profile import (
+                TOP_N_DEFAULT, WORKLOADS, render_profile_summary, run_profile,
+            )
+
+            workloads = parse_choice_list(
+                args.workloads, tuple(sorted(WORKLOADS)), ("fig1", "network"),
+                "workload",
+            )
+            top_n = args.top if args.top is not None else TOP_N_DEFAULT
+            if top_n < 1:
+                raise CliError(f"--top wants a positive count, got {top_n}")
+            out = args.out or "PROFILE_report.json"
+            report = run_profile(workloads, top_n=top_n, out_path=out)
+            print(render_profile_summary(report))
+            print(f"wrote {out}")
+            return 0
 
         if args.experiment == "perf":
             from repro.eval.perf import render_summary, run_kernel_bench

@@ -44,7 +44,7 @@ import subprocess
 import tempfile
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.net.message import Message
 from repro.net.transport import HomeNetwork
@@ -232,11 +232,12 @@ def bench_sweep(
         warm_s, digest_warm = campaign(workers, cache)
 
     total = len(seeds) * len(intensities) * len(modes)
-    return {
+    cpu_count = os.cpu_count() or 1
+    result = {
         "runs": total,
         "horizon": horizon,
         "jobs": workers,
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": cpu_count,
         "sequential_s": sequential_s,
         "parallel_s": parallel_s,
         "cache_warm_s": warm_s,
@@ -244,6 +245,36 @@ def bench_sweep(
         "cache_warm_fraction": warm_s / sequential_s,
         "digests_match": digest_seq == digest_par == digest_warm,
     }
+    if cpu_count == 1:
+        # A single-CPU host serializes the pool: the measured "speedup" is
+        # pure process-pool overhead, not a property of the executor. Flag
+        # it so readers (and the summary) don't misread ~1.0x as a defect.
+        result["parallel_speedup_note"] = (
+            "single-CPU host: pool workers serialize, so parallel_speedup "
+            "measures pool overhead only and is not meaningful"
+        )
+    return result
+
+
+def _best_of(runs: int, fn: Callable[[], dict[str, float]], key: str,
+             *, smallest: bool = False) -> dict[str, float]:
+    """Run ``fn`` ``runs`` times and keep the best result by ``key``.
+
+    Microbenchmark hygiene: a single run folds in whatever the OS was doing
+    that second (GC, timers, a noisy co-tenant on a 1-CPU container); the
+    best of a few repetitions estimates what the code itself costs. Each
+    repetition is a complete, independent measurement.
+    """
+    best: dict[str, float] | None = None
+    for _ in range(runs):
+        result = fn()
+        if (
+            best is None
+            or (result[key] < best[key] if smallest else result[key] > best[key])
+        ):
+            best = result
+    assert best is not None
+    return best
 
 
 def _git_rev() -> str | None:
@@ -307,10 +338,12 @@ def run_kernel_bench(
         combined = bench_combined(sim_seconds=30.0)
         fig1 = bench_fig1(days=1.0)
     else:
-        scheduler = bench_scheduler()
-        network = bench_network()
-        combined = bench_combined()
-        fig1 = bench_fig1()
+        # Best-of-3 per microbenchmark (see _best_of): one run per metric
+        # is dominated by host noise on small containers.
+        scheduler = _best_of(3, bench_scheduler, "events_per_s")
+        network = _best_of(3, bench_network, "messages_per_s")
+        combined = _best_of(3, bench_combined, "events_per_s")
+        fig1 = _best_of(3, bench_fig1, "wall_clock_s", smallest=True)
 
     results: dict[str, Any] = {
         "quick": quick,
@@ -358,6 +391,8 @@ def render_summary(results: dict[str, Any]) -> str:
             f"({sweep['cache_warm_fraction']*100:.1f}% of cold), "
             f"digests {'match' if sweep['digests_match'] else 'DIFFER'}"
         )
+        if "parallel_speedup_note" in sweep:
+            lines.append(f"              note: {sweep['parallel_speedup_note']}")
     speedup = results.get("speedup")
     if speedup:
         lines.append(

@@ -1,0 +1,177 @@
+"""Built-in profiling: find the simulator's hot spots, attributed by subsystem.
+
+The perf work in this repo (see docs/performance.md) is driven by data, not
+folklore: every fast-path change started from a profile of a real workload.
+This module packages that loop so it stays reproducible::
+
+    python -m repro.eval.cli profile                          # fig1 + network
+    python -m repro.eval.cli profile --workloads chaos --top 40
+
+Each selected workload runs once under :mod:`cProfile`; the report
+(``PROFILE_report.json``) lists the top-N functions by *cumulative* time —
+the right ordering for "where would an optimization pay off" — with every
+frame attributed to the subsystem that owns it (``net``, ``sim``, ``core``,
+``eval``, ``membership``, ``devices``, ..., or ``other`` for frames outside
+``repro``), plus per-subsystem total-time rollups over the whole run.
+
+Profiling is observational only: the workloads are the same entry points the
+benchmark harness uses, so numbers line up with ``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import datetime
+import json
+import pstats
+import re
+from pathlib import Path
+from typing import Any, Callable
+
+TOP_N_DEFAULT = 25
+
+_REPRO_PATH = re.compile(r"repro[/\\]([a-z_]+)[/\\]")
+_REPRO_MODULE = re.compile(r"repro[/\\]([a-z_]+)\.py$")
+
+
+def _workload_fig1() -> None:
+    from repro.eval.perf import bench_fig1
+
+    bench_fig1()
+
+
+def _workload_network() -> None:
+    from repro.eval.perf import bench_network
+
+    bench_network()
+
+
+def _workload_chaos() -> None:
+    """One representative chaos cell (mild faults, gapless, 600 s)."""
+    from repro.eval.chaos import run_campaign
+
+    run_campaign([0], 600.0, intensities=("mild",), modes=("gapless",),
+                 out_path=None, jobs=1, cache=None)
+
+
+WORKLOADS: dict[str, Callable[[], None]] = {
+    "fig1": _workload_fig1,
+    "network": _workload_network,
+    "chaos": _workload_chaos,
+}
+
+
+def subsystem_of(filename: str) -> str:
+    """The owning subsystem of one profiled frame.
+
+    ``.../repro/net/transport.py`` -> ``net``; top-level modules such as
+    ``repro/__init__.py`` -> ``core``; frames outside the ``repro`` package
+    (stdlib, builtins) -> ``other``.
+    """
+    match = _REPRO_PATH.search(filename)
+    if match:
+        return match.group(1)
+    if _REPRO_MODULE.search(filename):
+        return "core"
+    return "other"
+
+
+def profile_workload(name: str, *, top_n: int = TOP_N_DEFAULT) -> dict[str, Any]:
+    """Run one named workload under cProfile and distill the result."""
+    try:
+        workload = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile workload {name!r} "
+            f"(choose from {', '.join(sorted(WORKLOADS))})"
+        ) from None
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    total_calls = stats.total_calls  # type: ignore[attr-defined]
+    total_tt = stats.total_tt  # type: ignore[attr-defined]
+
+    subsystem_tottime: dict[str, float] = {}
+    rows: list[tuple[float, dict[str, Any]]] = []
+    for (filename, line, func), (_cc, ncalls, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        subsystem = subsystem_of(filename)
+        subsystem_tottime[subsystem] = (
+            subsystem_tottime.get(subsystem, 0.0) + tottime
+        )
+        rows.append((
+            cumtime,
+            {
+                "function": func,
+                "file": filename,
+                "line": line,
+                "subsystem": subsystem,
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            },
+        ))
+
+    rows.sort(key=lambda item: item[0], reverse=True)
+    return {
+        "workload": name,
+        "total_calls": total_calls,
+        "total_tottime_s": round(total_tt, 6),
+        "subsystem_tottime_s": {
+            k: round(v, 6) for k, v in sorted(
+                subsystem_tottime.items(), key=lambda kv: kv[1], reverse=True
+            )
+        },
+        "hotspots": [row for _, row in rows[:top_n]],
+    }
+
+
+def run_profile(
+    workloads: tuple[str, ...] = ("fig1", "network"),
+    *,
+    top_n: int = TOP_N_DEFAULT,
+    out_path: str | Path | None = "PROFILE_report.json",
+) -> dict[str, Any]:
+    """Profile each workload; write and return ``PROFILE_report.json``."""
+    report: dict[str, Any] = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "top_n": top_n,
+        "workloads": {
+            name: profile_workload(name, top_n=top_n) for name in workloads
+        },
+    }
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def render_profile_summary(report: dict[str, Any], *, lines_per_workload: int = 8) -> str:
+    """A terminal-friendly digest of :func:`run_profile` output."""
+    out = ["profile report"]
+    for name, data in report["workloads"].items():
+        out.append(
+            f"-- {name}: {data['total_calls']:,} calls, "
+            f"{data['total_tottime_s']:.3f} s total"
+        )
+        shares = ", ".join(
+            f"{sub} {tt:.3f}s"
+            for sub, tt in list(data["subsystem_tottime_s"].items())[:5]
+        )
+        out.append(f"   by subsystem: {shares}")
+        for row in data["hotspots"][:lines_per_workload]:
+            location = f"{Path(row['file']).name}:{row['line']}"
+            out.append(
+                f"   {row['cumtime_s']:>8.3f}s cum {row['tottime_s']:>8.3f}s tot "
+                f"{row['ncalls']:>9,}x  [{row['subsystem']}] "
+                f"{row['function']} ({location})"
+            )
+    return "\n".join(out)

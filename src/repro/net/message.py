@@ -17,11 +17,7 @@ protocol hop, making construction cost a kernel hot path.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any
-
-
-_message_counter = itertools.count()
 
 
 class Message:
@@ -42,7 +38,10 @@ class Message:
         self.src = src
         self.dst = dst
         self.payload = {} if payload is None else payload
-        self.msg_id = next(_message_counter) if msg_id is None else msg_id
+        # msg_id is an optional caller-supplied tag (debugging, test
+        # fixtures). Nothing in the platform consumes it, so no global
+        # counter is drawn for it — construction is a kernel hot path.
+        self.msg_id = msg_id
         self._payload_bytes: int | None = None
         self._wire_bytes: int | None = None
 

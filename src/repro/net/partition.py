@@ -15,11 +15,16 @@ class PartitionState:
     """Tracks which processes can currently talk to each other."""
 
     def __init__(self) -> None:
-        self._group_of: dict[str, int] | None = None
+        #: ``None`` while fully connected, else process name -> group index.
+        #: Public so the transport fast path can test "no partition" with a
+        #: single attribute load instead of a :meth:`can_communicate` call;
+        #: treat as read-only and mutate via :meth:`set_partition` /
+        #: :meth:`heal`.
+        self.group_of: dict[str, int] | None = None
 
     @property
     def partitioned(self) -> bool:
-        return self._group_of is not None
+        return self.group_of is not None
 
     def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
         """Install a partition. Processes absent from all groups are isolated."""
@@ -29,7 +34,7 @@ class PartitionState:
                 if name in group_of:
                     raise ValueError(f"process {name!r} appears in two partition groups")
                 group_of[name] = index
-        self._group_of = group_of
+        self.group_of = group_of
 
     def isolate(self, names: Iterable[str]) -> None:
         """Every named process in its own group (dead router scenario)."""
@@ -37,22 +42,22 @@ class PartitionState:
 
     def heal(self) -> None:
         """Remove the partition entirely."""
-        self._group_of = None
+        self.group_of = None
 
     def can_communicate(self, a: str, b: str) -> bool:
         """True if a message from ``a`` can currently reach ``b``."""
         if a == b:
             return True
-        if self._group_of is None:
+        if self.group_of is None:
             return True
-        group_a = self._group_of.get(a)
-        group_b = self._group_of.get(b)
+        group_a = self.group_of.get(a)
+        group_b = self.group_of.get(b)
         if group_a is None or group_b is None:
             # A process not listed in any group is cut off from everyone.
             return False
         return group_a == group_b
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if self._group_of is None:
+        if self.group_of is None:
             return "<PartitionState connected>"
-        return f"<PartitionState groups={self._group_of}>"
+        return f"<PartitionState groups={self.group_of}>"

@@ -16,6 +16,18 @@ The module models the properties the evaluation depends on:
   enforces the single-outstanding-poll limitation (Fig. 8) — see
   :mod:`repro.devices.sensor`;
 - **actuation commands** traversing the same lossy links toward actuators.
+
+Hot-path design (see docs/performance.md): every transmission used to pay a
+linear scan over all links plus an f-string RNG-stream key build. The radio
+now keeps a **per-device fan-out index** (device -> precomputed tuples of
+link, resolved listener and interned per-link loss stream) and a per-link
+state record caching the poll/response/command streams and the device
+object. Both are built lazily and invalidated on ``connect`` /
+``disconnect`` / ``set_link_loss`` / ``set_link_enabled`` and on listener /
+device registration, so mid-run topology changes behave exactly as if no
+index existed. RNG stream objects are interned in one persistent table
+(``_streams``), which keeps draw sequences — and therefore trace digests —
+bit-identical to the unindexed implementation.
 """
 
 from __future__ import annotations
@@ -110,6 +122,16 @@ class Link:
         return (self.device, self.process)
 
 
+# _link_state entry layout: one list per link key caching everything the
+# poll/command paths need, so a transmission resolves it in one dict lookup.
+_LINK = 0        # the Link object (replaced wholesale on loss/enable changes)
+_LOSS_RNG = 1    # interned "loss/<device>/<process>" stream (event emission)
+_POLL_RNG = 2    # interned "poll/<device>/<process>" stream (request leg)
+_RESP_RNG = 3    # interned "pollresp/<device>/<process>" stream (response leg)
+_CMD_RNG = 4     # interned "cmd/<device>/<process>" stream (actuation)
+_DEVICE = 5      # resolved device object, or None if not (yet) registered
+
+
 class RadioNetwork:
     """All device-process wireless links in the home."""
 
@@ -121,6 +143,12 @@ class RadioNetwork:
         self._listeners: dict[str, RadioListener] = {}
         self._devices: dict[str, Any] = {}
         self._streams: dict[str, RandomSource] = {}
+        # Per-link cached state and the per-device fan-out index. Both are
+        # derived data, rebuilt lazily after any invalidation; the interned
+        # streams they reference live in _streams and survive rebuilds, so
+        # draw sequences never reset.
+        self._link_state: dict[tuple[str, str], list] = {}
+        self._fanout: dict[str, list[tuple[Link, RadioListener, RandomSource]]] = {}
 
     def _stream(self, name: str) -> RandomSource:
         """A persistent named child stream (fresh children would repeat)."""
@@ -130,13 +158,64 @@ class RadioNetwork:
             self._streams[name] = stream
         return stream
 
+    # -- derived-state maintenance ----------------------------------------------
+
+    def _link_entry(self, device_name: str, process_name: str) -> list | None:
+        """The cached state record for one link, or None if no such link."""
+        key = (device_name, process_name)
+        entry = self._link_state.get(key)
+        if entry is None:
+            link = self._links.get(key)
+            if link is None:
+                return None
+            entry = [
+                link,
+                self._stream(f"loss/{device_name}/{process_name}"),
+                self._stream(f"poll/{device_name}/{process_name}"),
+                self._stream(f"pollresp/{device_name}/{process_name}"),
+                self._stream(f"cmd/{device_name}/{process_name}"),
+                self._devices.get(device_name),
+            ]
+            self._link_state[key] = entry
+        return entry
+
+    def _build_fanout(self, device_name: str) -> list[tuple[Link, RadioListener, RandomSource]]:
+        """Precompute the emission fan-out of one device, in link order.
+
+        Links whose process has no registered listener are omitted: the
+        transmit path never draws their loss coin (exactly as the scan-based
+        implementation behaved), and listener registration invalidates the
+        index. Disabled links stay in the list — ``enabled`` is re-checked
+        per transmission so direct toggles on a held Link keep working.
+        """
+        entries = []
+        for link in self._links.values():
+            if link.device != device_name:
+                continue
+            listener = self._listeners.get(link.process)
+            if listener is None:
+                continue
+            state = self._link_entry(link.device, link.process)
+            entries.append((link, listener, state[_LOSS_RNG]))
+        self._fanout[device_name] = entries
+        return entries
+
+    def _invalidate_link(self, device_name: str, process_name: str) -> None:
+        self._link_state.pop((device_name, process_name), None)
+        self._fanout.pop(device_name, None)
+
     # -- wiring ----------------------------------------------------------------
 
     def register_listener(self, listener: RadioListener) -> None:
         self._listeners[listener.name] = listener
+        # A new (or replaced) listener changes every device's fan-out.
+        self._fanout.clear()
 
     def register_device(self, device: Any) -> None:
         self._devices[device.name] = device
+        # Link states cache the resolved device object; drop them all.
+        self._link_state.clear()
+        self._fanout.clear()
 
     def connect(
         self,
@@ -154,16 +233,27 @@ class RadioNetwork:
             loss_rate=technology.base_loss_rate if loss_rate is None else loss_rate,
         )
         self._links[link.key] = link
+        self._invalidate_link(device_name, process_name)
         return link
 
     def disconnect(self, device_name: str, process_name: str) -> None:
         self._links.pop((device_name, process_name), None)
+        self._invalidate_link(device_name, process_name)
 
     def set_link_loss(self, device_name: str, process_name: str, loss_rate: float) -> None:
         key = (device_name, process_name)
         if key not in self._links:
             raise KeyError(f"no link {device_name!r} -> {process_name!r}")
         self._links[key] = replace(self._links[key], loss_rate=loss_rate)
+        self._invalidate_link(device_name, process_name)
+
+    def set_link_enabled(self, device_name: str, process_name: str, enabled: bool) -> None:
+        """Enable or disable the link without forgetting its configuration."""
+        key = (device_name, process_name)
+        if key not in self._links:
+            raise KeyError(f"no link {device_name!r} -> {process_name!r}")
+        self._links[key] = replace(self._links[key], enabled=enabled)
+        self._invalidate_link(device_name, process_name)
 
     def links_from(self, device_name: str) -> list[Link]:
         return [l for l in self._links.values() if l.device == device_name]
@@ -179,31 +269,38 @@ class RadioNetwork:
 
     def emit(self, sensor_name: str, event: Event) -> None:
         """Offer ``event`` to every linked process (independent loss/link)."""
-        self._trace.record(self._scheduler.now, "radio_emit", sensor=sensor_name,
-                           seq=event.seq)
-        for link in self.links_from(sensor_name):
-            self._transmit_event(link, event)
-
-    def _transmit_event(self, link: Link, event: Event) -> None:
-        if not link.enabled:
-            return
-        listener = self._listeners.get(link.process)
-        if listener is None:
-            return
-        if self._stream(f"loss/{link.device}/{link.process}").chance(link.loss_rate):
-            self._trace.record(self._scheduler.now, "radio_lost",
-                               sensor=link.device, process=link.process, seq=event.seq)
-            return
-        delay = link.technology.transit_delay(event.size_bytes, self._rng)
-        self._scheduler.call_later(delay, self._deliver_event, listener, link, event)
+        trace = self._trace
+        scheduler = self._scheduler
+        now = scheduler._now
+        trace.record_device(now, "radio_emit", "sensor", sensor_name, None, event.seq)
+        fanout = self._fanout.get(sensor_name)
+        if fanout is None:
+            fanout = self._build_fanout(sensor_name)
+        rng = self._rng
+        size = event.size_bytes
+        seq = event.seq
+        for link, listener, loss_rng in fanout:
+            if not link.enabled:
+                continue
+            if loss_rng.chance(link.loss_rate):
+                trace.record_device(now, "radio_lost", "sensor", link.device,
+                                    link.process, seq)
+                continue
+            # RadioTechnology.transit_delay inlined bit-identically (same
+            # operations, same order) with the fixed 0.2 jitter fraction.
+            tech = link.technology
+            delay = rng.jittered(
+                tech.base_latency + size / tech.bandwidth_bytes_per_s, 0.2
+            )
+            scheduler.post_at(now + delay, self._deliver_event, listener, link, event)
 
     def _deliver_event(self, listener: RadioListener, link: Link, event: Event) -> None:
         if not listener.alive:
-            self._trace.record(self._scheduler.now, "radio_undelivered",
-                               sensor=link.device, process=link.process, seq=event.seq)
+            self._trace.record_device(self._scheduler._now, "radio_undelivered",
+                                      "sensor", link.device, link.process, event.seq)
             return
-        self._trace.record(self._scheduler.now, "radio_delivered",
-                           sensor=link.device, process=link.process, seq=event.seq)
+        self._trace.record_device(self._scheduler._now, "radio_delivered",
+                                  "sensor", link.device, link.process, event.seq)
         listener.on_sensor_event(event)
 
     # -- polling ----------------------------------------------------------------
@@ -221,22 +318,31 @@ class RadioNetwork:
         response survives the return leg while the process is still alive.
         Pollers own their timeouts.
         """
-        link = self._links.get((sensor_name, process_name))
-        if link is None or not link.enabled:
+        entry = self._link_entry(sensor_name, process_name)
+        if entry is None:
             return
-        self._trace.record(self._scheduler.now, "poll_request",
-                           sensor=sensor_name, process=process_name)
-        loss_rng = self._stream(f"poll/{sensor_name}/{process_name}")
-        if loss_rng.chance(link.loss_rate):
-            self._trace.record(self._scheduler.now, "poll_request_lost",
-                               sensor=sensor_name, process=process_name)
+        link = entry[_LINK]
+        if not link.enabled:
             return
-        sensor = self._devices.get(sensor_name)
+        scheduler = self._scheduler
+        now = scheduler._now
+        self._trace.record_device(now, "poll_request", "sensor", sensor_name,
+                                  process_name)
+        if entry[_POLL_RNG].chance(link.loss_rate):
+            self._trace.record_device(now, "poll_request_lost", "sensor",
+                                      sensor_name, process_name)
+            return
+        sensor = entry[_DEVICE]
         if sensor is None:
+            # Unregistered sensor: the request leg still consumed its loss
+            # draw above, exactly like the scan-based implementation.
             return
-        delay = link.technology.transit_delay(POLL_REQUEST_BYTES, self._rng)
-        self._scheduler.call_later(
-            delay, self._poll_arrives, sensor, link, process_name, on_response
+        tech = link.technology
+        delay = self._rng.jittered(
+            tech.base_latency + POLL_REQUEST_BYTES / tech.bandwidth_bytes_per_s, 0.2
+        )
+        scheduler.post_at(
+            now + delay, self._poll_arrives, sensor, link, process_name, on_response
         )
 
     def _poll_arrives(
@@ -262,12 +368,17 @@ class RadioNetwork:
     ) -> None:
         loss_rng = self._stream(f"pollresp/{link.device}/{process_name}")
         if loss_rng.chance(link.loss_rate):
-            self._trace.record(self._scheduler.now, "poll_response_lost",
-                               sensor=link.device, process=process_name)
+            self._trace.record_device(self._scheduler._now, "poll_response_lost",
+                                      "sensor", link.device, process_name)
             return
-        delay = link.technology.transit_delay(event.size_bytes, self._rng)
-        self._scheduler.call_later(
-            delay, self._deliver_poll_response, process_name, link, event, on_response
+        tech = link.technology
+        delay = self._rng.jittered(
+            tech.base_latency + event.size_bytes / tech.bandwidth_bytes_per_s, 0.2
+        )
+        scheduler = self._scheduler
+        scheduler.post_at(
+            scheduler._now + delay,
+            self._deliver_poll_response, process_name, link, event, on_response,
         )
 
     def _deliver_poll_response(
@@ -280,27 +391,34 @@ class RadioNetwork:
         listener = self._listeners.get(process_name)
         if listener is None or not listener.alive:
             return
-        self._trace.record(self._scheduler.now, "poll_response",
-                           sensor=link.device, process=process_name, seq=event.seq)
+        self._trace.record_device(self._scheduler._now, "poll_response",
+                                  "sensor", link.device, process_name, event.seq)
         on_response(event)
 
     # -- actuation ----------------------------------------------------------------
 
     def send_command(self, process_name: str, command: Command) -> None:
         """Transmit an actuation command from a process to an actuator."""
-        link = self._links.get((command.actuator_id, process_name))
-        if link is None or not link.enabled:
+        entry = self._link_entry(command.actuator_id, process_name)
+        if entry is None:
             return
-        self._trace.record(self._scheduler.now, "command_sent",
-                           actuator=command.actuator_id, process=process_name,
-                           action=command.action)
-        loss_rng = self._stream(f"cmd/{command.actuator_id}/{process_name}")
-        if loss_rng.chance(link.loss_rate):
-            self._trace.record(self._scheduler.now, "command_lost",
-                               actuator=command.actuator_id, process=process_name)
+        link = entry[_LINK]
+        if not link.enabled:
             return
-        actuator = self._devices.get(command.actuator_id)
+        scheduler = self._scheduler
+        now = scheduler._now
+        self._trace.record_device(now, "command_sent", "actuator",
+                                  command.actuator_id, process_name,
+                                  action=command.action)
+        if entry[_CMD_RNG].chance(link.loss_rate):
+            self._trace.record_device(now, "command_lost", "actuator",
+                                      command.actuator_id, process_name)
+            return
+        actuator = entry[_DEVICE]
         if actuator is None:
             return
-        delay = link.technology.transit_delay(command.size_bytes, self._rng)
-        self._scheduler.call_later(delay, actuator.handle_command, command)
+        tech = link.technology
+        delay = self._rng.jittered(
+            tech.base_latency + command.size_bytes / tech.bandwidth_bytes_per_s, 0.2
+        )
+        scheduler.post_at(now + delay, actuator.handle_command, command)

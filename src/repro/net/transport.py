@@ -12,11 +12,22 @@ Guarantees (Section 3.1's assumptions):
 The transport also does all network-overhead accounting: every transmitted
 message is traced with its wire size so that Fig. 5 is a pure function of
 the trace.
+
+Hot-path design (see docs/performance.md): :meth:`HomeNetwork.send` is the
+single most expensive function in a long run, so everything it needs per
+``(src, dst)`` pair — both endpoint objects, the FIFO delivery horizon and
+the pre-resolved trace channels — lives in one cached list, resolved with
+one dictionary lookup per send. The latency formula is inlined
+bit-identically (same operations, same order as
+:meth:`repro.net.latency.LatencyModel.message_delay`), and the no-partition
+common case is a single attribute test.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from heapq import heappush
+from types import MappingProxyType
+from typing import Mapping, Protocol
 
 from repro.net.latency import LatencyModel
 from repro.net.message import Message
@@ -25,6 +36,18 @@ from repro.net.wire import wire_size
 from repro.sim.random import RandomSource
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Trace
+
+# _pair_cache entry layout: one list per (src, dst) pair ever used on the
+# send path, so one dict lookup resolves everything `send` needs.
+_SENDER = 0    # src endpoint object, or None if src is not registered
+_DST = 1       # dst endpoint object (registration is checked at creation)
+_HORIZON = 2   # earliest next delivery time: enforces FIFO ordering
+_SEND = 3      # MessageChannel for net_send records
+_DELIVER = 4   # MessageChannel for net_deliver records
+_DROP = 5      # MessageChannel for net_drop records, created on first drop
+
+_NO_PAIRS: dict[str, list] = {}
+"""Shared empty per-src pair map (read-only default for cache misses)."""
 
 
 class Endpoint(Protocol):
@@ -50,23 +73,41 @@ class HomeNetwork:
     ) -> None:
         self._scheduler = scheduler
         self._rng = rng.child("home-network")
+        # Bound method of the stream's underlying Random: the jitter draw
+        # is inlined in `send` (bit-identically to RandomSource.jittered).
+        self._random = self._rng._rng.random
         self._trace = trace
         self.latency = latency or LatencyModel()
         self.partition = PartitionState()
         self._endpoints: dict[str, Endpoint] = {}
-        # Per-(src, dst) earliest next delivery time: enforces FIFO ordering.
-        self._fifo_horizon: dict[tuple[str, str], float] = {}
+        self._endpoints_view: Mapping[str, Endpoint] = MappingProxyType(
+            self._endpoints
+        )
+        # src -> dst -> cached pair entry (see the layout constants above).
+        # Nested rather than tuple-keyed so the send path pays two interned-
+        # string lookups instead of allocating and hashing a tuple per call.
+        self._pair_cache: dict[str, dict[str, list]] = {}
         self._live_count_cache: int | None = None
 
     def register(self, endpoint: Endpoint) -> None:
-        if endpoint.name in self._endpoints:
-            raise ValueError(f"endpoint {endpoint.name!r} already registered")
-        self._endpoints[endpoint.name] = endpoint
+        name = endpoint.name
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already registered")
+        self._endpoints[name] = endpoint
         self._live_count_cache = None
+        # Pairs cached while `name` was an unregistered sender hold a stale
+        # None in the sender slot; patch them so crash gating works.
+        for entry in self._pair_cache.get(name, _NO_PAIRS).values():
+            entry[_SENDER] = endpoint
 
     @property
-    def endpoints(self) -> dict[str, Endpoint]:
-        return dict(self._endpoints)
+    def endpoints(self) -> Mapping[str, Endpoint]:
+        """A live, **read-only** view of the registered endpoints.
+
+        Previously this returned a fresh dict copy per access; callers that
+        want a snapshot must now copy explicitly (``dict(net.endpoints)``).
+        """
+        return self._endpoints_view
 
     def liveness_changed(self) -> None:
         """Invalidate the live-process cache (a process crashed/recovered)."""
@@ -79,68 +120,144 @@ class HomeNetwork:
             self._live_count_cache = count
         return count
 
+    def _pair_entry(self, src: str, dst: str) -> list:
+        dst_endpoint = self._endpoints.get(dst)
+        if dst_endpoint is None:
+            raise KeyError(f"unknown destination process {dst!r}")
+        trace = self._trace
+        entry = [
+            self._endpoints.get(src),
+            dst_endpoint,
+            0.0,
+            trace.message_channel("net_send", src, dst),
+            trace.message_channel("net_deliver", src, dst),
+            None,
+        ]
+        self._pair_cache.setdefault(src, {})[dst] = entry
+        return entry
+
+    def _drop_channel(self, entry: list, src: str, dst: str):
+        channel = entry[_DROP]
+        if channel is None:
+            entry[_DROP] = channel = self._trace.message_channel(
+                "net_drop", src, dst
+            )
+        return channel
+
     def send(self, message: Message) -> None:
         """Transmit ``message``; delivery is scheduled, loss is possible.
 
         Wire bytes are accounted whenever the sender actually puts the
         message on the network (sender alive and not knowingly cut off).
         """
-        endpoints = self._endpoints
         src = message.src
         dst = message.dst
-        if dst not in endpoints:
-            raise KeyError(f"unknown destination process {dst!r}")
-        sender = endpoints.get(src)
+        entry = self._pair_cache.get(src, _NO_PAIRS).get(dst)
+        if entry is None:
+            entry = self._pair_entry(src, dst)
+        sender = entry[_SENDER]
         if sender is not None and not sender.alive:
             # A crashed process performs no activity; guard against stray
             # timers firing after a crash.
             return
 
         scheduler = self._scheduler
-        now = scheduler.now
-        if not self.partition.can_communicate(src, dst):
+        now = scheduler._now
+        partition = self.partition
+        if partition.group_of is not None and not partition.can_communicate(src, dst):
             # TCP connect/retransmit fails; the payload never transits —
             # don't pay for sizing a message that never hits the wire.
-            self._trace.record_message(
-                now, "net_drop", src, dst, message.kind, reason="partition"
+            self._drop_channel(entry, src, dst).record(
+                now, message.kind, None, "partition"
             )
             return
 
-        bytes_on_wire = wire_size(message)
-        self._trace.record_message(
-            now, "net_send", src, dst, message.kind, bytes_on_wire
+        bytes_on_wire = message._wire_bytes
+        if bytes_on_wire is None:
+            bytes_on_wire = wire_size(message)
+        kind = message.kind
+        # MessageChannel.record inlined for the aggregates-only case (no
+        # kept events for the kind, no subscribers, no streaming hash) —
+        # the overwhelmingly common configuration in long runs. Anything
+        # else falls back to the channel's full path.
+        channel = entry[_SEND]
+        state = channel._state
+        if state[3] is None and state[4] is None and not self._trace._has_observers:
+            state[0] += 1
+            state[1] += bytes_on_wire
+            tallies = channel._tallies
+            tally = tallies.get(kind)
+            if tally is None:
+                tallies[kind] = tally = [0, 0]
+            tally[0] += 1
+            tally[1] += bytes_on_wire
+            channel._pair_cell[0] += 1
+        else:
+            channel.record(now, kind, bytes_on_wire)
+
+        live = self._live_count_cache
+        if live is None:
+            live = self.live_process_count()
+        # LatencyModel.message_delay, inlined bit-identically (same ops in
+        # the same order); adding the congestion term only when non-zero is
+        # exact because delay + 0.0 == delay for the positive delays here.
+        lat = self.latency
+        delay = (
+            lat.base_latency
+            + bytes_on_wire / lat.bandwidth_bytes_per_s
+            + bytes_on_wire * lat.serialization_s_per_byte
         )
-        delay = self.latency.message_delay(
-            bytes_on_wire, self.live_process_count(), self._rng
-        )
+        extra = live - 2
+        if extra > 0:
+            delay += extra * lat.congestion_per_process
+        # RandomSource.jittered inlined (same expansion, same single draw).
+        fraction = lat.jitter_fraction
+        u = -fraction + (fraction - -fraction) * self._random()
+        delay = delay * (1.0 + u)
+
         deliver_at = now + delay
         # In-order delivery per (src, dst) pair, like a TCP stream.
-        pair = (src, dst)
-        horizon = self._fifo_horizon.get(pair, 0.0)
+        horizon = entry[_HORIZON]
         if deliver_at <= horizon:
             deliver_at = horizon + 1e-9
-        self._fifo_horizon[pair] = deliver_at
-        scheduler.call_at(deliver_at, self._deliver, message)
+        entry[_HORIZON] = deliver_at
+        # Scheduler.post_at inlined (same entry shape, same seq tie-break):
+        # deliver_at > now always holds here — delay is strictly positive
+        # and the FIFO horizon only pushes forward — so the past-check and
+        # the call frame are pure overhead on this hottest of paths.
+        scheduler._seq = seq = scheduler._seq + 1
+        heappush(scheduler._heap, (deliver_at, seq, self._deliver, (entry, message)))
+        scheduler._live += 1
 
-    def _deliver(self, message: Message) -> None:
+    def _deliver(self, entry: list, message: Message) -> None:
         src = message.src
         dst = message.dst
-        endpoint = self._endpoints[dst]
+        endpoint = entry[_DST]
         if not endpoint.alive:
-            self._trace.record_message(
-                self._scheduler.now, "net_drop", src, dst, message.kind,
-                reason="dst_crashed",
+            self._drop_channel(entry, src, dst).record(
+                self._scheduler._now, message.kind, None, "dst_crashed"
             )
             return
-        if not self.partition.can_communicate(src, dst):
-            self._trace.record_message(
-                self._scheduler.now, "net_drop", src, dst, message.kind,
-                reason="partition",
+        partition = self.partition
+        if partition.group_of is not None and not partition.can_communicate(src, dst):
+            self._drop_channel(entry, src, dst).record(
+                self._scheduler._now, message.kind, None, "partition"
             )
             return
-        self._trace.record_message(
-            self._scheduler.now, "net_deliver", src, dst, message.kind
-        )
+        channel = entry[_DELIVER]
+        state = channel._state
+        if state[3] is None and state[4] is None and not self._trace._has_observers:
+            # Same aggregates-only inline as `send` (no bytes on deliver).
+            state[0] += 1
+            kind = message.kind
+            tallies = channel._tallies
+            tally = tallies.get(kind)
+            if tally is None:
+                tallies[kind] = tally = [0, 0]
+            tally[0] += 1
+            channel._pair_cell[0] += 1
+        else:
+            channel.record(self._scheduler._now, message.kind)
         endpoint.deliver(message)
 
     # -- accounting helpers used by the evaluation harness ---------------------

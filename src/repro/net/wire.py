@@ -136,7 +136,16 @@ def wire_size(message: Message) -> int:
     cached = message._wire_bytes
     if cached is not None:
         return cached
-    app_bytes = payload_size(message)
+    app_bytes = message._payload_bytes
+    if app_bytes is None:
+        # payload_size inlined (identical loop) — uncached messages are the
+        # common case on first transmission, and this is a per-send cost.
+        app_bytes = MESSAGE_HEADER
+        fixed_sizes = _FIXED_SIZES
+        for value in message.payload.values():
+            fixed = fixed_sizes.get(type(value))
+            app_bytes += fixed if fixed is not None else sizeof(value)
+        message._payload_bytes = app_bytes
     if app_bytes <= MSS:
         total = app_bytes + SINGLE_SEGMENT_OVERHEAD
     else:

@@ -1,8 +1,11 @@
 """Time-ordered callback scheduler — the heart of the simulator.
 
-The scheduler keeps a heap of ``(when, seq, handle)`` entries. ``seq`` is a
-monotonically increasing tie-breaker so that callbacks scheduled for the same
-instant run in scheduling order, which keeps runs deterministic.
+The scheduler keeps a heap of ``(when, seq, handle)`` entries — or, for
+fire-and-forget :meth:`Scheduler.post_at` posts, bare ``(when, seq,
+callback, args)`` tuples with no handle at all. ``seq`` is a monotonically
+increasing tie-breaker so that callbacks scheduled for the same instant run
+in scheduling order, which keeps runs deterministic (and means the heap
+never compares entries past ``seq``, so the two shapes can mix freely).
 
 Simulated time is a ``float`` number of seconds since the start of the run.
 
@@ -141,7 +144,8 @@ class Scheduler:
     def _compact(self) -> None:
         survivors = []
         for entry in self._heap:
-            if entry[2]._cancelled:
+            # len-4 entries are fire-and-forget posts: never cancellable.
+            if len(entry) == 3 and entry[2]._cancelled:
                 entry[2]._in_heap = False
             else:
                 survivors.append(entry)
@@ -162,10 +166,7 @@ class Scheduler:
                 f"cannot schedule at t={when:.6f}, time is already t={self._now:.6f}"
             )
         handle = TimerHandle(when, callback, args, self)
-        handle._in_heap = True
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, handle))
-        self._live += 1
+        self._push(when, handle)
         return handle
 
     def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
@@ -173,6 +174,24 @@ class Scheduler:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.call_at(self._now + delay, callback, *args)
+
+    def post_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`call_at`: no handle is returned.
+
+        The hot transport/radio delivery paths schedule hundreds of
+        thousands of callbacks that are never cancelled; this lane pushes a
+        bare ``(when, seq, callback, args)`` tuple — no ``TimerHandle`` is
+        allocated at all. The pop loops tell the two entry shapes apart by
+        length; ``seq`` is unique so the heap never compares past it, and
+        ordering/tie-breaking are identical to :meth:`call_at`.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when:.6f}, time is already t={self._now:.6f}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, callback, args))
+        self._live += 1
 
     def call_repeating(
         self,
@@ -207,7 +226,14 @@ class Scheduler:
         """Run the next pending callback. Returns False if none remain."""
         heap = self._heap
         while heap:
-            when, _seq, handle = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:
+                self._live -= 1
+                self._now = entry[0]
+                self._processed += 1
+                entry[2](*entry[3])
+                return True
+            when, _seq, handle = entry
             handle._in_heap = False
             if handle._cancelled:
                 self._lazy_cancelled -= 1
@@ -240,36 +266,37 @@ class Scheduler:
             when = heap[0][0]
             if when > deadline:
                 break
-            _w, _seq, handle = pop(heap)
-            handle._in_heap = False
-            if handle._cancelled:
-                self._lazy_cancelled -= 1
-                continue
-            self._live -= 1
             self._now = when
+            # Drain everything sharing this timestamp without re-checking the
+            # deadline. Callbacks scheduling new work at the same instant stay
+            # correctly ordered: new entries receive larger seq numbers than
+            # anything already queued here.
             while True:
-                self._processed += 1
-                handle._fired = True
-                handle._callback(*handle._args)
-                if handle.interval is not None and not handle._cancelled:
-                    interval = handle.interval
-                    handle.when = when + interval
-                    handle._in_heap = True
-                    self._seq += 1
-                    push(heap, (handle.when, self._seq, handle))
-                    self._live += 1
-                # Drain everything sharing this timestamp without re-checking
-                # the deadline. Callbacks scheduling new work at the same
-                # instant stay correctly ordered: new entries receive larger
-                # seq numbers than anything already queued here.
+                entry = pop(heap)
+                if len(entry) == 4:
+                    # Fire-and-forget post: no handle, nothing cancellable.
+                    self._live -= 1
+                    self._processed += 1
+                    entry[2](*entry[3])
+                else:
+                    handle = entry[2]
+                    handle._in_heap = False
+                    if handle._cancelled:
+                        self._lazy_cancelled -= 1
+                    else:
+                        self._live -= 1
+                        self._processed += 1
+                        handle._fired = True
+                        handle._callback(*handle._args)
+                        if handle.interval is not None and not handle._cancelled:
+                            interval = handle.interval
+                            handle.when = when + interval
+                            handle._in_heap = True
+                            self._seq += 1
+                            push(heap, (handle.when, self._seq, handle))
+                            self._live += 1
                 if not heap or heap[0][0] != when:
                     break
-                _w, _seq, handle = pop(heap)
-                handle._in_heap = False
-                if handle._cancelled:
-                    self._lazy_cancelled -= 1
-                    break
-                self._live -= 1
         self._now = deadline
 
     def run(self, max_events: int = 10_000_000) -> None:

@@ -15,6 +15,15 @@ O(1) appends and O(1) aggregate queries:
   per-``(kind, sub-kind)`` message tallies and per-``(src, dst)`` pair
   counts — are maintained inside ``record()`` so accounting helpers such as
   :meth:`repro.net.transport.HomeNetwork.bytes_sent` never re-scan;
+- the hottest record families bypass the kwargs path entirely:
+  :meth:`Trace.message_channel` hands the transport a per-``(kind, src,
+  dst)`` :class:`MessageChannel` with every aggregate cell pre-resolved, and
+  :meth:`Trace.record_device` is the positional lane for the radio/device
+  kinds (``radio_*``, ``poll_*``, ``command_*``, ``sensor_*``) whose
+  records carry no aggregate fields;
+- perf runs can opt into ``quiet=True`` (aggregates only: no stored events,
+  no subscribers, no digest) or ``sample_every=N`` (store every Nth event
+  per kind; aggregates stay exact) to bound trace overhead and memory;
 - ``events`` / ``of_kind`` return **read-only views** over internal lists
   (no copying); ``iter_kind`` is the matching lazy iterator;
 - :class:`TraceEvent` is slot-based, and ``digest()`` provides a stable
@@ -123,6 +132,16 @@ class Trace:
 
     ``digest=True`` additionally feeds every record (kept or not) through a
     streaming hash; :meth:`digest` then works even when nothing is stored.
+
+    Two opt-in modes bound trace overhead on perf runs:
+
+    - ``quiet=True`` maintains aggregates only: no events are stored, no
+      subscribers may attach, ``digest()`` is unavailable. The record fast
+      lanes then reduce to a handful of counter increments.
+    - ``sample_every=N`` stores only every Nth record of each kind (the
+      1st, the N+1th, ...). Aggregates stay exact; the streaming hash (if
+      enabled) still covers every record, so ``digest()`` with
+      ``digest=True`` is unaffected by sampling.
     """
 
     # _kind_state value layout: one mutable list per record kind, looked up
@@ -139,20 +158,40 @@ class Trace:
     _HAS_PAIR = 4
 
     def __init__(
-        self, keep_kinds: set[str] | None = None, *, digest: bool = False
+        self,
+        keep_kinds: set[str] | None = None,
+        *,
+        digest: bool = False,
+        quiet: bool = False,
+        sample_every: int | None = None,
     ) -> None:
+        if quiet and digest:
+            raise ValueError("quiet=True maintains no digest; drop digest=True")
+        if sample_every is not None and sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every!r}")
         self._events: list[TraceEvent] = []
         self._by_kind: dict[str, list[TraceEvent]] = {}
         self._kind_state: dict[str, list] = {}
-        # (record kind, fields["kind"]) -> [count, bytes]; e.g. how many
+        # record kind -> fields["kind"] -> [count, bytes]; e.g. how many
         # keepalive messages went over the wire and their byte total.
-        self._sub_tallies: dict[tuple[str, str], list[int]] = {}
-        # (record kind, src, dst) -> count, for records carrying src/dst.
-        self._pair_counts: dict[tuple[str, str, str], int] = {}
+        self._sub_tallies: dict[str, dict[str, list[int]]] = {}
+        # (record kind, src, dst) -> [count] cell, for records carrying
+        # src/dst. A one-element list so fast lanes can increment a held
+        # reference without re-hashing the key.
+        self._pair_counts: dict[tuple[str, str, str], list[int]] = {}
         self._keep_kinds = keep_kinds
+        self._quiet = quiet
+        self._sample = sample_every if sample_every != 1 else None
         self._subscribers: list[Callable[[TraceEvent], None]] = []
         self._kind_subscribers: dict[str, list[Callable[[TraceEvent], None]]] = {}
         self._hasher = hashlib.blake2b(digest_size=16) if digest else None
+        # One-load summary of the *kind-independent* observers: True once a
+        # streaming hash exists or a global (unscoped) subscriber was
+        # registered. Kind-scoped subscribers live in the per-kind state
+        # (slot 4), so fast lanes test kept-list, kind-subs and this flag —
+        # three loads instead of four, and records of unsubscribed kinds
+        # keep their fast path when only specific kinds are watched.
+        self._has_observers = digest
 
     def _new_kind(self, kind: str, fields: dict[str, Any]) -> list:
         """First record of ``kind``: fix its aggregate profile and wiring.
@@ -167,11 +206,39 @@ class Trace:
             | (self._HAS_PAIR if "src" in fields and "dst" in fields else 0)
         )
         kept: list[TraceEvent] | None = None
-        if self._keep_kinds is None or kind in self._keep_kinds:
+        if not self._quiet and (self._keep_kinds is None or kind in self._keep_kinds):
             kept = self._by_kind.setdefault(kind, [])
+        if profile & self._HAS_SUB:
+            self._sub_tallies.setdefault(kind, {})
         state = [0, 0, profile, kept, self._kind_subscribers.get(kind)]
         self._kind_state[kind] = state
         return state
+
+    def _finish(self, time: float, kind: str, state: list, fields: dict[str, Any]) -> None:
+        """Store / notify / hash one record whose fields dict is built.
+
+        Shared slow tail of the fast lanes; only called when at least one
+        of kept-storage, subscribers or the streaming hash needs the event.
+        """
+        event = None
+        kept = state[3]
+        if kept is not None:
+            sample = self._sample
+            if sample is None or (state[0] - 1) % sample == 0:
+                event = TraceEvent(time, kind, fields)
+                self._events.append(event)
+                kept.append(event)
+        kind_subs = state[4]
+        if kind_subs is not None or self._subscribers:
+            if event is None:
+                event = TraceEvent(time, kind, fields)
+            for subscriber in self._subscribers:
+                subscriber(event)
+            if kind_subs is not None:
+                for subscriber in kind_subs:
+                    subscriber(event)
+        if self._hasher is not None:
+            self._hasher.update(_record_bytes(time, kind, fields))
 
     def record(self, time: float, kind: str, /, **fields: Any) -> None:
         state = self._kind_state.get(kind)
@@ -188,10 +255,10 @@ class Trace:
             if profile & 2:
                 sub = get("kind")
                 if sub is not None:
-                    key = (kind, sub)
-                    tally = self._sub_tallies.get(key)
+                    tallies = self._sub_tallies[kind]
+                    tally = tallies.get(sub)
                     if tally is None:
-                        self._sub_tallies[key] = tally = [0, 0]
+                        tallies[sub] = tally = [0, 0]
                     tally[0] += 1
                     if nbytes is not None:
                         tally[1] += nbytes
@@ -201,14 +268,20 @@ class Trace:
                 if src is not None and dst is not None:
                     pkey = (kind, src, dst)
                     pairs = self._pair_counts
-                    pairs[pkey] = pairs.get(pkey, 0) + 1
+                    cell = pairs.get(pkey)
+                    if cell is None:
+                        pairs[pkey] = [1]
+                    else:
+                        cell[0] += 1
 
         event = None
         kept = state[3]
         if kept is not None:
-            event = TraceEvent(time, kind, fields)
-            self._events.append(event)
-            kept.append(event)
+            sample = self._sample
+            if sample is None or (state[0] - 1) % sample == 0:
+                event = TraceEvent(time, kind, fields)
+                self._events.append(event)
+                kept.append(event)
         kind_subs = state[4]
         if kind_subs is not None or self._subscribers:
             if event is None:
@@ -251,45 +324,96 @@ class Trace:
         state[0] += 1
         if nbytes is not None:
             state[1] += nbytes
-        key = (kind, sub_kind)
-        tally = self._sub_tallies.get(key)
+        tallies = self._sub_tallies[kind]
+        tally = tallies.get(sub_kind)
         if tally is None:
-            self._sub_tallies[key] = tally = [0, 0]
+            tallies[sub_kind] = tally = [0, 0]
         tally[0] += 1
         if nbytes is not None:
             tally[1] += nbytes
         pkey = (kind, src, dst)
         pairs = self._pair_counts
-        pairs[pkey] = pairs.get(pkey, 0) + 1
+        cell = pairs.get(pkey)
+        if cell is None:
+            pairs[pkey] = [1]
+        else:
+            cell[0] += 1
 
-        kept = state[3]
-        kind_subs = state[4]
-        if (
-            kept is not None
-            or kind_subs is not None
-            or self._subscribers
-            or self._hasher is not None
-        ):
+        if state[3] is not None or state[4] is not None or self._has_observers:
             fields = {"src": src, "dst": dst, "kind": sub_kind}
             if nbytes is not None:
                 fields["bytes"] = nbytes
             if reason is not None:
                 fields["reason"] = reason
-            event = None
-            if kept is not None:
-                event = TraceEvent(time, kind, fields)
-                self._events.append(event)
-                kept.append(event)
-            if kind_subs is not None or self._subscribers:
-                if event is None:
-                    event = TraceEvent(time, kind, fields)
-                for subscriber in self._subscribers:
-                    subscriber(event)
-                if kind_subs is not None:
-                    for subscriber in kind_subs:
-                        subscriber(event)
-            if self._hasher is not None:
-                self._hasher.update(_record_bytes(time, kind, fields))
+            self._finish(time, kind, state, fields)
+
+    def record_device(
+        self,
+        time: float,
+        kind: str,
+        id_field: str,
+        id_value: str,
+        process: str | None = None,
+        seq: Any = None,
+        action: str | None = None,
+    ) -> None:
+        """Device-path fast lane for :meth:`record`.
+
+        Semantically identical to ``record(time, kind, <id_field>=id_value,
+        [process=...], [seq=...], [action=...])`` — same counts, same kept
+        events, same digest bytes — but positional, and the fields dict is
+        only built when storage, a subscriber or the streaming hash needs
+        it. Intended for the radio/device record kinds (``radio_*``,
+        ``poll_*``, ``command_*``, ``sensor_*``) whose schemas carry no
+        aggregate fields; kinds that do carry them (``bytes``, ``kind``,
+        ``src``+``dst``) fall back to the generic path.
+        """
+        state = self._kind_state.get(kind)
+        if state is None or state[2]:
+            fields = {id_field: id_value}
+            if process is not None:
+                fields["process"] = process
+            if seq is not None:
+                fields["seq"] = seq
+            if action is not None:
+                fields["action"] = action
+            self.record(time, kind, **fields)
+            return
+        state[0] += 1
+        if state[3] is not None or state[4] is not None or self._has_observers:
+            fields = {id_field: id_value}
+            if process is not None:
+                fields["process"] = process
+            if seq is not None:
+                fields["seq"] = seq
+            if action is not None:
+                fields["action"] = action
+            self._finish(time, kind, state, fields)
+
+    def message_channel(self, kind: str, src: str, dst: str) -> "MessageChannel":
+        """A pre-resolved recorder for one ``(kind, src, dst)`` message flow.
+
+        The returned :class:`MessageChannel` holds direct references to the
+        kind's state list, its sub-kind tally map and the pair-count cell,
+        so its :meth:`~MessageChannel.record` touches no tuple keys and, on
+        aggregate-only traces, allocates nothing. The transport caches one
+        channel per live ``(src, dst)`` pair (see
+        :mod:`repro.net.transport`).
+        """
+        state = self._kind_state.get(kind)
+        if state is None:
+            # Fix the kind's profile exactly as a first record_message would:
+            # src/dst/sub-kind always present, bytes tracked when it appears.
+            state = self._new_kind(
+                kind, {"src": src, "dst": dst, "kind": "", "bytes": 0}
+            )
+        pkey = (kind, src, dst)
+        cell = self._pair_counts.get(pkey)
+        if cell is None:
+            self._pair_counts[pkey] = cell = [0]
+        return MessageChannel(
+            self, kind, src, dst, state, self._sub_tallies.setdefault(kind, {}), cell
+        )
 
     def subscribe(
         self,
@@ -302,7 +426,10 @@ class Trace:
         crucially for long runs — records of *other* kinds skip event
         construction entirely when nothing else needs one.
         """
+        if self._quiet:
+            raise RuntimeError("subscribe() on a quiet trace (aggregates only)")
         if kinds is None:
+            self._has_observers = True
             self._subscribers.append(callback)
         else:
             for kind in kinds:
@@ -332,23 +459,28 @@ class Trace:
     def tally(self, kind: str, sub_kind: str) -> tuple[int, int]:
         """``(count, bytes)`` of records of ``kind`` whose ``kind`` field
         equals ``sub_kind`` — e.g. ``tally("net_send", "keepalive")``."""
-        tally = self._sub_tallies.get((kind, sub_kind))
+        tally = self._sub_tallies.get(kind, _EMPTY_DICT).get(sub_kind)
         return (tally[0], tally[1]) if tally is not None else (0, 0)
 
     def sub_kinds(self, kind: str) -> list[str]:
         """All ``kind``-field values seen on records of ``kind``."""
-        return [sub for (k, sub) in self._sub_tallies if k == kind]
+        return list(self._sub_tallies.get(kind, ()))
 
     def pair_count(self, kind: str, src: str, dst: str) -> int:
         """Records of ``kind`` with the given ``src``/``dst`` fields."""
-        return self._pair_counts.get((kind, src, dst), 0)
+        cell = self._pair_counts.get((kind, src, dst))
+        return cell[0] if cell is not None else 0
 
     def pair_counts(self, kind: str) -> dict[tuple[str, str], int]:
-        """``(src, dst) -> count`` for all records of ``kind``."""
+        """``(src, dst) -> count`` for all records of ``kind``.
+
+        Pairs whose channel was created but never recorded (count 0) are
+        omitted, matching the pre-channel behaviour.
+        """
         return {
-            (src, dst): count
-            for (k, src, dst), count in self._pair_counts.items()
-            if k == kind
+            (src, dst): cell[0]
+            for (k, src, dst), cell in self._pair_counts.items()
+            if k == kind and cell[0]
         }
 
     # -- event access (read-only views, no copying) -----------------------------
@@ -389,9 +521,12 @@ class Trace:
         """
         if self._hasher is not None:
             return self._hasher.hexdigest()
-        if self._keep_kinds is not None:
+        if self._quiet:
+            raise RuntimeError("digest() on a quiet trace (aggregates only)")
+        if self._keep_kinds is not None or self._sample is not None:
             raise RuntimeError(
-                "digest() on a kind-limited trace requires Trace(digest=True)"
+                "digest() on a kind-limited or sampled trace requires "
+                "Trace(digest=True)"
             )
         hasher = hashlib.blake2b(digest_size=16)
         for event in self._events:
@@ -407,6 +542,72 @@ class Trace:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         total = sum(state[self._COUNT] for state in self._kind_state.values())
         return f"<Trace {total} records, {len(self._kind_state)} kinds>"
+
+
+class MessageChannel:
+    """A per-``(kind, src, dst)`` fast recorder handed out by
+    :meth:`Trace.message_channel`.
+
+    Every aggregate cell — the kind's state list, its sub-kind tally map
+    and the pair-count cell — is resolved once at construction, so
+    :meth:`record` performs no tuple-key hashing. Semantics are identical
+    to ``Trace.record_message(time, kind, src, dst, sub_kind, nbytes,
+    reason)``: same counts, same kept events, same digest bytes.
+    """
+
+    __slots__ = ("_trace", "_state", "_tallies", "_pair_cell", "kind", "src", "dst")
+
+    def __init__(
+        self,
+        trace: Trace,
+        kind: str,
+        src: str,
+        dst: str,
+        state: list,
+        tallies: dict[str, list[int]],
+        pair_cell: list[int],
+    ) -> None:
+        self._trace = trace
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self._state = state
+        self._tallies = tallies
+        self._pair_cell = pair_cell
+
+    def record(
+        self,
+        time: float,
+        sub_kind: str,
+        nbytes: int | None = None,
+        reason: str | None = None,
+    ) -> None:
+        state = self._state
+        state[0] += 1
+        if nbytes is not None:
+            state[1] += nbytes
+        tallies = self._tallies
+        tally = tallies.get(sub_kind)
+        if tally is None:
+            tallies[sub_kind] = tally = [0, 0]
+        tally[0] += 1
+        if nbytes is not None:
+            tally[1] += nbytes
+        self._pair_cell[0] += 1
+        trace = self._trace
+        if state[3] is not None or state[4] is not None or trace._has_observers:
+            fields = {"src": self.src, "dst": self.dst, "kind": sub_kind}
+            if nbytes is not None:
+                fields["bytes"] = nbytes
+            if reason is not None:
+                fields["reason"] = reason
+            trace._finish(time, self.kind, state, fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MessageChannel {self.kind} {self.src}->{self.dst}>"
+
+
+_EMPTY_DICT: dict = {}
 
 
 def _record_bytes(time: float, kind: str, fields: dict[str, Any]) -> bytes:

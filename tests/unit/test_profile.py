@@ -1,0 +1,114 @@
+"""The profiling subsystem: subsystem attribution and report structure."""
+
+import json
+
+import pytest
+
+import repro.eval.profile as profile_mod
+from repro.eval.profile import (
+    WORKLOADS, profile_workload, render_profile_summary, run_profile,
+    subsystem_of,
+)
+
+
+def test_subsystem_attribution():
+    assert subsystem_of("/x/src/repro/net/transport.py") == "net"
+    assert subsystem_of("/x/src/repro/sim/scheduler.py") == "sim"
+    assert subsystem_of("/x/src/repro/core/runtime.py") == "core"
+    assert subsystem_of("/x/src/repro/eval/perf.py") == "eval"
+    assert subsystem_of("/x/src/repro/membership/heartbeat.py") == "membership"
+    assert subsystem_of("/x/src/repro/__init__.py") == "core"
+    assert subsystem_of("/usr/lib/python3.11/heapq.py") == "other"
+    assert subsystem_of("~") == "other"
+
+
+@pytest.fixture
+def tiny_workload():
+    """Register a fast synthetic workload so tests don't pay for real ones."""
+    def run() -> None:
+        from repro.net.message import Message
+        from repro.net.transport import HomeNetwork
+        from repro.sim.random import RandomSource
+        from repro.sim.scheduler import Scheduler
+        from repro.sim.tracing import Trace
+
+        sched = Scheduler()
+        net = HomeNetwork(sched, RandomSource(1), Trace(keep_kinds=set()))
+
+        class Sink:
+            name = "b"
+            alive = True
+
+            def deliver(self, message):
+                pass
+
+        net.register(Sink())
+        for seq in range(500):
+            net.send(Message("m", "a", "b", {"seq": seq}))
+        sched.run()
+
+    WORKLOADS["tiny"] = run
+    yield "tiny"
+    del WORKLOADS["tiny"]
+
+
+def test_profile_workload_structure(tiny_workload):
+    result = profile_workload(tiny_workload, top_n=5)
+    assert result["workload"] == tiny_workload
+    assert result["total_calls"] > 500
+    assert len(result["hotspots"]) == 5
+    top = result["hotspots"][0]
+    assert set(top) == {
+        "function", "file", "line", "subsystem", "ncalls",
+        "tottime_s", "cumtime_s",
+    }
+    # Cumulative ordering, descending.
+    cums = [row["cumtime_s"] for row in result["hotspots"]]
+    assert cums == sorted(cums, reverse=True)
+    # The transport send path must show up attributed to `net`.
+    assert any(
+        row["subsystem"] == "net" and row["function"] == "send"
+        for row in result["hotspots"]
+    )
+    assert "net" in result["subsystem_tottime_s"]
+    assert "sim" in result["subsystem_tottime_s"]
+
+
+def test_profile_workload_rejects_unknown_name():
+    with pytest.raises(KeyError):
+        profile_workload("nope")
+
+
+def test_run_profile_writes_report(tiny_workload, tmp_path):
+    out = tmp_path / "PROFILE_report.json"
+    report = run_profile((tiny_workload,), top_n=3, out_path=out)
+    on_disk = json.loads(out.read_text())
+    assert on_disk["top_n"] == 3
+    assert set(on_disk["workloads"]) == {tiny_workload}
+    assert on_disk["workloads"][tiny_workload]["hotspots"] == report[
+        "workloads"
+    ][tiny_workload]["hotspots"]
+    summary = render_profile_summary(report)
+    assert tiny_workload in summary and "[net]" in summary
+
+
+def test_cli_profile_end_to_end(tiny_workload, tmp_path, monkeypatch):
+    from repro.eval.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    code = main(["profile", "--workloads", tiny_workload, "--top", "4"])
+    assert code == 0
+    report = json.loads((tmp_path / "PROFILE_report.json").read_text())
+    assert len(report["workloads"][tiny_workload]["hotspots"]) == 4
+
+
+def test_cli_profile_rejects_bad_args(tiny_workload):
+    from repro.eval.cli import main
+
+    assert main(["profile", "--workloads", "bogus"]) == 2
+    assert main(["profile", "--top", "0"]) == 2
+
+
+def test_real_workloads_are_registered():
+    assert {"fig1", "network", "chaos"} <= set(WORKLOADS)
+    assert profile_mod.TOP_N_DEFAULT >= 10

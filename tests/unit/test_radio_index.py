@@ -1,0 +1,250 @@
+"""Fan-out-index invalidation: mid-run reconfiguration must behave exactly
+as if the radio had been built in the new state (the index is pure cache)."""
+
+import pytest
+
+from repro.core.events import Command, Event
+from repro.net.radio import IP, RadioNetwork, ZWAVE
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+class StubListener:
+    def __init__(self, name: str):
+        self.name = name
+        self.alive = True
+        self.events: list[Event] = []
+
+    def on_sensor_event(self, event: Event) -> None:
+        self.events.append(event)
+
+
+class StubPollSensor:
+    def __init__(self, name: str):
+        self.name = name
+        self.polls = 0
+        self.busy = False
+
+    def receive_poll(self, respond):
+        if self.busy:
+            return
+        self.polls += 1
+        respond(Event(sensor_id=self.name, seq=self.polls, emitted_at=0.0,
+                      value=21.0, size_bytes=4))
+
+
+class StubActuator:
+    def __init__(self, name: str):
+        self.name = name
+        self.commands: list[Command] = []
+
+    def handle_command(self, command: Command) -> None:
+        self.commands.append(command)
+
+
+def make_radio(seed: int = 5):
+    sched = Scheduler()
+    radio = RadioNetwork(sched, RandomSource(seed), Trace())
+    return sched, radio
+
+
+def ev(seq: int) -> Event:
+    return Event(sensor_id="s", seq=seq, emitted_at=0.0, value=1, size_bytes=4)
+
+
+def delivery_sets(radio, sched, listeners, n_events):
+    for seq in range(n_events):
+        radio.emit("s", ev(seq))
+    sched.run()
+    return {l.name: [e.seq for e in l.events] for l in listeners}
+
+
+def test_connect_after_emit_joins_the_fanout():
+    sched, radio = make_radio()
+    a, b = StubListener("a"), StubListener("b")
+    radio.register_listener(a)
+    radio.register_listener(b)
+    radio.connect("s", "a", IP, loss_rate=0.0)
+    radio.emit("s", ev(1))
+    sched.run()
+    # The index was built with only the a-link; connect must invalidate it.
+    radio.connect("s", "b", IP, loss_rate=0.0)
+    radio.emit("s", ev(2))
+    sched.run()
+    assert [e.seq for e in a.events] == [1, 2]
+    assert [e.seq for e in b.events] == [2]
+
+
+def test_disconnect_after_emit_leaves_the_fanout():
+    sched, radio = make_radio()
+    a, b = StubListener("a"), StubListener("b")
+    for listener in (a, b):
+        radio.register_listener(listener)
+        radio.connect("s", listener.name, IP, loss_rate=0.0)
+    radio.emit("s", ev(1))
+    sched.run()
+    radio.disconnect("s", "b")
+    radio.emit("s", ev(2))
+    sched.run()
+    assert [e.seq for e in a.events] == [1, 2]
+    assert [e.seq for e in b.events] == [1]
+
+
+def test_set_link_loss_applies_to_already_indexed_link():
+    sched, radio = make_radio()
+    a = StubListener("a")
+    radio.register_listener(a)
+    radio.connect("s", "a", IP, loss_rate=0.0)
+    radio.emit("s", ev(1))
+    sched.run()
+    # Total loss mid-run: nothing may arrive afterwards.
+    radio.set_link_loss("s", "a", 1.0)
+    radio.emit("s", ev(2))
+    sched.run()
+    radio.set_link_loss("s", "a", 0.0)
+    radio.emit("s", ev(3))
+    sched.run()
+    assert [e.seq for e in a.events] == [1, 3]
+
+
+def test_set_link_enabled_toggles_mid_run():
+    sched, radio = make_radio()
+    a = StubListener("a")
+    radio.register_listener(a)
+    radio.connect("s", "a", IP, loss_rate=0.0)
+    radio.emit("s", ev(1))
+    sched.run()
+    radio.set_link_enabled("s", "a", False)
+    assert radio.reachable_processes("s") == []
+    radio.emit("s", ev(2))
+    sched.run()
+    radio.set_link_enabled("s", "a", True)
+    radio.emit("s", ev(3))
+    sched.run()
+    assert [e.seq for e in a.events] == [1, 3]
+
+
+def test_set_link_enabled_requires_existing_link():
+    _sched, radio = make_radio()
+    with pytest.raises(KeyError):
+        radio.set_link_enabled("s", "nope", False)
+
+
+def test_midrun_reconfig_matches_fresh_network_deliveries():
+    """A reconfigured radio delivers exactly what a fresh one in the same
+    final state delivers (deterministic 0.0-loss links: no draws consumed)."""
+    def fresh(seed):
+        sched, radio = make_radio(seed)
+        listeners = [StubListener(n) for n in ("a", "b", "c")]
+        for listener in listeners:
+            radio.register_listener(listener)
+        return sched, radio, listeners
+
+    sched1, radio1, listeners1 = fresh(7)
+    radio1.connect("s", "a", IP, loss_rate=0.0)
+    radio1.connect("s", "b", IP, loss_rate=0.0)
+    # Mid-run: drop b, add c — after one event has already been indexed.
+    radio1.emit("s", ev(0))
+    sched1.run()
+    radio1.disconnect("s", "b")
+    radio1.connect("s", "c", IP, loss_rate=0.0)
+    for listener in listeners1:
+        listener.events.clear()
+    got1 = delivery_sets(radio1, sched1, listeners1, 3)
+
+    # Fresh network already in the final state; one warm-up emission keeps
+    # the shared jitter stream aligned (two enabled links either way).
+    sched2, radio2, listeners2 = fresh(7)
+    radio2.connect("s", "a", IP, loss_rate=0.0)
+    radio2.connect("s", "c", IP, loss_rate=0.0)
+    radio2.emit("s", ev(0))
+    sched2.run()
+    for listener in listeners2:
+        listener.events.clear()
+    got2 = delivery_sets(radio2, sched2, listeners2, 3)
+
+    assert got1 == got2
+    assert got1["b"] == []
+
+
+def test_trace_digest_stable_across_identical_midrun_reconfigs():
+    def run():
+        sched = Scheduler()
+        trace = Trace(digest=True)
+        radio = RadioNetwork(sched, RandomSource(3), trace)
+        a, b = StubListener("a"), StubListener("b")
+        radio.register_listener(a)
+        radio.register_listener(b)
+        radio.connect("s", "a", ZWAVE, loss_rate=0.3)
+        radio.connect("s", "b", ZWAVE, loss_rate=0.3)
+        for seq in range(50):
+            radio.emit("s", ev(seq))
+            if seq == 20:
+                radio.set_link_loss("s", "a", 0.7)
+            if seq == 30:
+                radio.disconnect("s", "b")
+            if seq == 40:
+                radio.connect("s", "b", ZWAVE, loss_rate=0.1)
+            sched.run()
+        return trace.digest()
+
+    assert run() == run()
+
+
+def test_late_listener_registration_invalidates_fanout():
+    sched, radio = make_radio()
+    radio.connect("s", "a", IP, loss_rate=0.0)
+    radio.emit("s", ev(1))  # builds an index with no resolvable listener
+    sched.run()
+    a = StubListener("a")
+    radio.register_listener(a)
+    radio.emit("s", ev(2))
+    sched.run()
+    assert [e.seq for e in a.events] == [2]
+
+
+def test_late_device_registration_reaches_poll_and_command_paths():
+    sched, radio = make_radio()
+    a = StubListener("a")
+    radio.register_listener(a)
+    radio.connect("t", "a", IP, loss_rate=0.0)
+    responses = []
+    # Poll before the sensor exists: consumed silently, as ever.
+    radio.send_poll("a", "t", responses.append)
+    sched.run()
+    assert responses == []
+    sensor = StubPollSensor("t")
+    radio.register_device(sensor)
+    radio.send_poll("a", "t", responses.append)
+    sched.run()
+    assert len(responses) == 1 and sensor.polls == 1
+
+    radio.connect("act", "a", ZWAVE, loss_rate=0.0)
+    actuator = StubActuator("act")
+    radio.register_device(actuator)
+    radio.send_command("a", Command(actuator_id="act", seq=1, issued_at=0.0,
+                                    action="on"))
+    sched.run()
+    assert [c.action for c in actuator.commands] == ["on"]
+
+
+def test_single_outstanding_poll_drop_survives_fast_path():
+    """Fig. 8: a busy sensor silently drops concurrent polls — the indexed
+    poll path must still route every request through the device object."""
+    sched, radio = make_radio()
+    a = StubListener("a")
+    radio.register_listener(a)
+    radio.connect("t", "a", IP, loss_rate=0.0)
+    sensor = StubPollSensor("t")
+    radio.register_device(sensor)
+    responses = []
+    sensor.busy = True
+    for _ in range(5):
+        radio.send_poll("a", "t", responses.append)
+    sched.run()
+    assert responses == [] and sensor.polls == 0
+    sensor.busy = False
+    radio.send_poll("a", "t", responses.append)
+    sched.run()
+    assert len(responses) == 1 and sensor.polls == 1

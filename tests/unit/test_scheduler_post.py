@@ -1,0 +1,74 @@
+"""post_at — the fire-and-forget scheduling lane — must order exactly like
+call_at while mixing freely with handle-based entries in the same heap."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler, SimulationError
+
+
+def test_post_at_orders_with_call_at_by_time_then_submission():
+    sched = Scheduler()
+    order = []
+    sched.call_at(2.0, order.append, "call@2")
+    sched.post_at(1.0, order.append, "post@1")
+    sched.post_at(2.0, order.append, "post@2a")
+    sched.call_at(2.0, order.append, "call@2b")
+    sched.post_at(2.0, order.append, "post@2c")
+    sched.run()
+    assert order == ["post@1", "call@2", "post@2a", "call@2b", "post@2c"]
+
+
+def test_post_at_rejects_the_past():
+    sched = Scheduler()
+    sched.call_at(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.post_at(4.0, lambda: None)
+
+
+def test_post_at_counts_as_pending_and_processed():
+    sched = Scheduler()
+    fired = []
+    sched.post_at(1.0, fired.append, 1)
+    sched.post_at(2.0, fired.append, 2)
+    assert sched.pending_events == 2
+    sched.run_until(10.0)
+    assert fired == [1, 2]
+    assert sched.pending_events == 0
+    assert sched.processed_events == 2
+
+
+def test_posted_entries_survive_compaction():
+    sched = Scheduler()
+    fired = []
+    handles = [sched.call_at(5.0, fired.append, i) for i in range(200)]
+    sched.post_at(6.0, fired.append, "posted")
+    for handle in handles:
+        handle.cancel()  # triggers lazy-cancel compaction
+    sched.run_until(10.0)
+    assert fired == ["posted"]
+
+
+def test_step_executes_posted_entries():
+    sched = Scheduler()
+    fired = []
+    sched.post_at(1.0, fired.append, "a")
+    sched.call_at(2.0, fired.append, "b")
+    assert sched.step() and fired == ["a"]
+    assert sched.now == 1.0
+    assert sched.step() and fired == ["a", "b"]
+    assert not sched.step()
+
+
+def test_posted_callback_can_post_more_work():
+    sched = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sched.post_at(sched.now + 1.0, chain, n + 1)
+
+    sched.post_at(0.0, chain, 0)
+    sched.run_until(10.0)
+    assert fired == [0, 1, 2, 3]

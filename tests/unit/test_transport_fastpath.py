@@ -1,0 +1,128 @@
+"""Transport fast-path behaviors: the pair cache, the endpoints view and
+the fire-and-forget delivery lane must be invisible to callers."""
+
+import pytest
+
+from repro.net.message import Message
+from repro.net.transport import HomeNetwork
+from repro.sim.random import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+
+class Sink:
+    def __init__(self, name: str):
+        self.name = name
+        self.alive = True
+        self.received: list[Message] = []
+
+    def deliver(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def make_net():
+    sched = Scheduler()
+    trace = Trace()
+    net = HomeNetwork(sched, RandomSource(1), trace)
+    return sched, trace, net
+
+
+def test_endpoints_view_is_read_only():
+    _sched, _trace, net = make_net()
+    a = Sink("a")
+    net.register(a)
+    view = net.endpoints
+    assert view["a"] is a
+    with pytest.raises(TypeError):
+        view["b"] = Sink("b")
+    with pytest.raises(TypeError):
+        del view["a"]
+
+
+def test_endpoints_view_is_live_not_a_snapshot():
+    _sched, _trace, net = make_net()
+    view = net.endpoints
+    assert "a" not in view
+    net.register(Sink("a"))
+    assert "a" in view
+    assert dict(net.endpoints) == dict(view)  # explicit copy still works
+
+
+def test_register_after_send_patches_cached_sender_slot():
+    """A pair cached while the sender was unregistered must pick up the
+    real endpoint on registration, or crash gating would never engage."""
+    sched, _trace, net = make_net()
+    b = Sink("b")
+    net.register(b)
+    net.send(Message("m", "a", "b", {}))
+    sched.run()
+    assert len(b.received) == 1
+
+    a = Sink("a")
+    net.register(a)
+    a.alive = False
+    net.send(Message("m", "a", "b", {}))
+    sched.run()
+    # The dead sender's message must not have been transmitted.
+    assert len(b.received) == 1
+    assert net.messages_sent() == 1
+
+
+def test_fifo_order_survives_pair_cache():
+    sched, _trace, net = make_net()
+    a, b = Sink("a"), Sink("b")
+    net.register(a)
+    net.register(b)
+    for seq in range(20):
+        net.send(Message("m", "a", "b", {"seq": seq}))
+    sched.run()
+    assert [m["seq"] for m in b.received] == list(range(20))
+
+
+def test_unknown_destination_still_raises():
+    _sched, _trace, net = make_net()
+    net.register(Sink("a"))
+    with pytest.raises(KeyError):
+        net.send(Message("m", "a", "ghost", {}))
+
+
+def test_aggregates_match_trace_records_with_keeping_enabled():
+    """The inlined aggregate bumps and the generic record path must agree:
+    run with kept events (slow path) and compare against counters."""
+    sched, trace, net = make_net()
+    a, b = Sink("a"), Sink("b")
+    net.register(a)
+    net.register(b)
+    for seq in range(10):
+        net.send(Message("m", "a", "b", {"seq": seq}))
+    sched.run()
+    assert trace.count("net_send") == len(trace.of_kind("net_send")) == 10
+    assert trace.count("net_deliver") == 10
+    assert trace.pair_count("net_send", "a", "b") == 10
+    assert net.messages_sent(kinds={"m"}) == 10
+    assert net.bytes_sent() == sum(
+        e["bytes"] for e in trace.of_kind("net_send")
+    )
+
+
+def test_aggregates_only_trace_counts_identically():
+    def totals(trace):
+        sched = Scheduler()
+        net = HomeNetwork(sched, RandomSource(1), trace)
+        a, b = Sink("a"), Sink("b")
+        net.register(a)
+        net.register(b)
+        for seq in range(25):
+            net.send(Message("m", "a", "b", {"seq": seq}))
+        sched.run()
+        return (
+            trace.count("net_send"),
+            trace.count("net_deliver"),
+            trace.bytes_of_kind("net_send"),
+            trace.pair_count("net_deliver", "a", "b"),
+        )
+
+    kept = totals(Trace())
+    quiet = totals(Trace(quiet=True))
+    unstored = totals(Trace(keep_kinds=set()))
+    assert kept == quiet == unstored
