@@ -16,6 +16,7 @@ import pytest
 from repro.eval.perf import (
     bench_combined,
     bench_fig1,
+    bench_fleet,
     bench_network,
     bench_scheduler,
     run_kernel_bench,
@@ -51,12 +52,22 @@ def test_fig1_wall_clock(show):
     assert result["wall_clock_s"] < 10.0
 
 
+def test_fleet_throughput(show):
+    result = bench_fleet(homes=4, days=1.0)
+    show(f"fleet (4 homes x 1 day): {result['events_per_s']:,.0f} events/s, "
+         f"{result['homes_days_per_s']:.2f} home-days/s, "
+         f"peak rss {result['peak_rss_mb']:.0f} MB")
+    assert result["homes"] == 4
+    assert result["events_per_s"] > 20_000
+    assert result["events_emitted"] > 0
+
+
 def test_run_kernel_bench_writes_json(tmp_path, show):
     out = tmp_path / "BENCH_kernel.json"
     results = run_kernel_bench(str(out), quick=True, jobs=2)
     assert out.exists()
     assert results["quick"] is True
-    for section in ("scheduler", "network", "combined", "fig1", "sweep"):
+    for section in ("scheduler", "network", "combined", "fig1", "fleet", "sweep"):
         assert section in results
     sweep = results["sweep"]
     show(f"sweep: {sweep['runs']} runs, {sweep['parallel_speedup']:.2f}x "

@@ -9,12 +9,14 @@ Layout:
 - execution service — :mod:`.election`, :mod:`.execution`, :mod:`.placement`
   (Section 5);
 - process/runtime glue — :mod:`.env`, :mod:`.runtime`, :mod:`.home`,
-  :mod:`.plan`, :mod:`.eventlog`, :mod:`.events`, :mod:`.intervals`.
+  :mod:`.plan`, :mod:`.eventlog`, :mod:`.events`, :mod:`.intervals`;
+- multi-tenancy — :mod:`.fleet` runs N homes in one shared scheduler.
 """
 
 from repro.core.combiners import AllStreamsCombiner, FTCombiner, PassThroughCombiner
 from repro.core.delivery import GAP, GAPLESS, Delivery, PollingPolicy, PollMode
 from repro.core.events import Command, Event
+from repro.core.fleet import Fleet
 from repro.core.graph import App
 from repro.core.home import Home, HomeConfig
 from repro.core.operators import Operator
@@ -28,6 +30,7 @@ __all__ = [
     "Delivery",
     "Event",
     "FTCombiner",
+    "Fleet",
     "GAP",
     "GAPLESS",
     "Home",

@@ -1,0 +1,293 @@
+"""Fleet: N parameterized homes interleaved in one scheduler.
+
+A :class:`Fleet` owns a :class:`~repro.sim.context.SimContext` and builds
+tenant :class:`~repro.core.home.Home`\\ s inside it — one shared virtual
+timeline, per-home traces and RNG roots. It is the multi-tenant analogue
+of the ``Home`` facade:
+
+- **construction** — :meth:`Fleet.build` stamps out N homes from a
+  template callable; :meth:`add_home` adds one home with a per-home seed
+  derived from ``(fleet seed, home_id)`` (override it to pin a seed);
+- **execution** — :meth:`run_until` / :meth:`run_for` start every home and
+  drain the one scheduler, interleaving all tenants' events;
+- **fault injection** — the fleet implements the
+  :class:`~repro.sim.faults.FaultPlan` target protocol with *qualified*
+  names (``"h0/hub"``), routing each injection to the named tenant;
+- **aggregation** — :meth:`metrics` reports per-home and fleet-level
+  counters; :meth:`digest` combines per-home trace digests in sorted
+  ``home_id`` order, byte-identical no matter how the fleet was sharded
+  across worker processes (see :func:`repro.sim.context.combine_digests`).
+
+Typical use::
+
+    def template(home: Home, index: int) -> None:
+        home.add_process("hub")
+        home.add_sensor("door1", kind="door")
+        home.add_actuator("light1", processes=["hub"])
+
+    fleet = Fleet.build(10, template, seed=42)
+    fleet.run_for(3600.0)
+    fleet.metrics()["fleet"]["events_emitted"]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.home import Home, HomeConfig
+from repro.sim.context import SimContext, combine_digests
+from repro.sim.faults import FaultError
+
+#: The default ``home_id`` pattern: zero-padded so lexicographic order
+#: (which fleet digests and reports sort by) matches numeric order.
+DEFAULT_ID_FORMAT = "h{index:03d}"
+
+HomeTemplate = Callable[[Home, int], None]
+
+
+def _split_target(name: str) -> tuple[str, str]:
+    home_id, sep, local = str(name).partition("/")
+    if not sep or not home_id or not local:
+        raise FaultError(
+            f"fleet fault target {name!r} must be qualified as 'home_id/name'"
+        )
+    return home_id, local
+
+
+class Fleet:
+    """A set of independent homes sharing one simulation context."""
+
+    def __init__(self, *, seed: int = 42, context: SimContext | None = None) -> None:
+        self.context = context if context is not None else SimContext(seed=seed)
+        self.seed = self.context.seed
+        self._homes: dict[str, Home] = {}
+
+    @classmethod
+    def build(
+        cls,
+        n_homes: int,
+        template: HomeTemplate,
+        *,
+        seed: int = 42,
+        id_format: str = DEFAULT_ID_FORMAT,
+        config_factory: Callable[[str, int], HomeConfig] | None = None,
+    ) -> "Fleet":
+        """Stamp out ``n_homes`` homes from a template callable.
+
+        ``template(home, index)`` declares each home's processes, devices
+        and apps. ``config_factory(home_id, home_seed)`` (optional) builds
+        each tenant's :class:`HomeConfig`; the default config carries just
+        the derived per-home seed.
+        """
+        if n_homes < 1:
+            raise ValueError(f"a fleet needs at least one home, got {n_homes}")
+        fleet = cls(seed=seed)
+        for index in range(n_homes):
+            home_id = id_format.format(index=index)
+            config = None
+            if config_factory is not None:
+                config = config_factory(home_id, fleet.context.home_seed(home_id))
+            home = fleet.add_home(home_id, config=config)
+            template(home, index)
+        return fleet
+
+    # -- construction ---------------------------------------------------------------
+
+    def add_home(
+        self,
+        home_id: str,
+        *,
+        config: HomeConfig | None = None,
+        seed: int | None = None,
+        **overrides: Any,
+    ) -> Home:
+        """Add one tenant home; its seed defaults to ``home_seed(home_id)``.
+
+        The derived default makes sibling insensitivity automatic: the seed
+        is a pure function of ``(fleet seed, home_id)``, never of how many
+        homes exist. Pass ``seed=`` or a full ``config`` to pin it instead
+        (two homes given the same seed then behave identically — solo or
+        fleet, see tests/integration/test_fleet.py).
+        """
+        if config is not None and (seed is not None or overrides):
+            raise ValueError(
+                "pass either a HomeConfig or seed/keyword overrides, not both"
+            )
+        if config is None:
+            if seed is None:
+                seed = self.context.home_seed(home_id)
+            config = HomeConfig(seed=seed, **overrides)
+        home = Home(config, context=self.context, home_id=home_id)
+        self._homes[home_id] = home
+        return home
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> "Fleet":
+        for home_id in sorted(self._homes):
+            self._homes[home_id].start()
+        return self
+
+    def run_until(self, deadline: float) -> "Fleet":
+        self.start()
+        self.context.run_until(deadline)
+        return self
+
+    def run_for(self, duration: float) -> "Fleet":
+        self.start()
+        self.context.run_for(duration)
+        return self
+
+    # -- access -----------------------------------------------------------------------
+
+    @property
+    def scheduler(self):
+        """The shared scheduler (also the FaultPlan target protocol's)."""
+        return self.context.scheduler
+
+    @property
+    def home_ids(self) -> list[str]:
+        return sorted(self._homes)
+
+    def home(self, home_id: str) -> Home:
+        try:
+            return self._homes[home_id]
+        except KeyError:
+            raise KeyError(f"unknown home {home_id!r}") from None
+
+    def homes(self) -> Iterator[Home]:
+        for home_id in sorted(self._homes):
+            yield self._homes[home_id]
+
+    def __len__(self) -> int:
+        return len(self._homes)
+
+    def sensor(self, qualified: str):
+        home, local = self._route(qualified)
+        return home.sensor(local)
+
+    def actuator(self, qualified: str):
+        home, local = self._route(qualified)
+        return home.actuator(local)
+
+    def process(self, qualified: str):
+        home, local = self._route(qualified)
+        return home.process(local)
+
+    def _route(self, qualified: str) -> tuple[Home, str]:
+        home_id, local = _split_target(qualified)
+        home = self._homes.get(home_id)
+        if home is None:
+            raise FaultError(
+                f"unknown home {home_id!r} in fleet target {qualified!r}"
+            )
+        return home, local
+
+    # -- fault-injection surface (qualified FaultPlan target protocol) ----------------
+    #
+    # Each entry point accepts "home_id/name" targets and routes to the
+    # named tenant, which then performs its own validation (FaultError on
+    # unknown names, double crashes, out-of-range loss rates, ...).
+
+    def crash_process(self, name: str) -> None:
+        home, local = self._route(name)
+        home.crash_process(local)
+
+    def recover_process(self, name: str) -> None:
+        home, local = self._route(name)
+        home.recover_process(local)
+
+    def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Partition one tenant; all group members must share a home."""
+        routed: list[list[str]] = []
+        target: Home | None = None
+        for group in groups:
+            local_group: list[str] = []
+            for name in group:
+                home, local = self._route(name)
+                if target is None:
+                    target = home
+                elif home is not target:
+                    raise FaultError(
+                        "a partition cannot span homes: "
+                        f"{name!r} is not in home {target.home_id!r}"
+                    )
+                local_group.append(local)
+            routed.append(local_group)
+        if target is None:
+            raise FaultError("cannot set an empty partition")
+        target.set_partition(routed)
+
+    def heal_partition(self) -> None:
+        """Heal every currently partitioned tenant.
+
+        Unpartitioned siblings are left untouched — healing records a
+        trace event, and a no-op heal must not leak records into homes a
+        campaign never partitioned (the fleet-isolation oracle checks
+        this).
+        """
+        for home_id in sorted(self._homes):
+            home = self._homes[home_id]
+            if home.network.partition.group_of is not None:
+                home.heal_partition()
+
+    def fail_sensor(self, name: str) -> None:
+        home, local = self._route(name)
+        home.fail_sensor(local)
+
+    def recover_sensor(self, name: str) -> None:
+        home, local = self._route(name)
+        home.recover_sensor(local)
+
+    def fail_actuator(self, name: str) -> None:
+        home, local = self._route(name)
+        home.fail_actuator(local)
+
+    def recover_actuator(self, name: str) -> None:
+        home, local = self._route(name)
+        home.recover_actuator(local)
+
+    def set_link_loss(self, device: str, process: str, loss_rate: float) -> None:
+        device_home, device_local = self._route(device)
+        process_home, process_local = self._route(process)
+        if device_home is not process_home:
+            raise FaultError(
+                f"link {device!r} -> {process!r} spans homes; "
+                "radio links are home-local"
+            )
+        device_home.set_link_loss(device_local, process_local, loss_rate)
+
+    # -- aggregation -------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """Per-home and fleet-level counters from the tenants' traces."""
+        homes: dict[str, dict[str, Any]] = {}
+        for home_id in sorted(self._homes):
+            trace = self._homes[home_id].trace
+            homes[home_id] = {
+                "events_emitted": trace.count("sensor_emit"),
+                "radio_delivered": trace.count("radio_delivered"),
+                "net_messages": trace.count("net_send"),
+                "net_bytes": trace.bytes_of_kind("net_send"),
+                "logic_deliveries": trace.count("logic_delivery"),
+            }
+        fleet: dict[str, Any] = {
+            key: sum(per_home[key] for per_home in homes.values())
+            for key in (
+                "events_emitted", "radio_delivered", "net_messages",
+                "net_bytes", "logic_deliveries",
+            )
+        }
+        fleet["homes"] = len(self._homes)
+        fleet["sim_time_s"] = self.context.now
+        fleet["scheduler_events"] = self.scheduler.processed_events
+        return {"homes": homes, "fleet": fleet}
+
+    def digest(self) -> str:
+        """Combined per-home trace digest (sorted by ``home_id``)."""
+        return combine_digests(
+            {home_id: home.trace.digest() for home_id, home in self._homes.items()}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Fleet seed={self.seed} homes={len(self._homes)}>"

@@ -15,6 +15,11 @@ Typical use::
     home.deploy(app)           # an App built from Operators
     home.run_for(60.0)
     home.sensor("door1").emit(True)   # or let a workload drive it
+
+A home may instead join a shared :class:`~repro.sim.context.SimContext` as
+one tenant of a fleet (``Home(config, context=ctx, home_id="h0")``); see
+:mod:`repro.core.fleet` for the fleet facade and docs/fleet.md for the
+determinism contract.
 """
 
 from __future__ import annotations
@@ -34,9 +39,9 @@ from repro.net.latency import LatencyModel, ProcessingModel
 from repro.net.radio import RadioNetwork
 from repro.net.topology import HomeTopology
 from repro.net.transport import HomeNetwork
+from repro.sim.context import SimContext
 from repro.sim.faults import FaultError
 from repro.sim.random import RandomSource
-from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Trace
 
 
@@ -67,6 +72,10 @@ class HomeConfig:
     sensor_watch: bool = False
     """Enable silent-sensor failure detection (see core.sensorwatch)."""
 
+    trace_digest: bool = False
+    """Maintain a streaming trace hash so ``trace.digest()`` works even
+    with ``keep_trace_kinds`` restricted (fleet cells rely on this)."""
+
 
 @dataclass
 class _ProcessDecl:
@@ -85,20 +94,48 @@ class _DeviceDecl:
 class Home:
     """A simulated smart home running the Rivulet platform."""
 
-    def __init__(self, config: HomeConfig | None = None, **overrides: Any) -> None:
+    def __init__(
+        self,
+        config: HomeConfig | None = None,
+        *,
+        context: SimContext | None = None,
+        home_id: str | None = None,
+        **overrides: Any,
+    ) -> None:
+        """Build a home, optionally as one tenant of a shared ``context``.
+
+        Without ``context`` the home constructs a private
+        :class:`~repro.sim.context.SimContext` — the historical sole-tenant
+        behaviour, bit-identical down to the trace digest. With one, the
+        home shares the context's scheduler (one virtual timeline across
+        all tenants) while keeping its own trace, RNG root, transport and
+        radio — so its trace is identical to a solo run of the same home.
+        ``home_id`` names the tenant inside the context and in qualified
+        fault targets ("h0/hub"); it may not contain "/".
+        """
         if config is None:
             config = HomeConfig(**overrides)
         elif overrides:
             raise ValueError("pass either a HomeConfig or keyword overrides, not both")
+        if home_id is not None:
+            if not home_id or "/" in home_id:
+                raise ValueError(
+                    f"home_id must be a non-empty string without '/', got {home_id!r}"
+                )
         self.config = config
-        self.scheduler = Scheduler()
-        self.trace = Trace(keep_kinds=config.keep_trace_kinds)
+        self.home_id = home_id
+        self.context = context if context is not None else SimContext(seed=config.seed)
+        self.scheduler = self.context.scheduler
+        self.trace = Trace(
+            keep_kinds=config.keep_trace_kinds, digest=config.trace_digest
+        )
         self.rng = RandomSource(config.seed)
         self.network = HomeNetwork(
             self.scheduler, self.rng, self.trace, latency=config.latency
         )
         self.radio = RadioNetwork(self.scheduler, self.rng, self.trace)
         self.topology = HomeTopology()
+        self.context.register_home(self)
 
         self._process_decls: dict[str, _ProcessDecl] = {}
         self._device_decls: dict[str, _DeviceDecl] = {}
@@ -412,6 +449,10 @@ class Home:
     def sensors_of_kind(self, kind: str) -> list[str]:
         """Names of all sensors of one kind (the paper's Rivulet.getSensors)."""
         return sorted(n for n, s in self._sensors.items() if s.kind == kind)
+
+    @property
+    def process_names(self) -> list[str]:
+        return sorted(self._process_decls)
 
     @property
     def sensor_names(self) -> list[str]:

@@ -368,3 +368,102 @@ def check_all(record: RunRecord) -> list[Violation]:
     for oracle in ALL_ORACLES:
         violations.extend(oracle(record))
     return violations
+
+
+# -- fleet isolation ----------------------------------------------------------------
+
+#: Trace kinds whose records carry src/dst process pairs; in a fleet, both
+#: ends must belong to the home whose trace recorded them.
+_PAIRED_NET_KINDS = ("net_send", "net_deliver", "net_drop")
+
+
+def check_fleet_isolation(fleet: Any) -> list[Violation]:
+    """No tenant of a fleet may show another tenant's state or events.
+
+    Homes in a fleet share only the scheduler; their transports, radios,
+    traces and RNG roots are private. This oracle audits that structure
+    per home:
+
+    - the transport endpoint table holds exactly the home's own processes;
+    - every radio link connects one of the home's devices to one of the
+      home's processes;
+    - trace ``net_send``/``net_deliver``/``net_drop`` src/dst pairs name
+      only the home's processes;
+    - process-attributed trace records (``ingest``, ``logic_delivery``,
+      ...) name only the home's processes, and ``ingest`` records name
+      only the home's sensors.
+
+    Accepts anything with ``home_ids`` and ``home()`` — a
+    :class:`~repro.core.fleet.Fleet` or a bare
+    :class:`~repro.sim.context.SimContext` registry wrapper.
+    """
+    violations: list[Violation] = []
+    for home_id in fleet.home_ids:
+        home = fleet.home(home_id)
+        processes = set(home.process_names)
+        devices = set(home.sensor_names) | set(home.actuator_names)
+
+        foreign = set(home.network.endpoints) - processes
+        for name in sorted(foreign):
+            violations.append(Violation(
+                oracle="fleet_isolation",
+                message=(
+                    f"home {home_id!r} transport registers endpoint "
+                    f"{name!r} which is not one of its processes"
+                ),
+                context={"home_id": home_id, "endpoint": name},
+            ))
+
+        for device, process in home.radio.link_keys():
+            if device not in devices or process not in processes:
+                violations.append(Violation(
+                    oracle="fleet_isolation",
+                    message=(
+                        f"home {home_id!r} has a radio link "
+                        f"{device!r} -> {process!r} naming a foreign "
+                        "device or process"
+                    ),
+                    context={"home_id": home_id, "device": device,
+                             "process": process},
+                ))
+
+        for kind in _PAIRED_NET_KINDS:
+            for (src, dst), count in sorted(home.trace.pair_counts(kind).items()):
+                if src not in processes or dst not in processes:
+                    violations.append(Violation(
+                        oracle="fleet_isolation",
+                        message=(
+                            f"home {home_id!r} trace has {count} {kind} "
+                            f"record(s) for foreign pair {src!r} -> {dst!r}"
+                        ),
+                        context={"home_id": home_id, "kind": kind,
+                                 "src": src, "dst": dst},
+                    ))
+
+        for kind in _PROCESS_ACTIVITY_KINDS:
+            for entry in home.trace.iter_kind(kind):
+                process = entry.get("process")
+                if process is not None and process not in processes:
+                    violations.append(Violation(
+                        oracle="fleet_isolation",
+                        message=(
+                            f"home {home_id!r} trace attributes a {kind} "
+                            f"record to foreign process {process!r}"
+                        ),
+                        at=entry.time,
+                        context={"home_id": home_id, "kind": kind,
+                                 "process": process},
+                    ))
+        for entry in home.trace.iter_kind("ingest"):
+            sensor = entry.get("sensor")
+            if sensor is not None and sensor not in devices:
+                violations.append(Violation(
+                    oracle="fleet_isolation",
+                    message=(
+                        f"home {home_id!r} ingested an event from foreign "
+                        f"sensor {sensor!r}"
+                    ),
+                    at=entry.time,
+                    context={"home_id": home_id, "sensor": sensor},
+                ))
+    return violations

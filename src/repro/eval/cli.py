@@ -6,6 +6,7 @@ Installed as ``rivulet-experiment``::
     rivulet-experiment fig6 --duration 200 --seeds 1,2,3,4,5
     rivulet-experiment all --jobs 4        # parallel per-seed sweep
     rivulet-experiment chaos --seeds 20 --jobs 4
+    rivulet-experiment fleet --homes 50 --days 1 --jobs 4
     rivulet-experiment all                 # everything, quick defaults
 
 ``--jobs N`` fans independent simulation cells out over a process pool;
@@ -144,6 +145,35 @@ def _run_chaos(args) -> int:
     return 1 if report["summary"]["failures"] else 0
 
 
+def _run_fleet(args) -> int:
+    from repro.eval.fleet import render_fleet_summary, run_fleet_sweep
+
+    homes = args.homes if args.homes is not None else 10
+    if homes < 1:
+        raise CliError(
+            f"--homes wants a positive home count, got {homes}"
+        )
+    if args.shards is not None and args.shards < 1:
+        raise CliError(
+            f"--shards wants a positive shard count, got {args.shards}"
+        )
+    days = args.days if args.days is not None else 1.0
+    if days < 1.0:
+        raise CliError(
+            f"--days wants at least one whole day for a fleet run, got {days:g} "
+            "(the occupancy workload schedules whole days)"
+        )
+    seed = args.seed if args.seed is not None else 42
+    report = run_fleet_sweep(
+        homes, days, seed=seed, jobs=args.jobs or 1, shards=args.shards,
+        cache=_make_cache(args), out_path=args.out, progress=True,
+    )
+    print(render_fleet_summary(report))
+    if args.out:
+        print(f"wrote {args.out}")
+    return 1 if report["summary"]["errors"] else 0
+
+
 def _run_experiment_sweep(args, names: list[str]) -> int:
     from repro.eval.experiments import ExperimentTable, run_experiment_sweep
 
@@ -175,8 +205,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "perf", "chaos", "profile"],
-        help="which table/figure to regenerate, 'perf' for the kernel "
+        choices=sorted(EXPERIMENTS) + ["all", "fleet", "perf", "chaos", "profile"],
+        help="which table/figure to regenerate, 'fleet' for a multi-home "
+        "fleet run sharded over cores, 'perf' for the kernel "
         "throughput benchmark (writes BENCH_kernel.json), 'chaos' for a "
         "randomized fault-injection campaign (writes CHAOS_report.json), or "
         "'profile' to run cProfile over hot workloads (writes "
@@ -207,6 +238,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="disable the content-addressed run cache")
     parser.add_argument("--cache-dir", type=str, default=".rivulet-cache",
                         help="run cache directory (default .rivulet-cache)")
+    parser.add_argument("--homes", type=int, default=None, metavar="N",
+                        help="fleet only: number of homes to simulate "
+                        "(default 10)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="fleet only: shard the homes into N sweep "
+                        "cells (default: one cell per home; any value "
+                        "yields a byte-identical report)")
     parser.add_argument("--horizon", type=float, default=3600.0,
                         help="chaos only: per-run horizon in simulated "
                         "seconds (default 3600)")
@@ -234,6 +272,9 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.experiment == "chaos":
             return _run_chaos(args)
+
+        if args.experiment == "fleet":
+            return _run_fleet(args)
 
         if args.experiment == "profile":
             from repro.eval.profile import (

@@ -1,0 +1,164 @@
+"""Fleet evaluation: shard a fleet of homes across cores, merge exactly.
+
+Homes in a fleet never interact — they share only the scheduler — so a
+fleet of N homes can be *sharded*: any partition of the ``home_id`` set
+into cells, each cell simulated in its own worker process, reproduces the
+monolithic run home-for-home. Every per-home quantity derives from
+``(fleet seed, home_id)`` alone (see :func:`repro.eval.workloads.fleet_deployment`),
+so a home's trace digest is the same whether it ran alongside all of its
+siblings, a shard's worth of them, or none.
+
+:func:`run_fleet_sweep` exploits that through the existing
+:mod:`repro.eval.parallel` executor: one :class:`SweepTask` per shard,
+results merged by ``home_id`` (never by completion order), and a report
+digest over per-home content only — byte-identical for every ``--jobs``
+and ``--shards`` choice. The merged ``fleet_digest`` equals
+``Fleet.digest()`` of a monolithic in-process run, which the integration
+tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.eval.cache import RunCache
+from repro.eval.parallel import SweepTask, run_sweep
+from repro.eval.report import report_digest
+from repro.eval.workloads import DAY_S, fleet_deployment, fleet_home_ids
+from repro.sim.context import combine_digests
+
+#: Dotted runner name so shard tasks pickle as plain data.
+CELL_RUNNER = "repro.eval.fleet:run_fleet_cell"
+
+
+def run_fleet_cell(spec: dict[str, Any]) -> dict[str, Any]:
+    """Simulate one shard of a fleet; returns per-home results (JSON-pure).
+
+    ``spec``: ``{"seed": int, "days": float, "home_ids": [str, ...]}``.
+    The cell builds a fleet containing exactly its shard's homes — with
+    per-home seeds derived from the *fleet* seed, independent of which
+    shard a home landed in — runs it to the end of the workload horizon,
+    and reports each home's trace digest and counters.
+    """
+    seed = int(spec["seed"])
+    days = float(spec["days"])
+    home_ids = list(spec["home_ids"])
+    fleet, _workloads = fleet_deployment(home_ids=home_ids, seed=seed, days=days)
+    fleet.run_until(days * DAY_S)
+    metrics = fleet.metrics()["homes"]
+    return {
+        home_id: dict(metrics[home_id], digest=fleet.home(home_id).trace.digest())
+        for home_id in home_ids
+    }
+
+
+def fleet_tasks(
+    home_ids: list[str], *, seed: int, days: float, shards: int,
+) -> list[SweepTask]:
+    """Partition ``home_ids`` into ``shards`` contiguous, balanced cells."""
+    if shards < 1:
+        raise ValueError(f"need a positive shard count, got {shards}")
+    shards = min(shards, len(home_ids))
+    base, extra = divmod(len(home_ids), shards)
+    tasks: list[SweepTask] = []
+    cursor = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        chunk = home_ids[cursor:cursor + size]
+        cursor += size
+        tasks.append(SweepTask(
+            index=index,
+            task_id=f"fleet-cell{index}",
+            runner=CELL_RUNNER,
+            spec={"seed": seed, "days": days, "home_ids": chunk},
+        ))
+    return tasks
+
+
+def run_fleet_sweep(
+    n_homes: int,
+    days: float,
+    *,
+    seed: int = 42,
+    jobs: int | None = 1,
+    shards: int | None = None,
+    cache: RunCache | None = None,
+    out_path: str | None = None,
+    progress: bool = False,
+) -> dict[str, Any]:
+    """Run a fleet of ``n_homes`` Fig. 1 homes for ``days``, sharded.
+
+    ``shards`` defaults to one home per cell (maximum parallelism and
+    cache granularity); the report — and therefore its digest — depends
+    only on per-home content, so any ``(jobs, shards)`` choice yields a
+    byte-identical report. Wall-clock timings are deliberately excluded.
+    """
+    if n_homes < 1:
+        raise ValueError(f"need a positive home count, got {n_homes}")
+    home_ids = fleet_home_ids(n_homes)
+    shard_count = shards if shards is not None else n_homes
+    tasks = fleet_tasks(home_ids, seed=seed, days=days, shards=shard_count)
+
+    def print_progress(done: int, total: int, result) -> None:
+        status = "cached" if result.cached else ("ok" if result.ok else "ERROR")
+        print(f"  [{done}/{total}] {result.task.task_id}: {status}")
+
+    results = run_sweep(
+        tasks, jobs=jobs, cache=cache,
+        progress=print_progress if progress else None,
+    )
+
+    homes: dict[str, dict[str, Any]] = {}
+    errors: list[dict[str, str]] = []
+    for result in results:
+        if not result.ok:
+            errors.append({"task_id": result.task.task_id,
+                           "error": result.error or ""})
+            continue
+        homes.update(result.value)
+    homes = {home_id: homes[home_id] for home_id in sorted(homes)}
+
+    summary_keys = ("events_emitted", "radio_delivered", "net_messages",
+                    "net_bytes", "logic_deliveries")
+    summary: dict[str, Any] = {
+        key: sum(per_home[key] for per_home in homes.values())
+        for key in summary_keys
+    }
+    summary["homes"] = len(homes)
+    summary["errors"] = len(errors)
+    summary["fleet_digest"] = combine_digests(
+        {home_id: per_home["digest"] for home_id, per_home in homes.items()}
+    )
+
+    report: dict[str, Any] = {
+        "fleet": {"n_homes": n_homes, "days": days, "seed": seed},
+        "homes": homes,
+        "summary": summary,
+        "errors": errors,
+    }
+    report["digest"] = report_digest(report)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def render_fleet_summary(report: dict[str, Any]) -> str:
+    """A terminal-friendly summary of :func:`run_fleet_sweep` output."""
+    fleet = report["fleet"]
+    summary = report["summary"]
+    lines = [
+        f"fleet: {summary['homes']} homes x {fleet['days']:g} day(s), "
+        f"seed {fleet['seed']}",
+        f"  events emitted  : {summary['events_emitted']:>12,}",
+        f"  radio delivered : {summary['radio_delivered']:>12,}",
+        f"  net messages    : {summary['net_messages']:>12,} "
+        f"({summary['net_bytes']:,} bytes)",
+        f"  fleet digest    : {summary['fleet_digest']}",
+        f"  report digest   : {report['digest']}",
+    ]
+    if summary["errors"]:
+        lines.append(f"  ERRORS          : {summary['errors']} shard(s) failed")
+    return "\n".join(lines)

@@ -20,7 +20,11 @@ The simulator's wall-clock cost is dominated by three hot paths —
   the chaos acceptance campaign run sequentially, through a ``--jobs N``
   process pool against a cold run cache, and again with the cache warm.
 
-:func:`run_kernel_bench` runs all five and writes ``BENCH_kernel.json``
+- :func:`bench_fleet` — the multi-tenant simulation core: a 50-home × 1-day
+  fleet interleaved in one scheduler, reported as homes×days per second,
+  events per second and peak RSS.
+
+:func:`run_kernel_bench` runs all six and writes ``BENCH_kernel.json``
 next to the repo root so successive PRs leave a perf trajectory; each run
 also **appends** a timestamped line (with the git revision) to
 ``BENCH_history.jsonl``, which accretes across PRs instead of being
@@ -41,6 +45,7 @@ import datetime
 import json
 import os
 import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -256,6 +261,51 @@ def bench_sweep(
     return result
 
 
+def bench_fleet(
+    *, homes: int = 50, days: float = 1.0, seed: int = 42,
+) -> dict[str, Any]:
+    """Multi-tenant throughput: ``homes`` Fig. 1 homes in one scheduler.
+
+    Measures the monolithic in-process fleet (every home interleaved in a
+    single event loop, per-home traces kept aggregate-only with streaming
+    digests) and reports homes×days per wall-clock second, scheduler
+    events per second, and the process's peak RSS after the run. The
+    fleet digest is included so successive PRs can spot a determinism
+    break alongside a perf regression.
+    """
+    from repro.eval.workloads import DAY_S, fleet_deployment
+
+    t0 = time.perf_counter()
+    fleet, _workloads = fleet_deployment(homes=homes, seed=seed, days=days)
+    fleet.run_until(days * DAY_S)
+    elapsed = time.perf_counter() - t0
+
+    peak_rss_mb: float | None = None
+    try:
+        import resource
+
+        # Linux reports ru_maxrss in KiB; macOS in bytes.
+        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        peak_rss_mb = raw / 1024.0 if sys.platform != "darwin" else raw / 2**20
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX hosts
+        pass
+
+    events = fleet.scheduler.processed_events
+    result: dict[str, Any] = {
+        "homes": homes,
+        "days": days,
+        "wall_clock_s": elapsed,
+        "events": float(events),
+        "events_per_s": events / elapsed,
+        "homes_days_per_s": homes * days / elapsed,
+        "events_emitted": fleet.metrics()["fleet"]["events_emitted"],
+        "digest": fleet.digest(),
+    }
+    if peak_rss_mb is not None:
+        result["peak_rss_mb"] = peak_rss_mb
+    return result
+
+
 def _best_of(runs: int, fn: Callable[[], dict[str, float]], key: str,
              *, smallest: bool = False) -> dict[str, float]:
     """Run ``fn`` ``runs`` times and keep the best result by ``key``.
@@ -305,6 +355,13 @@ def append_history(results: dict[str, Any], out_path: str | Path) -> None:
         "combined_events_per_s": results["combined"]["events_per_s"],
         "fig1_wall_clock_s": results["fig1"]["wall_clock_s"],
     }
+    fleet = results.get("fleet")
+    if fleet:
+        entry["fleet_homes"] = fleet["homes"]
+        entry["fleet_events_per_s"] = fleet["events_per_s"]
+        entry["fleet_homes_days_per_s"] = fleet["homes_days_per_s"]
+        if "peak_rss_mb" in fleet:
+            entry["fleet_peak_rss_mb"] = fleet["peak_rss_mb"]
     sweep = results.get("sweep")
     if sweep:
         entry["sweep_parallel_speedup"] = sweep["parallel_speedup"]
@@ -337,6 +394,7 @@ def run_kernel_bench(
         network = bench_network(messages=10_000)
         combined = bench_combined(sim_seconds=30.0)
         fig1 = bench_fig1(days=1.0)
+        fleet = bench_fleet(homes=6, days=1.0)
     else:
         # Best-of-3 per microbenchmark (see _best_of): one run per metric
         # is dominated by host noise on small containers.
@@ -344,6 +402,7 @@ def run_kernel_bench(
         network = _best_of(3, bench_network, "messages_per_s")
         combined = _best_of(3, bench_combined, "events_per_s")
         fig1 = _best_of(3, bench_fig1, "wall_clock_s", smallest=True)
+        fleet = bench_fleet(homes=50, days=1.0)
 
     results: dict[str, Any] = {
         "quick": quick,
@@ -351,6 +410,7 @@ def run_kernel_bench(
         "network": network,
         "combined": combined,
         "fig1": fig1,
+        "fleet": fleet,
     }
     if sweep:
         results["sweep"] = bench_sweep(jobs=jobs, quick=quick)
@@ -380,6 +440,18 @@ def render_summary(results: dict[str, Any]) -> str:
         f"  combined  : {results['combined']['events_per_s']:>12,.0f} events/s",
         f"  fig1      : {results['fig1']['wall_clock_s']:>12.2f} s wall-clock",
     ]
+    fleet = results.get("fleet")
+    if fleet:
+        rss = (
+            f", peak rss {fleet['peak_rss_mb']:.0f} MB"
+            if "peak_rss_mb" in fleet else ""
+        )
+        lines.append(
+            f"  fleet     : {fleet['homes']} homes x {fleet['days']:g} day(s) "
+            f"in {fleet['wall_clock_s']:.2f}s "
+            f"({fleet['events_per_s']:,.0f} events/s, "
+            f"{fleet['homes_days_per_s']:.1f} home-days/s{rss})"
+        )
     sweep = results.get("sweep")
     if sweep:
         lines.append(

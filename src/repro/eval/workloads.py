@@ -11,13 +11,21 @@ Two families:
   a 15-day home deployment of four motion and two door Z-Wave sensors
   multicasting to three processes, with per-link loss asymmetries from
   obstructions.
+
+- :func:`fleet_deployment` — N copies of the Fig. 1 home interleaved in
+  one scheduler (a :class:`~repro.core.fleet.Fleet`), each with a
+  per-home occupancy phase offset so the fleet's residents don't move in
+  lock-step. Per-home behaviour is a pure function of the derived
+  ``(fleet seed, home_id)`` seed, which is what makes sharded fleet runs
+  byte-identical to monolithic ones (see repro.eval.fleet).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.delivery import Delivery, GAPLESS
+from repro.core.fleet import Fleet
 from repro.core.graph import App
 from repro.core.home import Home, HomeConfig
 from repro.core.operators import Operator
@@ -228,6 +236,19 @@ FIG1_LINK_LOSS: dict[tuple[str, str], float] = {
 }
 
 
+def _declare_fig1_home(home: Home) -> tuple[list[str], list[str]]:
+    """Declare the Fig. 1 topology on ``home``; returns (motion, doors)."""
+    for name in ("hub", "tv", "fridge"):
+        home.add_process(name, adapters=("zwave", "zigbee", "ip"))
+    motion = [f"motion{i}" for i in range(1, 5)]
+    doors = ["door1", "door2"]
+    for name in motion:
+        home.add_sensor(name, kind="motion")
+    for name in doors:
+        home.add_sensor(name, kind="door")
+    return motion, doors
+
+
 def home_deployment(
     *, seed: int = 42, days: float = 15.0
 ) -> tuple[Home, OccupancyWorkload]:
@@ -245,14 +266,7 @@ def home_deployment(
         keep_trace_kinds=set(),  # stream counts only; store nothing
     )
     home = Home(config)
-    for name in ("hub", "tv", "fridge"):
-        home.add_process(name, adapters=("zwave", "zigbee", "ip"))
-    motion = [f"motion{i}" for i in range(1, 5)]
-    doors = ["door1", "door2"]
-    for name in motion:
-        home.add_sensor(name, kind="motion")
-    for name in doors:
-        home.add_sensor(name, kind="door")
+    motion, doors = _declare_fig1_home(home)
 
     workload = OccupancyWorkload(
         home=home,
@@ -265,3 +279,85 @@ def home_deployment(
     for (sensor, process), loss in FIG1_LINK_LOSS.items():
         home.set_link_loss(sensor, process, loss)
     return home, workload
+
+
+# -- the fleet deployment ------------------------------------------------------------
+
+#: Per-home occupancy phase offsets are drawn uniformly from +/- this many
+#: hours, so a fleet's residents wake/leave/return/sleep out of step.
+FLEET_PHASE_JITTER_H = 2.0
+
+
+def fleet_home_ids(n_homes: int) -> list[str]:
+    """``h000 .. h{n-1}``: zero-padded so lexicographic == numeric order."""
+    return [f"h{i:03d}" for i in range(n_homes)]
+
+
+def fleet_deployment(
+    *,
+    homes: int | None = None,
+    home_ids: list[str] | None = None,
+    seed: int = 42,
+    days: float = 1.0,
+    phase_jitter_h: float = FLEET_PHASE_JITTER_H,
+) -> tuple[Fleet, dict[str, OccupancyWorkload]]:
+    """N Fig. 1 homes interleaved in one scheduler, phases offset per home.
+
+    Pass either a count (``homes=50`` builds ``h000..h049``) or an explicit
+    ``home_ids`` subset — the latter is how sharded fleet cells build only
+    their slice while reproducing exactly the homes a monolithic run would
+    (every per-home quantity derives from ``(fleet seed, home_id)`` alone:
+    the seed, the occupancy stream, and the phase offset drawn from the
+    home's own ``phase`` stream).
+
+    Traces are aggregate-only (``keep_trace_kinds=set()``) with a streaming
+    digest, so 50-home × multi-day runs stay memory-bounded while per-home
+    digests remain comparable across shardings.
+    """
+    if home_ids is None:
+        if homes is None or homes < 1:
+            raise ValueError(f"need a positive home count, got {homes!r}")
+        home_ids = fleet_home_ids(homes)
+    if not home_ids:
+        raise ValueError("need at least one home_id")
+
+    fleet = Fleet(seed=seed)
+    workloads: dict[str, OccupancyWorkload] = {}
+    for home_id in home_ids:
+        home_seed = fleet.context.home_seed(home_id)
+        config = HomeConfig(
+            seed=home_seed,
+            heartbeat_interval=60.0,
+            failure_detection_s=180.0,
+            kv_sync_interval=3600.0,
+            keep_trace_kinds=set(),
+            trace_digest=True,
+        )
+        home = fleet.add_home(home_id, config=config)
+        motion, doors = _declare_fig1_home(home)
+        offset = RandomSource(home_seed).child("phase").uniform(
+            -phase_jitter_h, phase_jitter_h
+        )
+        base = OccupancyConfig(days=days)
+        occupancy = replace(
+            base,
+            wake_hour=base.wake_hour + offset,
+            leave_hour=base.leave_hour + offset,
+            return_hour=base.return_hour + offset,
+            sleep_hour=base.sleep_hour + offset,
+        )
+        workloads[home_id] = OccupancyWorkload(
+            home=home,
+            motion_sensors=motion,
+            door_sensors=doors,
+            rng=RandomSource(home_seed).child("occupancy"),
+            config=occupancy,
+        )
+
+    fleet.start()
+    for home_id in home_ids:
+        home = fleet.home(home_id)
+        for (sensor, process), loss in FIG1_LINK_LOSS.items():
+            home.set_link_loss(sensor, process, loss)
+        workloads[home_id].schedule()
+    return fleet, workloads

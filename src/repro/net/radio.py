@@ -258,6 +258,15 @@ class RadioNetwork:
     def links_from(self, device_name: str) -> list[Link]:
         return [l for l in self._links.values() if l.device == device_name]
 
+    def link_keys(self) -> list[tuple[str, str]]:
+        """All ``(device, process)`` link keys, in connection order.
+
+        The fleet-isolation oracle audits these against the owning home's
+        declared devices and processes: every radio endpoint table is
+        per-home, so a key naming a foreign process is a leak.
+        """
+        return list(self._links)
+
     def link(self, device_name: str, process_name: str) -> Link:
         return self._links[(device_name, process_name)]
 

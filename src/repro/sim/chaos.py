@@ -113,7 +113,19 @@ class FaultScheduleGenerator:
         domain: FaultDomain,
         profile: IntensityProfile,
         horizon: float,
+        *,
+        home_id: str | None = None,
     ) -> None:
+        """``home_id`` scopes the generator to one tenant of a fleet.
+
+        The domain then names the tenant's *local* processes/devices and
+        the emitted plan carries qualified ``"home_id/name"`` targets, so
+        it applies directly to a :class:`~repro.core.fleet.Fleet`. The
+        sampling streams derive from ``chaos/<home_id>``, so differently
+        scoped generators sharing one seed draw independent schedules —
+        and an unscoped generator (``home_id=None``) keeps the historical
+        ``chaos`` stream, bit-identical to earlier campaigns.
+        """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
         if len(domain.processes) < 1:
@@ -121,7 +133,11 @@ class FaultScheduleGenerator:
         self.domain = domain
         self.profile = profile
         self.horizon = horizon
+        self.home_id = home_id
         self.window = (horizon * FAULT_WINDOW[0], horizon * FAULT_WINDOW[1])
+
+    def _qualify(self, name: str) -> str:
+        return name if self.home_id is None else f"{self.home_id}/{name}"
 
     # -- sampling ---------------------------------------------------------------
 
@@ -140,7 +156,8 @@ class FaultScheduleGenerator:
 
     def generate(self, seed: int) -> FaultPlan:
         """One random-but-valid plan; the same seed yields the same plan."""
-        source = RandomSource(seed).child("chaos")
+        stream = "chaos" if self.home_id is None else f"chaos/{self.home_id}"
+        source = RandomSource(seed).child(stream)
         arrivals: list[tuple[float, str]] = []
         for category, rate in (
             ("crash", self.profile.crash_rate),
@@ -173,8 +190,8 @@ class FaultScheduleGenerator:
                     1.0 / self.profile.mean_downtime_s), end)
                 if back <= t:
                     continue
-                plan.crash(victim, at=t)
-                plan.recover(victim, at=back)
+                plan.crash(self._qualify(victim), at=t)
+                plan.recover(self._qualify(victim), at=back)
                 down_until[victim] = back
             elif category == "partition":
                 if t < partitioned_until or len(self.domain.processes) < 2:
@@ -186,7 +203,11 @@ class FaultScheduleGenerator:
                     1.0 / self.profile.mean_partition_s), end)
                 if heal_at <= t:
                     continue
-                plan.partition([names[:cut], names[cut:]], at=t)
+                plan.partition(
+                    [[self._qualify(n) for n in names[:cut]],
+                     [self._qualify(n) for n in names[cut:]]],
+                    at=t,
+                )
                 plan.heal(at=heal_at)
                 partitioned_until = heal_at
             elif category == "device":
@@ -201,11 +222,11 @@ class FaultScheduleGenerator:
                 if back <= t:
                     continue
                 if device in self.domain.sensors:
-                    plan.fail_sensor(device, at=t)
-                    plan.recover_sensor(device, at=back)
+                    plan.fail_sensor(self._qualify(device), at=t)
+                    plan.recover_sensor(self._qualify(device), at=back)
                 else:
-                    plan.fail_actuator(device, at=t)
-                    plan.recover_actuator(device, at=back)
+                    plan.fail_actuator(self._qualify(device), at=t)
+                    plan.recover_actuator(self._qualify(device), at=back)
                 device_down_until[device] = back
             else:  # link-loss ramp
                 if not self.domain.links:
@@ -217,8 +238,10 @@ class FaultScheduleGenerator:
                 if restore_at <= t:
                     continue
                 base = self.domain.base_loss.get((device, process), 0.0)
-                plan.set_link_loss(device, process, round(loss, 3), at=t)
-                plan.set_link_loss(device, process, base, at=restore_at)
+                device_q = self._qualify(device)
+                process_q = self._qualify(process)
+                plan.set_link_loss(device_q, process_q, round(loss, 3), at=t)
+                plan.set_link_loss(device_q, process_q, base, at=restore_at)
         return plan
 
 

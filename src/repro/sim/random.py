@@ -20,9 +20,20 @@ from typing import Iterable, Sequence, TypeVar
 T = TypeVar("T")
 
 
-def _derive_seed(parent: int, name: str) -> int:
+def derive_seed(parent: int, name: str) -> int:
+    """The child seed a stream named ``name`` derives from ``parent``.
+
+    This is the one seed-derivation rule in the simulator: child streams
+    (:meth:`RandomSource.child`) and per-home fleet seeds
+    (:meth:`repro.sim.context.SimContext.home_seed`) both use it, so a
+    ``(parent seed, name)`` pair always maps to the same stream no matter
+    who derives it or in what order.
+    """
     digest = hashlib.sha256(f"{parent}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+_derive_seed = derive_seed  # the historical private name
 
 
 class RandomSource:

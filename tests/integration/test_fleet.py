@@ -1,0 +1,240 @@
+"""Fleet integration: solo-equivalence, sibling insensitivity, sharding
+digests, scoped chaos, the fleet-isolation oracle, and the CLI surface."""
+
+import pytest
+
+from repro.core.delivery import GAPLESS
+from repro.core.fleet import Fleet
+from repro.core.home import Home
+from repro.core.invariants import check_fleet_isolation
+from repro.eval.cli import main
+from repro.eval.fleet import run_fleet_sweep
+from repro.eval.workloads import DAY_S, fleet_deployment, noop_app
+from repro.sim.chaos import PROFILES, FaultDomain, FaultScheduleGenerator
+from repro.sim.faults import FaultError
+
+
+def template(home: Home, index: int) -> None:
+    home.add_process("hub")
+    home.add_process("tv")
+    home.add_sensor("door1", kind="door", processes=["hub", "tv"])
+    home.add_actuator("light1", processes=["hub"])
+    home.deploy(noop_app("door1", GAPLESS, actuator="light1"))
+
+
+def drive(scheduler, sensor, *, count: int = 30, period: float = 7.5) -> None:
+    for i in range(count):
+        scheduler.call_at(1.0 + i * period, sensor.emit, i % 2 == 0)
+
+
+# -- determinism: solo-equivalence and sibling insensitivity --------------------------
+
+
+def test_pinned_seed_homes_match_each_other_and_a_solo_run():
+    """Satellite: same per-home seed => identical traces, fleet or solo."""
+    fleet = Fleet(seed=42)
+    for home_id in ("a", "b"):
+        home = fleet.add_home(home_id, seed=7)
+        template(home, 0)
+    fleet.start()
+    for home_id in ("a", "b"):
+        drive(fleet.scheduler, fleet.sensor(f"{home_id}/door1"))
+    fleet.run_until(300.0)
+
+    solo = Home(seed=7)
+    template(solo, 0)
+    solo.start()
+    drive(solo.scheduler, solo.sensor("door1"))
+    solo.run_until(300.0)
+
+    assert fleet.home("a").trace.digest() == fleet.home("b").trace.digest()
+    assert fleet.home("a").trace.digest() == solo.trace.digest()
+
+
+def test_fleet_home_matches_the_same_home_run_alone():
+    """A fig1 home's trace is identical inside a fleet and in a 1-home run."""
+    trio, _ = fleet_deployment(home_ids=["h000", "h001", "h002"])
+    trio.run_until(DAY_S)
+    solo, _ = fleet_deployment(home_ids=["h001"])
+    solo.run_until(DAY_S)
+    assert trio.home("h001").trace.digest() == solo.home("h001").trace.digest()
+
+
+def test_adding_a_home_never_perturbs_siblings():
+    pair, _ = fleet_deployment(home_ids=["h000", "h001"])
+    pair.run_until(DAY_S)
+    trio, _ = fleet_deployment(home_ids=["h000", "h001", "h002"])
+    trio.run_until(DAY_S)
+    for home_id in ("h000", "h001"):
+        assert (pair.home(home_id).trace.digest()
+                == trio.home(home_id).trace.digest())
+
+
+# -- sharding: byte-identical reports for any (jobs, shards) --------------------------
+
+
+def test_sharded_sweep_matches_monolithic_fleet_digest():
+    fleet, _ = fleet_deployment(homes=4)
+    fleet.run_until(DAY_S)
+    report = run_fleet_sweep(4, 1.0, jobs=1, shards=2, cache=None)
+    assert report["summary"]["fleet_digest"] == fleet.digest()
+
+
+def test_ten_home_fleet_report_identical_jobs1_vs_jobs2():
+    """Acceptance: --jobs 1 and --jobs 2 sharded runs are byte-identical."""
+    sequential = run_fleet_sweep(10, 1.0, jobs=1, shards=1, cache=None)
+    sharded = run_fleet_sweep(10, 1.0, jobs=2, shards=4, cache=None)
+    assert sequential == sharded
+    assert sequential["summary"]["errors"] == 0
+    assert sequential["summary"]["events_emitted"] > 0
+
+
+# -- scoped chaos ---------------------------------------------------------------------
+
+DOMAIN = FaultDomain(
+    processes=["hub", "tv"],
+    sensors=["door1"],
+    actuators=["light1"],
+    links=[("door1", "hub"), ("door1", "tv")],
+)
+
+
+def fault_targets(plan):
+    """All names a plan touches, flattening partition groups."""
+    names = []
+    for action in plan.actions:
+        if action.kind == "set_partition":
+            for group in action.args[0]:
+                names.extend(group)
+        elif action.kind == "set_link_loss":
+            names.extend(action.args[:2])
+        elif action.args:
+            names.append(action.args[0])
+    return names
+
+
+def test_scoped_generator_qualifies_every_target():
+    generator = FaultScheduleGenerator(
+        DOMAIN, PROFILES["severe"], 1800.0, home_id="h000",
+    )
+    plan = generator.generate(3)
+    targets = fault_targets(plan)
+    assert targets, "severe profile over 30 min should generate faults"
+    assert all(name.startswith("h000/") for name in targets)
+
+
+def test_unscoped_generator_stays_unqualified():
+    plan = FaultScheduleGenerator(DOMAIN, PROFILES["severe"], 1800.0).generate(3)
+    assert all("/" not in name for name in fault_targets(plan))
+
+
+def test_scope_changes_the_sampling_stream():
+    a = FaultScheduleGenerator(
+        DOMAIN, PROFILES["severe"], 1800.0, home_id="h000").generate(3)
+    b = FaultScheduleGenerator(
+        DOMAIN, PROFILES["severe"], 1800.0, home_id="h001").generate(3)
+    assert [x.at for x in a.actions] != [x.at for x in b.actions]
+
+
+def build_pair() -> Fleet:
+    fleet = Fleet.build(2, template, seed=42)
+    fleet.start()
+    for home_id in fleet.home_ids:
+        drive(fleet.scheduler, fleet.sensor(f"{home_id}/door1"),
+              count=100, period=17.0)
+    return fleet
+
+
+def test_scoped_chaos_leaves_siblings_untouched():
+    """Faults scoped to h000 apply cleanly and never perturb h001."""
+    quiet = build_pair()
+    quiet.run_until(1800.0)
+
+    noisy = build_pair()
+    generator = FaultScheduleGenerator(
+        DOMAIN, PROFILES["severe"], 1800.0, home_id="h000",
+    )
+    generator.generate(3).apply(noisy)
+    noisy.run_until(1800.0)
+
+    assert noisy.home("h001").trace.digest() == quiet.home("h001").trace.digest()
+    assert noisy.home("h000").trace.digest() != quiet.home("h000").trace.digest()
+    assert check_fleet_isolation(noisy) == []
+
+
+# -- the fleet-isolation oracle -------------------------------------------------------
+
+
+def test_isolation_oracle_green_on_a_healthy_fleet():
+    fleet, _ = fleet_deployment(homes=3)
+    fleet.run_until(DAY_S / 4)
+    assert check_fleet_isolation(fleet) == []
+
+
+def test_isolation_oracle_flags_foreign_net_traffic():
+    fleet = Fleet.build(2, template, seed=42)
+    fleet.start()
+    fleet.home("h000").trace.record(
+        0.0, "net_send", src="hub", dst="intruder", kind="data", bytes=8,
+    )
+    violations = check_fleet_isolation(fleet)
+    assert any(
+        v.oracle == "fleet_isolation" and "intruder" in v.message
+        for v in violations
+    )
+
+
+# -- qualified fault routing ----------------------------------------------------------
+
+
+def test_fleet_rejects_unqualified_and_unknown_targets():
+    fleet = Fleet.build(2, template, seed=42).start()
+    with pytest.raises(FaultError, match="must be qualified"):
+        fleet.crash_process("hub")
+    with pytest.raises(FaultError, match="unknown home"):
+        fleet.crash_process("h999/hub")
+    with pytest.raises(FaultError, match="unknown process"):
+        fleet.crash_process("h000/ghost")
+
+
+def test_fleet_rejects_cross_home_partition_and_link():
+    fleet = Fleet.build(2, template, seed=42).start()
+    with pytest.raises(FaultError, match="cannot span homes"):
+        fleet.set_partition([["h000/hub"], ["h001/tv"]])
+    with pytest.raises(FaultError, match="home-local"):
+        fleet.set_link_loss("h000/door1", "h001/hub", 0.5)
+
+
+def test_heal_partition_does_not_leak_into_siblings():
+    fleet = Fleet.build(2, template, seed=42).start()
+    fleet.set_partition([["h000/hub"], ["h000/tv"]])
+    fleet.run_for(30.0)
+    fleet.heal_partition()
+    assert fleet.home("h000").trace.count("partition_healed") == 1
+    assert fleet.home("h001").trace.count("partition_healed") == 0
+
+
+# -- CLI surface ----------------------------------------------------------------------
+
+
+def test_cli_fleet_rejects_bad_args_with_exit_2(capsys):
+    assert main(["fleet", "--homes", "0"]) == 2
+    assert main(["fleet", "--homes", "-3"]) == 2
+    assert main(["fleet", "--homes", "2", "--shards", "0"]) == 2
+    assert main(["fleet", "--homes", "2", "--days", "0.5"]) == 2
+    assert main(["fleet", "--homes", "2", "--jobs", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_cli_fleet_runs_a_small_fleet(capsys, tmp_path):
+    out = tmp_path / "fleet.json"
+    code = main([
+        "fleet", "--homes", "2", "--days", "1", "--no-cache",
+        "--out", str(out),
+    ])
+    assert code == 0
+    assert out.exists()
+    captured = capsys.readouterr().out
+    assert "fleet: 2 homes" in captured
+    assert "fleet digest" in captured

@@ -1,0 +1,129 @@
+"""Unit tests for SimContext: seed derivation, the tenant registry, the
+virtual-time facade, and digest combination."""
+
+import pytest
+
+from repro.core.home import Home
+from repro.sim.context import SimContext, combine_digests
+from repro.sim.random import RandomSource, derive_seed
+
+
+# -- seed derivation ------------------------------------------------------------------
+
+
+def test_derive_seed_is_pure_and_stable():
+    assert derive_seed(42, "home/h000") == derive_seed(42, "home/h000")
+    assert derive_seed(42, "home/h000") != derive_seed(42, "home/h001")
+    assert derive_seed(42, "home/h000") != derive_seed(43, "home/h000")
+
+
+def test_derive_seed_matches_rng_child_streams():
+    parent = RandomSource(7, name="root")
+    assert parent.child("occupancy").seed == derive_seed(7, "occupancy")
+
+
+def test_home_seed_is_independent_of_registration():
+    fresh = SimContext(seed=9)
+    expected = fresh.home_seed("h001")
+
+    populated = SimContext(seed=9)
+    for home_id in ("h000", "h002", "h003"):
+        Home(context=populated, home_id=home_id, seed=populated.home_seed(home_id))
+    assert populated.home_seed("h001") == expected
+
+
+def test_home_seed_never_draws_from_the_fleet_rng():
+    context = SimContext(seed=9)
+    before = context.rng.random()
+    context.home_seed("h000")
+    context.home_seed("h001")
+    sibling = SimContext(seed=9)
+    sibling.rng.random()
+    assert context.rng.random() == sibling.rng.random()
+    assert before != context.rng.random()  # the stream itself does advance on draws
+
+
+# -- tenant registry ------------------------------------------------------------------
+
+
+def test_register_and_lookup_by_home_id():
+    context = SimContext(seed=1)
+    a = Home(context=context, home_id="a", seed=1)
+    b = Home(context=context, home_id="b", seed=2)
+    assert context.home("a") is a
+    assert context.home("b") is b
+    assert context.home_ids == ["a", "b"]
+    assert list(context.tenants()) == [a, b]
+    assert len(context) == 2
+
+
+def test_duplicate_home_id_rejected():
+    context = SimContext(seed=1)
+    Home(context=context, home_id="a", seed=1)
+    with pytest.raises(ValueError, match="distinct home_id"):
+        Home(context=context, home_id="a", seed=2)
+
+
+def test_unknown_home_lookup_raises():
+    with pytest.raises(KeyError, match="unknown home"):
+        SimContext().home("ghost")
+
+
+def test_sole_tenant_registers_under_empty_id():
+    home = Home(seed=5)
+    assert home.context.home("") is home
+    assert home.context.home_ids == [""]
+
+
+# -- virtual-time facade --------------------------------------------------------------
+
+
+def test_run_until_and_run_for_advance_shared_time():
+    context = SimContext(seed=1)
+    a = Home(context=context, home_id="a", seed=1).add_process("hub")
+    b = Home(context=context, home_id="b", seed=2).add_process("hub")
+    a.start()
+    b.start()
+    context.run_until(10.0)
+    assert context.now == 10.0
+    assert a.scheduler is b.scheduler is context.scheduler
+    context.run_for(5.0)
+    assert context.now == 15.0
+
+
+# -- aggregates and digests -----------------------------------------------------------
+
+
+def test_counts_by_home_and_total():
+    context = SimContext(seed=1)
+    for home_id, seed in (("a", 1), ("b", 2)):
+        home = Home(context=context, home_id=home_id, seed=seed)
+        home.add_process("hub")
+        home.add_sensor("door1", kind="door", processes=["hub"])
+        home.start()
+    context.home("a").sensor("door1").emit(True)
+    context.run_for(30.0)
+    by_home = context.counts_by_home("radio_emit")
+    assert by_home == {"a": 1, "b": 0}
+    assert context.count("radio_emit") == 1
+
+
+def test_combine_digests_is_order_insensitive():
+    forward = {"a": "d1", "b": "d2"}
+    backward = {"b": "d2", "a": "d1"}
+    assert combine_digests(forward) == combine_digests(backward)
+    assert combine_digests(forward) != combine_digests({"a": "d2", "b": "d1"})
+
+
+def test_context_digest_combines_tenant_traces():
+    context = SimContext(seed=1)
+    for home_id, seed in (("a", 1), ("b", 2)):
+        home = Home(context=context, home_id=home_id, seed=seed)
+        home.add_process("hub")
+        home.start()
+    context.run_for(60.0)
+    expected = combine_digests({
+        home_id: context.home(home_id).trace.digest()
+        for home_id in context.home_ids
+    })
+    assert context.digest() == expected
