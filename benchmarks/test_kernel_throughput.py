@@ -62,13 +62,31 @@ def test_fleet_throughput(show):
     assert result["events_emitted"] > 0
 
 
+def test_fleet_memory_stays_flat(show):
+    """Memory guard: per-home marginal footprint must stay small.
+
+    The streaming fold keeps hot state at tens of KB per home; a dict-of-
+    dicts regression (or an accidental keep-all trace) shows up as an
+    order-of-magnitude jump, far past this ceiling.
+    """
+    result = bench_fleet(homes=8, days=0.5)
+    show(f"fleet marginal: {result['marginal_kb_per_home']:.0f} KB/home")
+    assert result["marginal_kb_per_home"] < 1024.0
+
+
 def test_run_kernel_bench_writes_json(tmp_path, show):
     out = tmp_path / "BENCH_kernel.json"
     results = run_kernel_bench(str(out), quick=True, jobs=2)
     assert out.exists()
     assert results["quick"] is True
-    for section in ("scheduler", "network", "combined", "fig1", "fleet", "sweep"):
+    for section in ("scheduler", "network", "combined", "fig1", "fleet",
+                    "fleet_city", "sweep"):
         assert section in results
+    city = results["fleet_city"]
+    show(f"city: {city['homes']} homes / {city['shards']} shards, "
+         f"{city['homes_days_per_s']:.2f} home-days/s, "
+         f"{city['marginal_kb_per_home']:.0f} KB/home marginal")
+    assert city["errors"] == 0
     sweep = results["sweep"]
     show(f"sweep: {sweep['runs']} runs, {sweep['parallel_speedup']:.2f}x "
          f"parallel, warm replay {sweep['cache_warm_fraction']*100:.1f}% of cold")

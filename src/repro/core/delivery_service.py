@@ -83,6 +83,34 @@ class DeliveryContext:
     secondary; >1 = the active-replication extension)."""
 
 
+class _Router:
+    """Route one message kind to the per-sensor delivery instance.
+
+    A slot-based callable rather than a closure so a running home (whose
+    handler tables reference these) stays picklable for checkpointing.
+    """
+
+    __slots__ = ("_service", "_method")
+
+    def __init__(self, service: "DeliveryService", method: str) -> None:
+        self._service = service
+        self._method = method
+
+    def __call__(self, message: "Message") -> None:
+        service = self._service
+        instance = service._instances.get(message["sensor"])
+        if instance is None:
+            return
+        bound = getattr(instance, self._method, None)
+        if bound is None:
+            # e.g. a stray sync message for a sensor now configured Gap.
+            service._ctx.env.trace(
+                "misrouted_message", kind=message.kind, sensor=message["sensor"]
+            )
+            return
+        bound(message)
+
+
 class DeliveryService:
     """Per-process delivery orchestration."""
 
@@ -196,20 +224,7 @@ class DeliveryService:
         instance.on_ingest(event)
 
     def _route(self, method: str) -> Callable[[Message], None]:
-        def handler(message: Message) -> None:
-            instance = self._instances.get(message["sensor"])
-            if instance is None:
-                return
-            bound = getattr(instance, method, None)
-            if bound is None:
-                # e.g. a stray sync message for a sensor now configured Gap.
-                self._ctx.env.trace(
-                    "misrouted_message", kind=message.kind, sensor=message["sensor"]
-                )
-                return
-            bound(message)
-
-        return handler
+        return _Router(self, method)
 
     def _on_rb_deliver(self, sensor: str, event: Event) -> None:
         instance = self._instances.get(sensor)

@@ -15,7 +15,7 @@ deterministically, and the asyncio runtime deploy the identical logic.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Protocol
+from typing import Any, Callable, Protocol, Sequence
 
 from repro.net.message import Message
 from repro.sim.random import RandomSource
@@ -80,6 +80,19 @@ class RuntimeEnv(abc.ABC):
     def send(self, dst: str, kind: str, **payload: Any) -> None:
         """Send a message to another process (reliable in-order transport)."""
 
+    def multicast(self, dsts: Sequence[str], kind: str, payload: dict) -> None:
+        """Send the same ``(kind, payload)`` to every process in ``dsts``.
+
+        Semantically ``for dst in dsts: send(dst, kind, **payload)`` — one
+        independent unicast per destination, in order. Hot environments
+        override it to size the identical wire image once per fan-out
+        (heartbeats send one keepalive per peer per tick, the dominant
+        message load of a long run). Callers must not mutate ``payload``
+        afterwards; the messages hold a reference, not a copy.
+        """
+        for dst in dsts:
+            self.send(dst, kind, **payload)
+
     @abc.abstractmethod
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> CancelHandle:
         """Run ``fn(*args)`` after ``delay`` seconds; returns a cancellable handle."""
@@ -111,6 +124,21 @@ class RuntimeEnv(abc.ABC):
     @abc.abstractmethod
     def trace(self, kind: str, /, **fields: Any) -> None:
         """Record a structured trace event (metrics are functions of these)."""
+
+    def trace_device(
+        self, kind: str, id_field: str, id_value: str, seq: Any = None
+    ) -> None:
+        """Positional fast lane for the per-event device/ingest records.
+
+        Semantically identical to ``trace(kind, <id_field>=id_value,
+        [seq=seq])`` — same aggregates, same digest bytes — but hot
+        environments (the simulator runtime) override it to skip the kwargs
+        packing on the records emitted once per sensor event per process.
+        """
+        if seq is None:
+            self.trace(kind, **{id_field: id_value})
+        else:
+            self.trace(kind, **{id_field: id_value, "seq": seq})
 
     @abc.abstractmethod
     def peers(self) -> list[str]:

@@ -82,7 +82,7 @@ class GapDelivery:
 
     def on_ingest(self, event: Event) -> None:
         """Direct receipt from the sensor at this process."""
-        self._ctx.env.trace("ingest", sensor=self.sensor, seq=event.seq)
+        self._ctx.env.trace_device("ingest", "sensor", self.sensor, seq=event.seq)
         for listener in self._seen_listeners:
             listener(event)
         me = self._ctx.env.name

@@ -16,7 +16,7 @@ Crash-recovery semantics (Section 3.1):
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.core.delivery_service import (
     DeliveryContext,
@@ -36,6 +36,7 @@ from repro.net.latency import ProcessingModel
 from repro.net.message import Message
 from repro.net.radio import RadioNetwork, TECHNOLOGIES
 from repro.net.transport import HomeNetwork
+from repro.net.wire import wire_size
 from repro.core.sensorwatch import SensorWatch
 from repro.sim.clock import LocalClock
 from repro.sim.random import RandomSource
@@ -54,6 +55,47 @@ class _GuardedHandle:
 
     def cancel(self) -> None:
         self._inner.cancel()
+
+
+class _GuardedCall:
+    """A scheduled callback that is inert after crash or re-incarnation.
+
+    A slotted callable instead of a closure: cheaper per scheduling on the
+    delivery hot path, and — unlike a closure — picklable, which the fleet
+    checkpoint/restore machinery requires of everything in the scheduler.
+    """
+
+    __slots__ = ("_env", "_incarnation", "_fn", "_args")
+
+    def __init__(self, env: "RivuletProcess", fn: Callable[..., None], args: tuple):
+        self._env = env
+        self._incarnation = env._incarnation
+        self._fn = fn
+        self._args = args
+
+    def __call__(self) -> None:
+        env = self._env
+        if env._alive and env._incarnation == self._incarnation:
+            self._fn(*self._args)
+
+
+class _GuardedRepeating(_GuardedCall):
+    """Repeating variant: cancels its own timer once the owner is gone."""
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, env: "RivuletProcess", fn: Callable[..., None], args: tuple):
+        super().__init__(env, fn, args)
+        self._handle: Any = None
+
+    def __call__(self) -> None:
+        env = self._env
+        if env._alive and env._incarnation == self._incarnation:
+            self._fn(*self._args)
+        elif self._handle is not None:
+            # The owning incarnation is gone; stop the repetition so a
+            # crashed process leaves no ticking timers behind.
+            self._handle.cancel()
 
 
 class RivuletProcess(RuntimeEnv):
@@ -226,14 +268,26 @@ class RivuletProcess(RuntimeEnv):
             return
         self._network.send(Message(kind, self.name, dst, payload))
 
+    def multicast(self, dsts: Sequence[str], kind: str, payload: dict) -> None:
+        if not self._alive:
+            return
+        network = self._network
+        name = self.name
+        wire_bytes = None
+        for dst in dsts:
+            message = Message(kind, name, dst, payload)
+            if wire_bytes is None:
+                wire_bytes = wire_size(message)
+            else:
+                # Identical payload, identical wire image: reuse the size
+                # computed for the first copy instead of re-measuring.
+                message._wire_bytes = wire_bytes
+            network.send(message)
+
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> CancelHandle:
-        incarnation = self._incarnation
-
-        def guarded() -> None:
-            if self._alive and self._incarnation == incarnation:
-                fn(*args)
-
-        return _GuardedHandle(self._scheduler.call_later(delay, guarded))
+        return _GuardedHandle(
+            self._scheduler.call_later(delay, _GuardedCall(self, fn, args))
+        )
 
     def schedule_repeating(
         self,
@@ -242,18 +296,8 @@ class RivuletProcess(RuntimeEnv):
         *args: Any,
         first_delay: float | None = None,
     ) -> CancelHandle:
-        incarnation = self._incarnation
-        handle: Any = None
-
-        def guarded() -> None:
-            if self._alive and self._incarnation == incarnation:
-                fn(*args)
-            elif handle is not None:
-                # The owning incarnation is gone; stop the repetition so a
-                # crashed process leaves no ticking timers behind.
-                handle.cancel()
-
-        handle = self._scheduler.call_repeating(
+        guarded = _GuardedRepeating(self, fn, args)
+        guarded._handle = handle = self._scheduler.call_repeating(
             interval, guarded, first_delay=first_delay
         )
         return _GuardedHandle(handle)
@@ -270,6 +314,17 @@ class RivuletProcess(RuntimeEnv):
 
     def trace(self, kind: str, /, **fields: Any) -> None:
         self._trace.record(self._scheduler._now, kind, process=self.name, **fields)
+
+    def trace_device(
+        self, kind: str, id_field: str, id_value: str, seq: Any = None
+    ) -> None:
+        # Same record as trace(kind, <id_field>=id_value, seq=seq) — the
+        # digest sorts field keys, so insertion order is immaterial — but
+        # routed down Trace.record_device's positional lane.
+        self._trace.record_device(
+            self._scheduler._now, kind, id_field, id_value,
+            process=self.name, seq=seq,
+        )
 
     def peers(self) -> list[str]:
         # The deployment plan is fixed for the lifetime of a run, so the

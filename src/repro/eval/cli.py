@@ -145,8 +145,67 @@ def _run_chaos(args) -> int:
     return 1 if report["summary"]["failures"] else 0
 
 
+def _run_fleet_checkpointed(args) -> int:
+    """The monolithic checkpoint/resume fleet path.
+
+    Runs one in-process fleet day by day, writing an atomic snapshot every
+    ``--checkpoint-every`` days; ``--resume`` picks a run back up from the
+    snapshot and finishes with a digest byte-identical to an uninterrupted
+    run of the same length.
+    """
+    from repro.core.fleet import DAY_S, Fleet
+    from repro.eval.workloads import fleet_deployment
+    from repro.sim.snapshot import SnapshotError
+
+    days = args.days if args.days is not None else 1.0
+    total_days = int(days)
+    if total_days != days or total_days < 1:
+        raise CliError(
+            f"--checkpoint-every/--resume runs want a whole number of days, "
+            f"got {days:g} (checkpoints are taken at day boundaries)"
+        )
+    every = args.checkpoint_every or 0
+    if every < 0:
+        raise CliError(f"--checkpoint-every wants a positive day count, got {every}")
+    snapshot_path = args.snapshot or "FLEET_snapshot.pkl"
+
+    if args.resume:
+        try:
+            fleet = Fleet.restore(args.resume)
+        except SnapshotError as exc:
+            raise CliError(f"--resume {args.resume}: {exc}") from exc
+        done_days = int(round(fleet.context.now / DAY_S))
+        print(f"resumed {len(fleet)} homes at day {done_days} from {args.resume}")
+    else:
+        homes = args.homes if args.homes is not None else 10
+        if homes < 1:
+            raise CliError(f"--homes wants a positive home count, got {homes}")
+        seed = args.seed if args.seed is not None else 42
+        fleet, _workloads = fleet_deployment(homes=homes, seed=seed, days=days)
+        done_days = 0
+
+    for day in range(done_days + 1, total_days + 1):
+        fleet.run_until(day * DAY_S)
+        if every and (day % every == 0 or day == total_days):
+            path = fleet.checkpoint(snapshot_path)
+            print(f"day {day}/{total_days}: checkpoint -> {path}")
+        else:
+            print(f"day {day}/{total_days}")
+
+    totals = fleet.metrics()["fleet"]
+    print(f"fleet: {totals['homes']} homes x {total_days} day(s)")
+    print(f"  events emitted  : {totals['events_emitted']:>12,}")
+    print(f"  net messages    : {totals['net_messages']:>12,} "
+          f"({totals['net_bytes']:,} bytes)")
+    print(f"  fleet digest    : {fleet.digest()}")
+    return 0
+
+
 def _run_fleet(args) -> int:
     from repro.eval.fleet import render_fleet_summary, run_fleet_sweep
+
+    if args.checkpoint_every or args.resume:
+        return _run_fleet_checkpointed(args)
 
     homes = args.homes if args.homes is not None else 10
     if homes < 1:
@@ -245,6 +304,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="fleet only: shard the homes into N sweep "
                         "cells (default: one cell per home; any value "
                         "yields a byte-identical report)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="D",
+                        help="fleet only: run monolithically and write an "
+                        "atomic snapshot every D simulated days (and at the "
+                        "end); see --snapshot/--resume")
+    parser.add_argument("--snapshot", type=str, default=None,
+                        help="fleet only: snapshot path for "
+                        "--checkpoint-every (default FLEET_snapshot.pkl)")
+    parser.add_argument("--resume", type=str, default=None, metavar="PATH",
+                        help="fleet only: resume a checkpointed run from "
+                        "PATH and continue to --days; the final digest is "
+                        "byte-identical to an uninterrupted run")
     parser.add_argument("--horizon", type=float, default=3600.0,
                         help="chaos only: per-run horizon in simulated "
                         "seconds (default 3600)")

@@ -22,9 +22,13 @@ The simulator's wall-clock cost is dominated by three hot paths —
 
 - :func:`bench_fleet` — the multi-tenant simulation core: a 50-home × 1-day
   fleet interleaved in one scheduler, reported as homes×days per second,
-  events per second and peak RSS.
+  events per second, peak RSS and marginal KB per home.
 
-:func:`run_kernel_bench` runs all six and writes ``BENCH_kernel.json``
+- :func:`bench_fleet_city` — the city tier: 1000 home-days executed as
+  sequential 25-home shards (the locality-optimal schedule on this
+  single-core container), digest-identical to the monolithic fleet.
+
+:func:`run_kernel_bench` runs all of them and writes ``BENCH_kernel.json``
 next to the repo root so successive PRs leave a perf trajectory; each run
 also **appends** a timestamped line (with the git revision) to
 ``BENCH_history.jsonl``, which accretes across PRs instead of being
@@ -66,6 +70,36 @@ SEED_BASELINE: dict[str, float] = {
     "combined_events_per_s": 508_918.0,
     "fig1_wall_clock_s": 2.56,
 }
+
+
+def peak_rss_mb() -> float | None:
+    """This process's peak resident set size in MB (None if unknown).
+
+    The single shared implementation for every benchmark that reports
+    memory — the platform quirk (Linux counts KiB, macOS bytes) lives here
+    and nowhere else.
+    """
+    try:
+        import resource
+
+        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return raw / 1024.0 if sys.platform != "darwin" else raw / 2**20
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX hosts
+        return None
+
+
+def current_rss_mb() -> float | None:
+    """This process's *current* resident set size in MB (None if unknown).
+
+    Peak RSS never decreases, so marginal-memory measurements (how much a
+    workload actually holds) difference the current RSS around it instead.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE") / 2**20
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return None
 
 
 class _SinkEndpoint:
@@ -275,20 +309,12 @@ def bench_fleet(
     """
     from repro.eval.workloads import DAY_S, fleet_deployment
 
+    rss_before = current_rss_mb()
     t0 = time.perf_counter()
     fleet, _workloads = fleet_deployment(homes=homes, seed=seed, days=days)
     fleet.run_until(days * DAY_S)
     elapsed = time.perf_counter() - t0
-
-    peak_rss_mb: float | None = None
-    try:
-        import resource
-
-        # Linux reports ru_maxrss in KiB; macOS in bytes.
-        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        peak_rss_mb = raw / 1024.0 if sys.platform != "darwin" else raw / 2**20
-    except (ImportError, OSError):  # pragma: no cover - non-POSIX hosts
-        pass
+    rss_after = current_rss_mb()
 
     events = fleet.scheduler.processed_events
     result: dict[str, Any] = {
@@ -301,8 +327,61 @@ def bench_fleet(
         "events_emitted": fleet.metrics()["fleet"]["events_emitted"],
         "digest": fleet.digest(),
     }
-    if peak_rss_mb is not None:
-        result["peak_rss_mb"] = peak_rss_mb
+    peak = peak_rss_mb()
+    if peak is not None:
+        result["peak_rss_mb"] = peak
+    if rss_before is not None and rss_after is not None:
+        result["marginal_kb_per_home"] = (
+            max(rss_after - rss_before, 0.0) * 1024.0 / homes
+        )
+    return result
+
+
+def bench_fleet_city(
+    *, homes: int = 1000, days: float = 1.0, seed: int = 42,
+    homes_per_shard: int = 25,
+) -> dict[str, Any]:
+    """The city tier: a 1000-home-day fleet as sequential shards.
+
+    On this simulator the throughput cliff at scale is working-set
+    locality, not algorithmic growth — 200 interleaved homes run ~45%
+    slower per home-day than 25 do, and splitting the same fleet into
+    sequential 25-home cells recovers the small-fleet rate. The city tier
+    therefore runs through :func:`repro.eval.fleet.run_fleet_sweep` with
+    ``jobs=1``: one cell at a time in this process, merged by ``home_id``.
+    The merged fleet digest is byte-identical to a monolithic run (the
+    sharding invariant the integration tests pin), so the tier measures a
+    faithful execution of the same simulation, and memory stays flat in
+    fleet size — each cell is freed before the next begins.
+    """
+    from repro.eval.fleet import run_fleet_sweep
+
+    rss_before = current_rss_mb()
+    shards = max(1, round(homes / homes_per_shard))
+    t0 = time.perf_counter()
+    report = run_fleet_sweep(
+        homes, days, seed=seed, jobs=1, shards=shards, cache=None,
+    )
+    elapsed = time.perf_counter() - t0
+    rss_after = current_rss_mb()
+
+    result: dict[str, Any] = {
+        "homes": homes,
+        "days": days,
+        "shards": shards,
+        "wall_clock_s": elapsed,
+        "homes_days_per_s": homes * days / elapsed,
+        "events_emitted": report["summary"]["events_emitted"],
+        "errors": report["summary"]["errors"],
+        "digest": report["summary"]["fleet_digest"],
+    }
+    peak = peak_rss_mb()
+    if peak is not None:
+        result["peak_rss_mb"] = peak
+    if rss_before is not None and rss_after is not None:
+        result["marginal_kb_per_home"] = (
+            max(rss_after - rss_before, 0.0) * 1024.0 / homes
+        )
     return result
 
 
@@ -362,6 +441,14 @@ def append_history(results: dict[str, Any], out_path: str | Path) -> None:
         entry["fleet_homes_days_per_s"] = fleet["homes_days_per_s"]
         if "peak_rss_mb" in fleet:
             entry["fleet_peak_rss_mb"] = fleet["peak_rss_mb"]
+        if "marginal_kb_per_home" in fleet:
+            entry["fleet_marginal_kb_per_home"] = fleet["marginal_kb_per_home"]
+    city = results.get("fleet_city")
+    if city:
+        entry["fleet_city_homes"] = city["homes"]
+        entry["fleet_city_homes_days_per_s"] = city["homes_days_per_s"]
+        if "marginal_kb_per_home" in city:
+            entry["fleet_city_marginal_kb_per_home"] = city["marginal_kb_per_home"]
     sweep = results.get("sweep")
     if sweep:
         entry["sweep_parallel_speedup"] = sweep["parallel_speedup"]
@@ -395,6 +482,7 @@ def run_kernel_bench(
         combined = bench_combined(sim_seconds=30.0)
         fig1 = bench_fig1(days=1.0)
         fleet = bench_fleet(homes=6, days=1.0)
+        fleet_city = bench_fleet_city(homes=40, days=1.0, homes_per_shard=10)
     else:
         # Best-of-3 per microbenchmark (see _best_of): one run per metric
         # is dominated by host noise on small containers.
@@ -403,6 +491,7 @@ def run_kernel_bench(
         combined = _best_of(3, bench_combined, "events_per_s")
         fig1 = _best_of(3, bench_fig1, "wall_clock_s", smallest=True)
         fleet = bench_fleet(homes=50, days=1.0)
+        fleet_city = bench_fleet_city(homes=1000, days=1.0)
 
     results: dict[str, Any] = {
         "quick": quick,
@@ -411,6 +500,7 @@ def run_kernel_bench(
         "combined": combined,
         "fig1": fig1,
         "fleet": fleet,
+        "fleet_city": fleet_city,
     }
     if sweep:
         results["sweep"] = bench_sweep(jobs=jobs, quick=quick)
@@ -451,6 +541,18 @@ def render_summary(results: dict[str, Any]) -> str:
             f"in {fleet['wall_clock_s']:.2f}s "
             f"({fleet['events_per_s']:,.0f} events/s, "
             f"{fleet['homes_days_per_s']:.1f} home-days/s{rss})"
+        )
+    city = results.get("fleet_city")
+    if city:
+        marginal = (
+            f", {city['marginal_kb_per_home']:.0f} KB/home marginal"
+            if "marginal_kb_per_home" in city else ""
+        )
+        lines.append(
+            f"  city      : {city['homes']} homes x {city['days']:g} day(s) "
+            f"as {city['shards']} sequential shards in "
+            f"{city['wall_clock_s']:.1f}s "
+            f"({city['homes_days_per_s']:.1f} home-days/s{marginal})"
         )
     sweep = results.get("sweep")
     if sweep:

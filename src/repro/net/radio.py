@@ -168,16 +168,32 @@ class RadioNetwork:
             link = self._links.get(key)
             if link is None:
                 return None
+            # Only the loss stream is interned eagerly: every emission draws
+            # it. The poll/pollresp/cmd legs are idle on push-sensor links —
+            # the overwhelming majority of a fleet — so their streams (a
+            # full Mersenne state each) are created on first draw. Stream
+            # derivation is stateless (seed = f(parent seed, name)), so
+            # laziness cannot shift any draw sequence.
             entry = [
                 link,
                 self._stream(f"loss/{device_name}/{process_name}"),
-                self._stream(f"poll/{device_name}/{process_name}"),
-                self._stream(f"pollresp/{device_name}/{process_name}"),
-                self._stream(f"cmd/{device_name}/{process_name}"),
+                None,
+                None,
+                None,
                 self._devices.get(device_name),
             ]
             self._link_state[key] = entry
         return entry
+
+    def _link_stream(self, entry: list, slot: int, prefix: str) -> RandomSource:
+        """The interned per-link stream for ``slot``, created on first use."""
+        stream = entry[slot]
+        if stream is None:
+            link = entry[_LINK]
+            entry[slot] = stream = self._stream(
+                f"{prefix}/{link.device}/{link.process}"
+            )
+        return stream
 
     def _build_fanout(self, device_name: str) -> list[tuple[Link, RadioListener, RandomSource]]:
         """Precompute the emission fan-out of one device, in link order.
@@ -337,7 +353,7 @@ class RadioNetwork:
         now = scheduler._now
         self._trace.record_device(now, "poll_request", "sensor", sensor_name,
                                   process_name)
-        if entry[_POLL_RNG].chance(link.loss_rate):
+        if self._link_stream(entry, _POLL_RNG, "poll").chance(link.loss_rate):
             self._trace.record_device(now, "poll_request_lost", "sensor",
                                       sensor_name, process_name)
             return
@@ -419,7 +435,7 @@ class RadioNetwork:
         self._trace.record_device(now, "command_sent", "actuator",
                                   command.actuator_id, process_name,
                                   action=command.action)
-        if entry[_CMD_RNG].chance(link.loss_rate):
+        if self._link_stream(entry, _CMD_RNG, "cmd").chance(link.loss_rate):
             self._trace.record_device(now, "command_lost", "actuator",
                                       command.actuator_id, process_name)
             return

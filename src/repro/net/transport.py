@@ -45,6 +45,9 @@ _HORIZON = 2   # earliest next delivery time: enforces FIFO ordering
 _SEND = 3      # MessageChannel for net_send records
 _DELIVER = 4   # MessageChannel for net_deliver records
 _DROP = 5      # MessageChannel for net_drop records, created on first drop
+_HANDLERS = 6  # dst's live handler dict (same object for its lifetime), or
+               # None for foreign Endpoint implementations — lets delivery
+               # dispatch straight to the handler without a method frame
 
 _NO_PAIRS: dict[str, list] = {}
 """Shared empty per-src pair map (read-only default for cache misses)."""
@@ -89,6 +92,20 @@ class HomeNetwork:
         self._pair_cache: dict[str, dict[str, list]] = {}
         self._live_count_cache: int | None = None
 
+    def __getstate__(self) -> dict:
+        # Two members don't pickle: the MappingProxyType endpoint view and
+        # the bound builtin `Random.random` used by the inlined jitter
+        # draw. Both are derived state — drop and rebuild on restore.
+        state = self.__dict__.copy()
+        del state["_endpoints_view"]
+        del state["_random"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._endpoints_view = MappingProxyType(self._endpoints)
+        self._random = self._rng._rng.random
+
     def register(self, endpoint: Endpoint) -> None:
         name = endpoint.name
         if name in self._endpoints:
@@ -132,6 +149,7 @@ class HomeNetwork:
             trace.message_channel("net_send", src, dst),
             trace.message_channel("net_deliver", src, dst),
             None,
+            getattr(dst_endpoint, "_handlers", None),
         ]
         self._pair_cache.setdefault(src, {})[dst] = entry
         return entry
@@ -176,22 +194,51 @@ class HomeNetwork:
         if bytes_on_wire is None:
             bytes_on_wire = wire_size(message)
         kind = message.kind
-        # MessageChannel.record inlined for the aggregates-only case (no
-        # kept events for the kind, no subscribers, no streaming hash) —
-        # the overwhelmingly common configuration in long runs. Anything
-        # else falls back to the channel's full path.
+        # MessageChannel.record inlined for the two hot configurations —
+        # aggregates-only (no kept events, no subscribers, no streaming
+        # hash) and aggregates+digest (the fleet's streaming-digest mode).
+        # Anything else falls back to the channel's full path. The digest
+        # arm reuses the channel's suffix memo and the trace's repr(time)
+        # memo and stages the payload string on the trace's hash buffer,
+        # byte-for-byte what MessageChannel.record would have done.
+        trace = self._trace
         channel = entry[_SEND]
         state = channel._state
-        if state[3] is None and state[4] is None and not self._trace._has_observers:
+        if state[3] is None and state[4] is None and not trace._subscribers:
             state[0] += 1
             state[1] += bytes_on_wire
-            tallies = channel._tallies
-            tally = tallies.get(kind)
-            if tally is None:
-                tallies[kind] = tally = [0, 0]
+            if kind == channel._last_tkind:
+                tally = channel._last_tally
+            else:
+                tallies = channel._tallies
+                tally = tallies.get(kind)
+                if tally is None:
+                    tallies[kind] = tally = [0, 0]
+                channel._last_tkind = kind
+                channel._last_tally = tally
             tally[0] += 1
             tally[1] += bytes_on_wire
             channel._pair_cell[0] += 1
+            if trace._hasher is not None:
+                if now == trace._lt:
+                    tr = trace._ltr
+                else:
+                    trace._lt = now
+                    tr = trace._ltr = repr(now)
+                if kind == channel._last_sub and bytes_on_wire == channel._last_nb:
+                    payload = tr + channel._last_suffix
+                else:
+                    suffix = (channel._dig_bytes + repr(bytes_on_wire)
+                              + channel._dig_mid + repr(kind)
+                              + channel._dig_tail)
+                    channel._last_sub = kind
+                    channel._last_nb = bytes_on_wire
+                    channel._last_suffix = suffix
+                    payload = tr + suffix
+                buf = trace._hash_buf
+                buf.append(payload)
+                if len(buf) >= 128:
+                    trace._flush_hash()
         else:
             channel.record(now, kind, bytes_on_wire)
 
@@ -221,12 +268,17 @@ class HomeNetwork:
         if deliver_at <= horizon:
             deliver_at = horizon + 1e-9
         entry[_HORIZON] = deliver_at
-        # Scheduler.post_at inlined (same entry shape, same seq tie-break):
+        # Scheduler.post_at inlined (same entry shape, same bucket order):
         # deliver_at > now always holds here — delay is strictly positive
         # and the FIFO horizon only pushes forward — so the past-check and
         # the call frame are pure overhead on this hottest of paths.
-        scheduler._seq = seq = scheduler._seq + 1
-        heappush(scheduler._heap, (deliver_at, seq, self._deliver, (entry, message)))
+        buckets = scheduler._buckets
+        bucket = buckets.get(deliver_at)
+        if bucket is None:
+            buckets[deliver_at] = bucket = [(self._deliver, (entry, message))]
+            heappush(scheduler._heap, (deliver_at, bucket))
+        else:
+            bucket.append((self._deliver, (entry, message)))
         scheduler._live += 1
 
     def _deliver(self, entry: list, message: Message) -> None:
@@ -244,20 +296,55 @@ class HomeNetwork:
                 self._scheduler._now, message.kind, None, "partition"
             )
             return
+        kind = message.kind
+        trace = self._trace
         channel = entry[_DELIVER]
         state = channel._state
-        if state[3] is None and state[4] is None and not self._trace._has_observers:
-            # Same aggregates-only inline as `send` (no bytes on deliver).
+        if state[3] is None and state[4] is None and not trace._subscribers:
+            # Same inline as `send` (no bytes field on deliver records).
             state[0] += 1
-            kind = message.kind
-            tallies = channel._tallies
-            tally = tallies.get(kind)
-            if tally is None:
-                tallies[kind] = tally = [0, 0]
+            if kind == channel._last_tkind:
+                tally = channel._last_tally
+            else:
+                tallies = channel._tallies
+                tally = tallies.get(kind)
+                if tally is None:
+                    tallies[kind] = tally = [0, 0]
+                channel._last_tkind = kind
+                channel._last_tally = tally
             tally[0] += 1
             channel._pair_cell[0] += 1
+            if trace._hasher is not None:
+                now = self._scheduler._now
+                if now == trace._lt:
+                    tr = trace._ltr
+                else:
+                    trace._lt = now
+                    tr = trace._ltr = repr(now)
+                if kind == channel._last_sub and channel._last_nb is None:
+                    payload = tr + channel._last_suffix
+                else:
+                    suffix = channel._dig_plain + repr(kind) + channel._dig_tail
+                    channel._last_sub = kind
+                    channel._last_nb = None
+                    channel._last_suffix = suffix
+                    payload = tr + suffix
+                buf = trace._hash_buf
+                buf.append(payload)
+                if len(buf) >= 128:
+                    trace._flush_hash()
         else:
-            channel.record(self._scheduler._now, message.kind)
+            channel.record(self._scheduler._now, kind)
+        # Dispatch straight to the destination's handler when we hold its
+        # live handler dict (liveness was checked above; a crash clears the
+        # dict in place, so the cached reference never goes stale). The
+        # unhandled case falls back to deliver() for its trace record.
+        handlers = entry[_HANDLERS]
+        if handlers is not None:
+            handler = handlers.get(kind)
+            if handler is not None:
+                handler(message)
+                return
         endpoint.deliver(message)
 
     # -- accounting helpers used by the evaluation harness ---------------------

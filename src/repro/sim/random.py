@@ -44,7 +44,19 @@ class RandomSource:
     def __init__(self, seed: int, name: str = "root") -> None:
         self.seed = int(seed)
         self.name = name
-        self._rng = random.Random(self.seed)
+        # _rng is created lazily on first draw (see __getattr__): many
+        # sources only ever act as parents of named children or are wired
+        # up for legs that never fire, and a Mersenne Twister state is
+        # ~2.5 KB — at fleet scale that is most of a home's RNG footprint.
+        # Laziness cannot perturb determinism: Random(seed) yields the same
+        # draw sequence whether constructed at wiring time or first use.
+
+    def __getattr__(self, attr: str):
+        if attr == "_rng":
+            rng = random.Random(self.seed)
+            self._rng = rng
+            return rng
+        raise AttributeError(attr)
 
     def child(self, name: str) -> "RandomSource":
         """An independent stream derived from this one by ``name``."""

@@ -1,11 +1,16 @@
 """Time-ordered callback scheduler — the heart of the simulator.
 
-The scheduler keeps a heap of ``(when, seq, handle)`` entries — or, for
-fire-and-forget :meth:`Scheduler.post_at` posts, bare ``(when, seq,
-callback, args)`` tuples with no handle at all. ``seq`` is a monotonically
-increasing tie-breaker so that callbacks scheduled for the same instant run
-in scheduling order, which keeps runs deterministic (and means the heap
-never compares entries past ``seq``, so the two shapes can mix freely).
+The scheduler buckets entries by timestamp: the heap holds one ``(when,
+bucket)`` pair per *distinct* firing time, and each bucket is a plain list
+of entries in scheduling order — a :class:`TimerHandle`, or a bare
+``(callback, args)`` pair for fire-and-forget :meth:`Scheduler.post_at`
+posts. Because a timestamp appears in the heap at most once, the heap
+never compares two entries beyond their ``when`` floats, and all
+same-instant callbacks drain in one heap pop, in exactly the order they
+were scheduled. That preserves the classic ``(when, seq)`` tie-break
+semantics without a per-entry sequence number, and it makes the fleet's
+aligned timer edges (N homes' heartbeats all firing at t = 60k) cost one
+pop + one push per edge instead of one per home.
 
 Simulated time is a ``float`` number of seconds since the start of the run.
 
@@ -13,10 +18,12 @@ Hot-path design (see docs/performance.md):
 
 - ``pending_events`` is O(1): a live-entry counter is maintained on push,
   pop and cancel instead of scanning the heap;
-- cancelled entries stay in the heap (lazy cancel) and are dropped when
-  popped; when they pile up past half the heap, the heap is compacted;
-- ``run_until`` pops all entries sharing a timestamp in one batch, saving a
-  deadline comparison and method dispatch per event;
+- cancelled entries stay in their bucket (lazy cancel) and are dropped
+  when drained; when they pile up past half the stored entries, the
+  buckets are compacted;
+- a callback that schedules more work at the *current* instant appends to
+  the bucket being drained and runs within the same batch, exactly as a
+  fresh ``seq`` would have ordered it;
 - :meth:`call_repeating` serves the periodic-timer pattern (heartbeats,
   poll epochs) with a single reusable handle instead of allocating a new
   ``TimerHandle`` and closure per tick.
@@ -28,7 +35,7 @@ import heapq
 from typing import Any, Callable
 
 _COMPACT_MIN_CANCELLED = 64
-"""Lazy-cancel compaction kicks in past this many dead heap entries."""
+"""Lazy-cancel compaction kicks in past this many dead stored entries."""
 
 
 class SimulationError(RuntimeError):
@@ -101,8 +108,17 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._seq = 0
-        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._heap: list[tuple[float, list]] = []
+        # when -> bucket; a key is present iff its bucket is in the heap or
+        # is currently being drained. Scheduling into an existing key is a
+        # list append — no heap operation at all.
+        self._buckets: dict[float, list] = {}
+        # The bucket being drained right now (popped from the heap but
+        # still accepting same-instant appends), plus the resume cursor —
+        # shared by step() and run_until() so they interleave correctly.
+        self._draining: list | None = None
+        self._drain_when = 0.0
+        self._drain_idx = 0
         self._processed = 0
         self._live = 0
         self._lazy_cancelled = 0
@@ -119,16 +135,21 @@ class Scheduler:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled entries in the heap (O(1))."""
+        """Number of not-yet-fired, not-cancelled entries (O(1))."""
         return self._live
 
     # -- internal bookkeeping ----------------------------------------------------
 
     def _push(self, when: float, handle: TimerHandle) -> None:
-        self._seq += 1
         handle.when = when
         handle._in_heap = True
-        heapq.heappush(self._heap, (when, self._seq, handle))
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = bucket = [handle]
+            heapq.heappush(self._heap, (when, bucket))
+        else:
+            bucket.append(handle)
         self._live += 1
 
     def _on_cancel(self) -> None:
@@ -137,21 +158,39 @@ class Scheduler:
         self._lazy_cancelled += 1
         if (
             self._lazy_cancelled > _COMPACT_MIN_CANCELLED
-            and self._lazy_cancelled * 2 > len(self._heap)
+            and self._lazy_cancelled * 2 > self._live + self._lazy_cancelled
         ):
             self._compact()
 
     def _compact(self) -> None:
-        survivors = []
-        for entry in self._heap:
-            # len-4 entries are fire-and-forget posts: never cancellable.
-            if len(entry) == 3 and entry[2]._cancelled:
-                entry[2]._in_heap = False
+        """Drop cancelled handles from every heap bucket.
+
+        The bucket currently being drained (if any) is left alone — its
+        dead entries are skipped by the drain loop itself — so the lazy
+        counter is recomputed from what actually remains stored.
+        """
+        survivors: list[tuple[float, list]] = []
+        for when, bucket in self._heap:
+            kept = []
+            for item in bucket:
+                if type(item) is not tuple and item._cancelled:
+                    item._in_heap = False
+                else:
+                    kept.append(item)
+            if kept:
+                bucket[:] = kept
+                survivors.append((when, bucket))
             else:
-                survivors.append(entry)
+                del self._buckets[when]
         heapq.heapify(survivors)
         self._heap = survivors
-        self._lazy_cancelled = 0
+        remaining = 0
+        draining = self._draining
+        if draining is not None:
+            for item in draining[self._drain_idx:]:
+                if type(item) is not tuple and item._cancelled:
+                    remaining += 1
+        self._lazy_cancelled = remaining
 
     # -- scheduling ----------------------------------------------------------------
 
@@ -179,18 +218,23 @@ class Scheduler:
         """Fire-and-forget :meth:`call_at`: no handle is returned.
 
         The hot transport/radio delivery paths schedule hundreds of
-        thousands of callbacks that are never cancelled; this lane pushes a
-        bare ``(when, seq, callback, args)`` tuple — no ``TimerHandle`` is
-        allocated at all. The pop loops tell the two entry shapes apart by
-        length; ``seq`` is unique so the heap never compares past it, and
-        ordering/tie-breaking are identical to :meth:`call_at`.
+        thousands of callbacks that are never cancelled; this lane stores a
+        bare ``(callback, args)`` pair — no ``TimerHandle`` is allocated at
+        all. The drain loops tell the two entry shapes apart by type;
+        bucket position preserves scheduling order, so ordering and
+        tie-breaking are identical to :meth:`call_at`.
         """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at t={when:.6f}, time is already t={self._now:.6f}"
             )
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, callback, args))
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = bucket = [(callback, args)]
+            heapq.heappush(self._heap, (when, bucket))
+        else:
+            bucket.append((callback, args))
         self._live += 1
 
     def call_repeating(
@@ -224,29 +268,44 @@ class Scheduler:
 
     def step(self) -> bool:
         """Run the next pending callback. Returns False if none remain."""
-        heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
-            if len(entry) == 4:
-                self._live -= 1
-                self._now = entry[0]
-                self._processed += 1
-                entry[2](*entry[3])
-                return True
-            when, _seq, handle = entry
-            handle._in_heap = False
-            if handle._cancelled:
-                self._lazy_cancelled -= 1
-                continue
-            self._live -= 1
-            self._now = when
-            self._processed += 1
-            handle._fired = True
-            handle._callback(*handle._args)
-            if handle.interval is not None and not handle._cancelled:
-                self._push(when + handle.interval, handle)
-            return True
-        return False
+        while True:
+            bucket = self._draining
+            if bucket is not None:
+                when = self._drain_when
+                idx = self._drain_idx
+                while idx < len(bucket):
+                    item = bucket[idx]
+                    idx += 1
+                    if type(item) is tuple:
+                        self._drain_idx = idx
+                        self._live -= 1
+                        self._now = when
+                        self._processed += 1
+                        item[0](*item[1])
+                        return True
+                    item._in_heap = False
+                    if item._cancelled:
+                        self._lazy_cancelled -= 1
+                        continue
+                    self._drain_idx = idx
+                    self._live -= 1
+                    self._now = when
+                    self._processed += 1
+                    item._fired = True
+                    item._callback(*item._args)
+                    if item.interval is not None and not item._cancelled:
+                        self._push(when + item.interval, item)
+                    return True
+                self._drain_idx = idx
+                self._draining = None
+                if self._buckets.get(when) is bucket:
+                    del self._buckets[when]
+            if not self._heap:
+                return False
+            when, bucket = heapq.heappop(self._heap)
+            self._draining = bucket
+            self._drain_when = when
+            self._drain_idx = 0
 
     def run_until(self, deadline: float) -> None:
         """Process all events with ``when <= deadline``; clock ends at deadline.
@@ -261,42 +320,47 @@ class Scheduler:
             )
         heap = self._heap
         pop = heapq.heappop
-        push = heapq.heappush
-        while heap:
-            when = heap[0][0]
-            if when > deadline:
-                break
-            self._now = when
-            # Drain everything sharing this timestamp without re-checking the
-            # deadline. Callbacks scheduling new work at the same instant stay
-            # correctly ordered: new entries receive larger seq numbers than
-            # anything already queued here.
-            while True:
-                entry = pop(heap)
-                if len(entry) == 4:
-                    # Fire-and-forget post: no handle, nothing cancellable.
+        buckets = self._buckets
+        while True:
+            bucket = self._draining
+            if bucket is None:
+                if not heap or heap[0][0] > deadline:
+                    break
+                when, bucket = pop(heap)
+                self._draining = bucket
+                self._drain_when = when
+                self._drain_idx = 0
+                self._now = when
+            else:
+                # Resuming a bucket a previous step()/run_until left open.
+                when = self._drain_when
+                self._now = when
+            idx = self._drain_idx
+            # Appends made by callbacks at this same instant extend the
+            # bucket while we drain it, so re-check len() every pass.
+            while idx < len(bucket):
+                item = bucket[idx]
+                idx += 1
+                if type(item) is tuple:
                     self._live -= 1
                     self._processed += 1
-                    entry[2](*entry[3])
+                    item[0](*item[1])
                 else:
-                    handle = entry[2]
-                    handle._in_heap = False
-                    if handle._cancelled:
+                    item._in_heap = False
+                    if item._cancelled:
                         self._lazy_cancelled -= 1
                     else:
                         self._live -= 1
                         self._processed += 1
-                        handle._fired = True
-                        handle._callback(*handle._args)
-                        if handle.interval is not None and not handle._cancelled:
-                            interval = handle.interval
-                            handle.when = when + interval
-                            handle._in_heap = True
-                            self._seq += 1
-                            push(heap, (handle.when, self._seq, handle))
-                            self._live += 1
-                if not heap or heap[0][0] != when:
-                    break
+                        item._fired = True
+                        item._callback(*item._args)
+                        interval = item.interval
+                        if interval is not None and not item._cancelled:
+                            self._push(when + interval, item)
+            self._drain_idx = idx
+            self._draining = None
+            if buckets.get(when) is bucket:
+                del buckets[when]
         self._now = deadline
 
     def run(self, max_events: int = 10_000_000) -> None:

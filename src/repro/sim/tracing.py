@@ -185,6 +185,22 @@ class Trace:
         self._subscribers: list[Callable[[TraceEvent], None]] = []
         self._kind_subscribers: dict[str, list[Callable[[TraceEvent], None]]] = {}
         self._hasher = hashlib.blake2b(digest_size=16) if digest else None
+        # Hex digests of sealed stream segments (see :meth:`seal`): once a
+        # segment is sealed its hash state is reduced to 32 hex chars, so a
+        # year-long trace holds O(days) small strings instead of live
+        # hasher state — and the trace becomes picklable at seal points.
+        self._sealed: list[str] = []
+        # Streaming-hash staging: record payloads are buffered as *strings*
+        # and folded into the hasher in one join+encode per ~128 records.
+        # UTF-8 is context-free (and backslashreplace escapes per char), so
+        # encoding the concatenation is byte-identical to concatenating the
+        # per-record encodings — the digest value cannot change.
+        self._hash_buf: list[str] = []
+        # Cache of the last repr'd timestamp. Same-instant records are
+        # common (all of a home's processes heartbeat on one bucket edge),
+        # and repr() of a float is one of the hottest calls in a long run.
+        self._lt = float("nan")
+        self._ltr = ""
         # One-load summary of the *kind-independent* observers: True once a
         # streaming hash exists or a global (unscoped) subscriber was
         # registered. Kind-scoped subscribers live in the per-kind state
@@ -238,7 +254,17 @@ class Trace:
                 for subscriber in kind_subs:
                     subscriber(event)
         if self._hasher is not None:
-            self._hasher.update(_record_bytes(time, kind, fields))
+            buf = self._hash_buf
+            buf.append(_record_str(time, kind, fields))
+            if len(buf) >= 128:
+                self._flush_hash()
+
+    def _flush_hash(self) -> None:
+        """Fold the staged record payloads into the streaming hasher."""
+        buf = self._hash_buf
+        if buf:
+            self._hasher.update("".join(buf).encode("utf-8", "backslashreplace"))
+            buf.clear()
 
     def record(self, time: float, kind: str, /, **fields: Any) -> None:
         state = self._kind_state.get(kind)
@@ -292,7 +318,10 @@ class Trace:
                 for subscriber in kind_subs:
                     subscriber(event)
         if self._hasher is not None:
-            self._hasher.update(_record_bytes(time, kind, fields))
+            buf = self._hash_buf
+            buf.append(_record_str(time, kind, fields))
+            if len(buf) >= 128:
+                self._flush_hash()
 
     def record_message(
         self,
@@ -380,15 +409,43 @@ class Trace:
             self.record(time, kind, **fields)
             return
         state[0] += 1
-        if state[3] is not None or state[4] is not None or self._has_observers:
-            fields = {id_field: id_value}
-            if process is not None:
-                fields["process"] = process
-            if seq is not None:
-                fields["seq"] = seq
-            if action is not None:
-                fields["action"] = action
-            self._finish(time, kind, state, fields)
+        if state[3] is None and state[4] is None and not self._subscribers:
+            hasher = self._hasher
+            if hasher is None:
+                return
+            if id_field == "sensor" and action is None:
+                # Digest-only fast path for the hot radio shapes. Sorted
+                # key order is fixed by the alphabet — "process" < "sensor"
+                # < "seq" — so the payload is composed directly,
+                # byte-identical to _record_str over the fields dict.
+                if time == self._lt:
+                    tr = self._ltr
+                else:
+                    self._lt = time
+                    tr = self._ltr = repr(time)
+                if process is None:
+                    payload = tr + "|" + kind + "|sensor|" + repr(id_value)
+                else:
+                    payload = (tr + "|" + kind + "|process|" + repr(process)
+                               + "|sensor|" + repr(id_value))
+                if seq is not None:
+                    payload += "|seq|" + repr(seq)
+                buf = self._hash_buf
+                buf.append(payload)
+                if len(buf) >= 128:
+                    self._flush_hash()
+                return
+        elif not (state[3] is not None or state[4] is not None
+                  or self._has_observers):
+            return
+        fields = {id_field: id_value}
+        if process is not None:
+            fields["process"] = process
+        if seq is not None:
+            fields["seq"] = seq
+        if action is not None:
+            fields["action"] = action
+        self._finish(time, kind, state, fields)
 
     def message_channel(self, kind: str, src: str, dst: str) -> "MessageChannel":
         """A pre-resolved recorder for one ``(kind, src, dst)`` message flow.
@@ -520,6 +577,9 @@ class Trace:
         events, which requires the trace to keep everything.
         """
         if self._hasher is not None:
+            self._flush_hash()
+            if self._sealed:
+                return _fold_segments(self._sealed, self._hasher.hexdigest())
             return self._hasher.hexdigest()
         if self._quiet:
             raise RuntimeError("digest() on a quiet trace (aggregates only)")
@@ -530,8 +590,58 @@ class Trace:
             )
         hasher = hashlib.blake2b(digest_size=16)
         for event in self._events:
-            hasher.update(_record_bytes(event.time, event.kind, event.fields))
+            hasher.update(
+                _record_str(event.time, event.kind, event.fields).encode(
+                    "utf-8", "backslashreplace"
+                )
+            )
         return hasher.hexdigest()
+
+    def seal(self) -> str:
+        """Close the current streaming-hash segment; returns its digest.
+
+        The live hasher state is folded into a 32-char hex string and a
+        fresh segment begins. A sealed trace's :meth:`digest` is the fold
+        of its segment digests (plus the open segment), so it depends on
+        *where* seals happened — callers must drive seals at deterministic
+        points (``Fleet.run_until`` seals every tenant at each simulated
+        day boundary, in every execution mode: monolithic, sharded,
+        resumed). A never-sealed trace digests exactly as before.
+
+        Sealing is what makes a streaming-digest trace checkpointable:
+        ``hashlib`` hash objects cannot be pickled, but at a seal point the
+        live hasher is empty and can be dropped and recreated (see
+        ``__getstate__``).
+        """
+        if self._hasher is None:
+            raise RuntimeError("seal() requires Trace(digest=True)")
+        self._flush_hash()
+        segment = self._hasher.hexdigest()
+        self._sealed.append(segment)
+        self._hasher = hashlib.blake2b(digest_size=16)
+        return segment
+
+    # -- pickling (checkpoint/restore support) -----------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        self._flush_hash()
+        state = self.__dict__.copy()
+        hasher = state.pop("_hasher")
+        if hasher is not None and hasher.hexdigest() != _EMPTY_SEGMENT:
+            raise TypeError(
+                "cannot pickle a Trace with unsealed streaming-hash state; "
+                "seal() first (Fleet.checkpoint does so at day boundaries)"
+            )
+        state["_digest_enabled"] = hasher is not None
+        state["_hash_buf"] = []
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        digest_enabled = state.pop("_digest_enabled")
+        self.__dict__.update(state)
+        self._hasher = (
+            hashlib.blake2b(digest_size=16) if digest_enabled else None
+        )
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
@@ -555,7 +665,10 @@ class MessageChannel:
     reason)``: same counts, same kept events, same digest bytes.
     """
 
-    __slots__ = ("_trace", "_state", "_tallies", "_pair_cell", "kind", "src", "dst")
+    __slots__ = ("_trace", "_state", "_tallies", "_pair_cell", "kind", "src", "dst",
+                 "_dig_plain", "_dig_bytes", "_dig_mid", "_dig_tail",
+                 "_last_sub", "_last_nb", "_last_suffix",
+                 "_last_tkind", "_last_tally")
 
     def __init__(
         self,
@@ -574,6 +687,28 @@ class MessageChannel:
         self._state = state
         self._tallies = tallies
         self._pair_cell = pair_cell
+        # Precomposed digest segments. A channel's records hash to
+        # `repr(time)|kind|<sorted fields>` where only the time, sub-kind
+        # and byte count vary per record, so everything else is fixed at
+        # construction: with a bytes field the sorted key order is
+        # (bytes, dst, kind, src); without it (dst, kind, src). The fast
+        # path below concatenates these with the three variable reprs and
+        # feeds the hasher directly — byte-identical to _record_str over
+        # the equivalent fields dict, without building it.
+        self._dig_plain = "|" + kind + "|dst|" + repr(dst) + "|kind|"
+        self._dig_bytes = "|" + kind + "|bytes|"
+        self._dig_mid = "|dst|" + repr(dst) + "|kind|"
+        self._dig_tail = "|src|" + repr(src)
+        # (sub_kind, nbytes) -> composed suffix memo of depth one. A
+        # channel's records are overwhelmingly a single repeated shape
+        # (keepalives of a fixed wire size), so the whole digest payload
+        # minus the timestamp is usually one cached string.
+        self._last_sub: str | None = None
+        self._last_nb: int | None = None
+        self._last_suffix = ""
+        # Last sub-kind tally cell, memoised for the same reason.
+        self._last_tkind: str | None = None
+        self._last_tally: list[int] | None = None
 
     def record(
         self,
@@ -584,24 +719,56 @@ class MessageChannel:
     ) -> None:
         state = self._state
         state[0] += 1
-        if nbytes is not None:
-            state[1] += nbytes
-        tallies = self._tallies
-        tally = tallies.get(sub_kind)
-        if tally is None:
-            tallies[sub_kind] = tally = [0, 0]
+        if sub_kind == self._last_tkind:
+            tally = self._last_tally
+        else:
+            tallies = self._tallies
+            tally = tallies.get(sub_kind)
+            if tally is None:
+                tallies[sub_kind] = tally = [0, 0]
+            self._last_tkind = sub_kind
+            self._last_tally = tally
         tally[0] += 1
         if nbytes is not None:
+            state[1] += nbytes
             tally[1] += nbytes
         self._pair_cell[0] += 1
         trace = self._trace
-        if state[3] is not None or state[4] is not None or trace._has_observers:
-            fields = {"src": self.src, "dst": self.dst, "kind": sub_kind}
-            if nbytes is not None:
-                fields["bytes"] = nbytes
-            if reason is not None:
-                fields["reason"] = reason
-            trace._finish(time, self.kind, state, fields)
+        if state[3] is None and state[4] is None and not trace._subscribers:
+            if trace._hasher is None:
+                return
+            if reason is None:
+                if time == trace._lt:
+                    tr = trace._ltr
+                else:
+                    trace._lt = time
+                    tr = trace._ltr = repr(time)
+                if sub_kind == self._last_sub and nbytes == self._last_nb:
+                    payload = tr + self._last_suffix
+                else:
+                    if nbytes is None:
+                        suffix = self._dig_plain + repr(sub_kind) + self._dig_tail
+                    else:
+                        suffix = (self._dig_bytes + repr(nbytes)
+                                  + self._dig_mid + repr(sub_kind) + self._dig_tail)
+                    self._last_sub = sub_kind
+                    self._last_nb = nbytes
+                    self._last_suffix = suffix
+                    payload = tr + suffix
+                buf = trace._hash_buf
+                buf.append(payload)
+                if len(buf) >= 128:
+                    trace._flush_hash()
+                return
+        elif not (state[3] is not None or state[4] is not None
+                  or trace._has_observers):
+            return
+        fields = {"src": self.src, "dst": self.dst, "kind": sub_kind}
+        if nbytes is not None:
+            fields["bytes"] = nbytes
+        if reason is not None:
+            fields["reason"] = reason
+        trace._finish(time, self.kind, state, fields)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MessageChannel {self.kind} {self.src}->{self.dst}>"
@@ -609,10 +776,41 @@ class MessageChannel:
 
 _EMPTY_DICT: dict = {}
 
+#: blake2b-128 of zero bytes: what a fresh (or just-sealed) hasher reports.
+_EMPTY_SEGMENT = hashlib.blake2b(digest_size=16).hexdigest()
 
-def _record_bytes(time: float, kind: str, fields: dict[str, Any]) -> bytes:
+
+def _fold_segments(sealed: list[str], open_segment: str) -> str:
+    """Combine sealed segment digests (plus the open one) into one digest."""
+    hasher = hashlib.blake2b(digest_size=16)
+    for segment in sealed:
+        hasher.update(segment.encode("ascii"))
+        hasher.update(b"\n")
+    hasher.update(open_segment.encode("ascii"))
+    return hasher.hexdigest()
+
+#: Insertion-order key tuple -> sorted key tuple. Record schemas are stable
+#: per call site, so the handful of distinct key sets are sorted once and
+#: every later record skips the sort (and its allocations) entirely.
+_KEY_ORDERS: dict[tuple, tuple[str, ...]] = {}
+
+
+def _record_str(time: float, kind: str, fields: dict[str, Any]) -> str:
+    """One record's digest payload (the hasher sees its UTF-8 encoding)."""
+    ikeys = tuple(fields)
+    keys = _KEY_ORDERS.get(ikeys)
+    if keys is None:
+        _KEY_ORDERS[ikeys] = keys = tuple(sorted(ikeys))
     parts = [repr(time), kind]
-    for key in sorted(fields):
-        parts.append(key)
-        parts.append(_stable(fields[key]))
-    return "|".join(parts).encode("utf-8", "backslashreplace")
+    append = parts.append
+    for key in keys:
+        append(key)
+        value = fields[key]
+        t = type(value)
+        # Exact-type dispatch mirrors _stable's first branch (repr for the
+        # scalar types), inlined to skip a call per field on the hot path.
+        if t is str or t is int or t is float or t is bool:
+            append(repr(value))
+        else:
+            append(_stable(value))
+    return "|".join(parts)

@@ -238,3 +238,39 @@ def test_cli_fleet_runs_a_small_fleet(capsys, tmp_path):
     captured = capsys.readouterr().out
     assert "fleet: 2 homes" in captured
     assert "fleet digest" in captured
+
+
+# -- home_id pad width: sorted order must match numeric order at any scale ------------
+
+
+def test_large_fleet_home_ids_sort_numerically():
+    """Regression: >=1000 homes must widen the zero-pad, not interleave."""
+    from repro.eval.workloads import fleet_home_ids
+
+    ids = fleet_home_ids(1001)
+    assert ids == sorted(ids)
+    assert ids[0] == "h0000" and ids[-1] == "h1000"
+    # Up to 1000 homes the historical three-digit ids are preserved.
+    assert fleet_home_ids(1000)[0] == "h000"
+    assert fleet_home_ids(1000)[-1] == "h999"
+
+    fleet = Fleet.build(1001, lambda home, index: home.add_process("hub"))
+    assert len(set(fleet.home_ids)) == 1001
+    assert fleet.home_ids == sorted(fleet.home_ids)
+    assert fleet.home_ids[-1] == "h1000"
+
+
+def test_cli_fleet_checkpoint_digest_matches_sharded_sweep(capsys, tmp_path):
+    """The monolithic checkpointed CLI path reproduces the sweep digest."""
+    snap = tmp_path / "fleet.snap"
+    code = main([
+        "fleet", "--homes", "2", "--days", "1", "--seed", "5",
+        "--checkpoint-every", "1", "--snapshot", str(snap),
+    ])
+    assert code == 0
+    assert snap.exists()
+    out = capsys.readouterr().out
+    assert "checkpoint ->" in out
+
+    report = run_fleet_sweep(2, 1.0, seed=5, jobs=1, shards=2, cache=None)
+    assert report["summary"]["fleet_digest"] in out

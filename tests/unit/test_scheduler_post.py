@@ -72,3 +72,81 @@ def test_posted_callback_can_post_more_work():
     sched.post_at(0.0, chain, 0)
     sched.run_until(10.0)
     assert fired == [0, 1, 2, 3]
+
+
+# -- same-timestamp semantics pinned before the batched-dispatch change ---------
+
+
+def test_rearmed_repeating_runs_after_preexisting_posts_at_same_time():
+    """A repeating timer's re-arm happens while its tick runs, so at the
+    *next* shared timestamp it must run after anything already queued there."""
+    sched = Scheduler()
+    order = []
+    sched.call_repeating(1.0, lambda: order.append(f"tick@{sched.now:g}"))
+    sched.post_at(1.0, order.append, "post@1")
+    sched.post_at(2.0, order.append, "post@2")
+    sched.run_until(2.5)
+    assert order == ["tick@1", "post@1", "post@2", "tick@2"]
+
+
+def test_post_at_now_during_drain_joins_the_current_batch():
+    sched = Scheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        sched.post_at(sched.now, order.append, "same-instant")
+
+    sched.post_at(5.0, first)
+    sched.call_at(5.0, order.append, "second")
+    sched.run_until(5.0)
+    assert order == ["first", "second", "same-instant"]
+
+
+def test_cancel_of_a_later_entry_in_the_same_batch():
+    sched = Scheduler()
+    order = []
+    handles = {}
+    handles["victim"] = None
+
+    def canceller():
+        order.append("canceller")
+        handles["victim"].cancel()
+
+    sched.call_at(3.0, canceller)
+    handles["victim"] = sched.call_at(3.0, order.append, "victim")
+    sched.post_at(3.0, order.append, "post")
+    sched.run_until(4.0)
+    assert order == ["canceller", "post"]
+
+
+def test_heavy_cancellation_keeps_equal_timestamp_order_for_survivors():
+    sched = Scheduler()
+    order = []
+    doomed = []
+    for i in range(300):
+        if i % 3 == 0:
+            sched.post_at(7.0, order.append, i)
+        else:
+            handle = sched.call_at(7.0, order.append, i)
+            if i % 3 == 1:
+                doomed.append(handle)
+    for handle in doomed:
+        handle.cancel()  # exceeds the compaction threshold
+    assert sched.pending_events == 200
+    sched.run_until(7.0)
+    assert order == [i for i in range(300) if i % 3 != 1]
+    assert sched.pending_events == 0
+
+
+def test_pending_events_counts_posts_and_handles_through_compaction():
+    sched = Scheduler()
+    for i in range(10):
+        sched.post_at(50.0, lambda: None)
+    handles = [sched.call_at(float(i + 1), lambda: None) for i in range(200)]
+    assert sched.pending_events == 210
+    for handle in handles:
+        handle.cancel()
+    assert sched.pending_events == 10
+    sched.run_until(100.0)
+    assert sched.processed_events == 10
