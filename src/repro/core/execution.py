@@ -31,6 +31,7 @@ from repro.core.intervals import IntervalSet
 from repro.core.operators import Operator, SensorBinding
 from repro.core.placement import active_replica_set, placement_chain
 from repro.core.plan import DeploymentPlan
+from repro.core.repair import RepairSession
 from repro.core.windows import TriggeredWindow, WindowInstance
 from repro.membership.heartbeat import HeartbeatService
 from repro.membership.views import LocalView
@@ -105,6 +106,7 @@ class LogicRuntime:
         self._periodic_timers: list[Any] = []
         self._emit_seq: dict[str, int] = {}
         self._cmd_seq = 0
+        self._repair: RepairSession | None = None
 
     # -- role management ---------------------------------------------------------
 
@@ -163,6 +165,12 @@ class LogicRuntime:
         self._combiners = {}
         self._grace_timers = {}
         self._emit_seq = {}
+        if self.app.repair is not None:
+            # Fresh per promotion: repair state is as stateless across
+            # failovers as the operator state it protects.
+            self._repair = RepairSession(
+                self.app.repair, self.app.name, self.env, self._repair_deliver
+            )
         for op in self.app.topological_operators:
             combiner = op.combiner.clone()
             combiner.bind(op.name, op.input_streams)
@@ -198,6 +206,9 @@ class LogicRuntime:
         self._periodic_timers.append(self.env.schedule(interval, tick))
 
     def _teardown_operator_state(self) -> None:
+        if self._repair is not None:
+            self._repair.close()
+            self._repair = None
         for handle in self._periodic_timers:
             handle.cancel()
         self._periodic_timers = []
@@ -224,7 +235,18 @@ class LogicRuntime:
             "logic_delivery", app=self.app.name, sensor=sensor, seq=event.seq,
             emitted_at=event.emitted_at, delay=now - event.emitted_at,
         )
+        if self._repair is not None:
+            # Repair sits between platform delivery (traced above, so the
+            # delivery-guarantee oracles are unaffected) and the app.
+            event = self._repair.admit(sensor, event)
+            if event is None:
+                return
         self._feed_stream(sensor, event)
+
+    def _repair_deliver(self, sensor: str, event: Event) -> None:
+        """Late repair outcomes (retry escalation, echo synthesis)."""
+        if self.active:
+            self._feed_stream(sensor, event)
 
     def _feed_stream(self, stream: str, event: Event) -> None:
         now = self.env.now()

@@ -310,15 +310,22 @@ class Fleet:
     #
     # Each entry point accepts "home_id/name" targets and routes to the
     # named tenant, which then performs its own validation (FaultError on
-    # unknown names, double crashes, out-of-range loss rates, ...).
+    # unknown names, double crashes, out-of-range loss rates, ...). Tenant
+    # FaultErrors are re-raised with the qualified target prefixed, so a
+    # multi-tenant chaos failure identifies which home rejected the fault.
+
+    def _routed_call(self, qualified: str, method: str, *args: Any) -> None:
+        home, local = self._route(qualified)
+        try:
+            getattr(home, method)(local, *args)
+        except FaultError as exc:
+            raise FaultError(f"[{home.home_id}/{local}] {exc}") from None
 
     def crash_process(self, name: str) -> None:
-        home, local = self._route(name)
-        home.crash_process(local)
+        self._routed_call(name, "crash_process")
 
     def recover_process(self, name: str) -> None:
-        home, local = self._route(name)
-        home.recover_process(local)
+        self._routed_call(name, "recover_process")
 
     def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
         """Partition one tenant; all group members must share a home."""
@@ -355,20 +362,16 @@ class Fleet:
                 home.heal_partition()
 
     def fail_sensor(self, name: str) -> None:
-        home, local = self._route(name)
-        home.fail_sensor(local)
+        self._routed_call(name, "fail_sensor")
 
     def recover_sensor(self, name: str) -> None:
-        home, local = self._route(name)
-        home.recover_sensor(local)
+        self._routed_call(name, "recover_sensor")
 
     def fail_actuator(self, name: str) -> None:
-        home, local = self._route(name)
-        home.fail_actuator(local)
+        self._routed_call(name, "fail_actuator")
 
     def recover_actuator(self, name: str) -> None:
-        home, local = self._route(name)
-        home.recover_actuator(local)
+        self._routed_call(name, "recover_actuator")
 
     def set_link_loss(self, device: str, process: str, loss_rate: float) -> None:
         device_home, device_local = self._route(device)
@@ -378,7 +381,44 @@ class Fleet:
                 f"link {device!r} -> {process!r} spans homes; "
                 "radio links are home-local"
             )
-        device_home.set_link_loss(device_local, process_local, loss_rate)
+        try:
+            device_home.set_link_loss(device_local, process_local, loss_rate)
+        except FaultError as exc:
+            raise FaultError(
+                f"[{device_home.home_id}/{device_local}] {exc}"
+            ) from None
+
+    # -- soft device faults (qualified) ------------------------------------------------
+
+    def stick_sensor(self, name: str, value: Any) -> None:
+        self._routed_call(name, "stick_sensor", value)
+
+    def unstick_sensor(self, name: str) -> None:
+        self._routed_call(name, "unstick_sensor")
+
+    def drift_sensor(self, name: str, rate: float) -> None:
+        self._routed_call(name, "drift_sensor", rate)
+
+    def stop_drift(self, name: str) -> None:
+        self._routed_call(name, "stop_drift")
+
+    def flap_link(self, name: str, period: float, duty: float) -> None:
+        self._routed_call(name, "flap_link", period, duty)
+
+    def stop_flap(self, name: str) -> None:
+        self._routed_call(name, "stop_flap")
+
+    def ghost_events(self, name: str, rate: float) -> None:
+        self._routed_call(name, "ghost_events", rate)
+
+    def stop_ghost(self, name: str) -> None:
+        self._routed_call(name, "stop_ghost")
+
+    def brownout(self, name: str, level: float) -> None:
+        self._routed_call(name, "brownout", level)
+
+    def replace_battery(self, name: str) -> None:
+        self._routed_call(name, "replace_battery")
 
     # -- aggregation -------------------------------------------------------------------
 

@@ -14,10 +14,13 @@ per application, and so do we) and derives:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.delivery import Delivery, PollingPolicy, strongest
 from repro.core.operators import Operator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.repair import RepairPolicy
 
 
 class GraphError(ValueError):
@@ -36,10 +39,17 @@ class SensorRequirement:
 class App:
     """One smart-home application: a named DAG of operators."""
 
-    def __init__(self, name: str, operators: Sequence[Operator] | Operator) -> None:
+    def __init__(
+        self,
+        name: str,
+        operators: Sequence[Operator] | Operator,
+        *,
+        repair: "RepairPolicy | None" = None,
+    ) -> None:
         if not name:
             raise ValueError("app needs a non-empty name")
         self.name = name
+        self.repair = repair
         if isinstance(operators, Operator):
             operators = [operators]
         if not operators:

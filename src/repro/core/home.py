@@ -24,6 +24,7 @@ determinism contract.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -34,7 +35,7 @@ from repro.core.plan import DeploymentPlan
 from repro.core.runtime import RivuletProcess
 from repro.devices.actuator import Actuator
 from repro.devices.catalog import SENSOR_CATALOG, make_sensor, technology_named
-from repro.devices.sensor import PollSensor, Sensor
+from repro.devices.sensor import PollSensor, PushSensor, Sensor
 from repro.net.latency import LatencyModel, ProcessingModel
 from repro.net.radio import RadioNetwork
 from repro.net.topology import HomeTopology
@@ -91,6 +92,81 @@ class _DeviceDecl:
     loss_rate: float | None
 
 
+class _LinkFlapper:
+    """Cycles a device's radio links down/up (flapping connectivity).
+
+    Starts with the outage phase — a flap fault should bite immediately —
+    then alternates up for ``duty`` and down for ``1 - duty`` of each
+    ``period``. ``stop`` cancels the cycle and re-enables the links.
+    """
+
+    def __init__(self, home: "Home", device: str, period: float, duty: float) -> None:
+        self._home = home
+        self._device = device
+        self._period = period
+        self._duty = duty
+        self._processes = [l.process for l in home.radio.links_from(device)]
+        self._down = False
+        self._set_links(False)
+        self._handle = home.scheduler.call_later((1.0 - duty) * period, self._go_up)
+
+    def _set_links(self, enabled: bool) -> None:
+        self._down = not enabled
+        for process in self._processes:
+            self._home.radio.set_link_enabled(self._device, process, enabled)
+
+    def _go_up(self) -> None:
+        self._set_links(True)
+        self._handle = self._home.scheduler.call_later(
+            self._duty * self._period, self._go_down
+        )
+
+    def _go_down(self) -> None:
+        self._set_links(False)
+        self._handle = self._home.scheduler.call_later(
+            (1.0 - self._duty) * self._period, self._go_up
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if self._down:
+            self._set_links(True)
+
+
+class _GhostDriver:
+    """Spurious emissions on a push sensor at a Poisson rate (events/hour).
+
+    Draws inter-arrival times from a dedicated ``ghost/<name>`` child
+    stream; derivation is stateless, so homes without ghost faults keep a
+    bit-identical draw sequence.
+    """
+
+    def __init__(self, home: "Home", sensor: PushSensor, rate_per_hour: float) -> None:
+        self._home = home
+        self._sensor = sensor
+        self._rate_per_s = rate_per_hour / 3600.0
+        self._rng = home.rng.child(f"ghost/{sensor.name}")
+        self._handle = home.scheduler.call_later(
+            self._rng.expovariate(self._rate_per_s), self._fire
+        )
+
+    def _fire(self) -> None:
+        self._home.trace.record(
+            self._home.scheduler.now, "sensor_ghost", sensor=self._sensor.name
+        )
+        self._sensor.emit(True)
+        self._handle = self._home.scheduler.call_later(
+            self._rng.expovariate(self._rate_per_s), self._fire
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
 class Home:
     """A simulated smart home running the Rivulet platform."""
 
@@ -145,6 +221,8 @@ class Home:
         self.processes: dict[str, RivuletProcess] = {}
         self.plan: DeploymentPlan | None = None
         self._started = False
+        self._flappers: dict[str, _LinkFlapper] = {}
+        self._ghosts: dict[str, _GhostDriver] = {}
 
     # -- construction -------------------------------------------------------------
 
@@ -428,6 +506,99 @@ class Home:
             raise FaultError(
                 f"no radio link {device!r} -> {process!r}"
             ) from exc
+
+    # -- soft device faults (IoTRepair taxonomy) ----------------------------------
+
+    def stick_sensor(self, name: str, value: Any) -> None:
+        sensor = self._fault_device(name, self._sensors, "sensor")
+        if sensor.stuck:
+            raise FaultError(f"cannot stick {name!r}: already stuck")
+        sensor.stick(value)
+
+    def unstick_sensor(self, name: str) -> None:
+        sensor = self._fault_device(name, self._sensors, "sensor")
+        if not sensor.stuck:
+            raise FaultError(f"cannot unstick {name!r}: not stuck")
+        sensor.unstick()
+
+    def drift_sensor(self, name: str, rate: float) -> None:
+        sensor = self._fault_device(name, self._sensors, "sensor")
+        if rate == 0 or not math.isfinite(rate):
+            raise FaultError(f"drift rate must be nonzero and finite, got {rate}")
+        if sensor.drifting:
+            raise FaultError(f"cannot drift {name!r}: already drifting")
+        sensor.set_drift(rate)
+
+    def stop_drift(self, name: str) -> None:
+        sensor = self._fault_device(name, self._sensors, "sensor")
+        if not sensor.drifting:
+            raise FaultError(f"cannot stop drift on {name!r}: not drifting")
+        sensor.clear_drift()
+
+    def flap_link(self, name: str, period: float, duty: float) -> None:
+        self.start()  # links resolve at start
+        if name not in self._sensors and name not in self._actuators:
+            raise FaultError(f"unknown device {name!r}")
+        if period <= 0 or not math.isfinite(period):
+            raise FaultError(f"flap period must be positive, got {period}")
+        if not 0.0 < duty < 1.0:
+            raise FaultError(f"flap duty must be in (0, 1), got {duty}")
+        if name in self._flappers:
+            raise FaultError(f"cannot flap {name!r}: already flapping")
+        if not self.radio.links_from(name):
+            raise FaultError(f"cannot flap {name!r}: device has no radio links")
+        self.trace.record(self.scheduler.now, "link_flap",
+                          device=name, period=period, duty=duty)
+        self._flappers[name] = _LinkFlapper(self, name, period, duty)
+
+    def stop_flap(self, name: str) -> None:
+        flapper = self._flappers.pop(name, None)
+        if flapper is None:
+            raise FaultError(f"cannot stop flapping on {name!r}: not flapping")
+        flapper.stop()
+        self.trace.record(self.scheduler.now, "link_flap_stopped", device=name)
+
+    def ghost_events(self, name: str, rate: float) -> None:
+        sensor = self._fault_device(name, self._sensors, "sensor")
+        if not isinstance(sensor, PushSensor):
+            raise FaultError(f"cannot ghost {name!r}: not a push sensor")
+        if rate <= 0 or not math.isfinite(rate):
+            raise FaultError(f"ghost rate must be positive, got {rate}")
+        if name in self._ghosts:
+            raise FaultError(f"cannot ghost {name!r}: already ghosting")
+        self.trace.record(self.scheduler.now, "ghost_started",
+                          sensor=name, rate=rate)
+        self._ghosts[name] = _GhostDriver(self, sensor, rate)
+
+    def stop_ghost(self, name: str) -> None:
+        driver = self._ghosts.pop(name, None)
+        if driver is None:
+            raise FaultError(f"cannot stop ghosting on {name!r}: not ghosting")
+        driver.stop()
+        self.trace.record(self.scheduler.now, "ghost_stopped", sensor=name)
+
+    def brownout(self, name: str, level: float) -> None:
+        sensor = self._fault_device(name, self._sensors, "sensor")
+        if not 0.0 <= level <= 1.0:
+            raise FaultError(f"brownout level must be in [0, 1], got {level}")
+        if level > sensor.battery.level:
+            raise FaultError(
+                f"brownout cannot raise {name!r} battery level "
+                f"({sensor.battery.level:.3f} -> {level})"
+            )
+        sensor.battery.brownout_to(level)
+        self.trace.record(self.scheduler.now, "brownout", sensor=name, level=level)
+
+    def replace_battery(self, name: str) -> None:
+        sensor = self._fault_device(name, self._sensors, "sensor")
+        sensor.battery.replace()
+        self.trace.record(self.scheduler.now, "battery_replaced", sensor=name)
+
+    def is_flapping(self, name: str) -> bool:
+        return name in self._flappers
+
+    def is_ghosting(self, name: str) -> bool:
+        return name in self._ghosts
 
     # -- accessors --------------------------------------------------------------------------
 

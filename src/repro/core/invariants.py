@@ -52,6 +52,7 @@ ORACLE_TRACE_KINDS: frozenset[str] = frozenset({
     "command_issued", "command_rerouted", "actuation",
     "partition", "partition_healed",
     "promotion", "demotion", "promotion_replay",
+    "alert", "repair",
 })
 
 #: Record kinds that represent protocol activity attributed to a process
@@ -74,6 +75,31 @@ class Violation:
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         when = f" @t={self.at:.3f}" if self.at is not None else ""
         return f"[{self.oracle}]{when} {self.message}"
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The workload's own timeline, for outcome oracles.
+
+    A scripted workload *knows* when the home was occupied, when someone
+    came through the door, and when a hazard started — independent of
+    what the (possibly faulty) sensors reported. The outcome oracles
+    compare the apps' actuations and alerts against this timeline.
+    """
+
+    occupied: tuple[tuple[float, float], ...] = ()
+    """Half-open ``[start, end)`` intervals during which the home was
+    occupied; everything outside them is ground-truth empty."""
+
+    entries: tuple[float, ...] = ()
+    """Times at which someone actually entered through the door."""
+
+    hazards: tuple[float, ...] = ()
+    """Times at which a real hazard (smoke, leak, ...) started."""
+
+    horizon: float = 0.0
+    """End of the scripted timeline (the run duration): state-based
+    oracles audit the trailing empty stretch up to this time."""
 
 
 @dataclass
@@ -101,6 +127,15 @@ class RunRecord:
     actuations: list[tuple[str, tuple, float]] = field(default_factory=list)
     """Applied commands: (actuator, command_id, time), in application order."""
 
+    applied_actions: list[tuple[str, str, Any, float]] = field(default_factory=list)
+    """Applied commands with payloads: (actuator, action, value, time), in
+    application order — what the outcome oracles reconstruct device state
+    from."""
+
+    ground_truth: "GroundTruth | None" = None
+    """The workload's occupancy/entry/hazard timeline, when it has one.
+    Outcome oracles pass vacuously without it."""
+
     fault_free: bool = False
     """True when no fault of any kind was injected during the run."""
 
@@ -109,7 +144,12 @@ class RunRecord:
 
     @classmethod
     def from_home(
-        cls, home: "Home", *, fault_free: bool = False, lossless: bool = True
+        cls,
+        home: "Home",
+        *,
+        fault_free: bool = False,
+        lossless: bool = True,
+        ground_truth: "GroundTruth | None" = None,
     ) -> "RunRecord":
         alive = {name: p.alive for name, p in home.processes.items()}
         views: dict[str, frozenset[str]] = {}
@@ -125,11 +165,16 @@ class RunRecord:
             for sensor in app.sensor_requirements():
                 consumers[sensor] = consumers.get(sensor, ()) + (app.name,)
         actuations: list[tuple[str, tuple, float]] = []
+        applied_actions: list[tuple[str, str, Any, float]] = []
         for name in home.actuator_names:
             for rec in home.actuator(name).history:
                 if rec.applied:
                     actuations.append((name, rec.command.command_id, rec.time))
+                    applied_actions.append(
+                        (name, rec.command.action, rec.command.value, rec.time)
+                    )
         actuations.sort(key=lambda item: item[2])
+        applied_actions.sort(key=lambda item: item[3])
         return cls(
             trace=home.trace,
             alive=alive,
@@ -137,6 +182,8 @@ class RunRecord:
             sensor_modes=sensor_modes,
             consumers=consumers,
             actuations=actuations,
+            applied_actions=applied_actions,
+            ground_truth=ground_truth,
             fault_free=fault_free,
             lossless=lossless,
         )
@@ -348,6 +395,163 @@ def check_poll_epochs_monotonic(record: RunRecord) -> list[Violation]:
                          "epoch": key[2]},
             ))
         seen_gaps.add(key)
+    return violations
+
+
+# -- outcome oracles (app-level ground truth) ---------------------------------------
+#
+# Unlike the protocol oracles above — which hold for *any* run — these
+# compare app behaviour against the workload's GroundTruth timeline, so
+# they only fire on runs whose RunRecord carries one. They are not part
+# of ALL_ORACLES: device faults can legitimately break app outcomes when
+# no repair policy is in place; campaigns report them separately as
+# repair-on vs repair-off deltas.
+
+
+def _empty_intervals(
+    truth: GroundTruth, horizon: float
+) -> list[tuple[float, float]]:
+    """Complement of the occupied intervals over [0, horizon)."""
+    empty: list[tuple[float, float]] = []
+    cursor = 0.0
+    for start, end in sorted(truth.occupied):
+        if start > cursor:
+            empty.append((cursor, start))
+        cursor = max(cursor, end)
+    if cursor < horizon:
+        empty.append((cursor, horizon))
+    return empty
+
+
+def check_hvac_no_empty_heat(
+    record: RunRecord,
+    *,
+    thermostat: str = "thermostat",
+    occupied_value: Any = 21.5,
+    grace_s: float = 300.0,
+) -> list[Violation]:
+    """The thermostat must not hold the occupied set-point through a
+    ground-truth empty stretch.
+
+    State-based with a grace period, not per-command: a bounded detection
+    lag after the home empties (sensor cadence x stuck-detection window)
+    is expected even with repair on; heating an empty home for longer
+    than ``grace_s`` is the outcome failure.
+    """
+    truth = record.ground_truth
+    if truth is None:
+        return []
+    # Reconstruct the set-point step function from applied commands.
+    steps = [
+        (time, value)
+        for name, action, value, time in record.applied_actions
+        if name == thermostat and action == "set_point"
+    ]
+    if not steps:
+        return []
+    horizon = max(
+        truth.horizon,
+        steps[-1][0],
+        max((end for _, end in truth.occupied), default=0.0),
+    )
+    violations: list[Violation] = []
+    for empty_start, empty_end in _empty_intervals(truth, horizon):
+        # Walk the step function across this empty interval and accumulate
+        # the longest stretch held at the occupied set-point.
+        state: Any = None
+        state_since = 0.0
+        worst_start: float | None = None
+        worst_len = 0.0
+
+        def account(until: float) -> None:
+            nonlocal worst_start, worst_len
+            if state == occupied_value:
+                start = max(state_since, empty_start)
+                end = min(until, empty_end)
+                if end - start > worst_len:
+                    worst_len = end - start
+                    worst_start = start
+
+        for time, value in steps:
+            if time >= empty_end:
+                break
+            if value == state:
+                continue  # re-asserting the same set-point extends the stretch
+            account(time)
+            state = value
+            state_since = time
+        account(empty_end)
+        if worst_len > grace_s and worst_start is not None:
+            violations.append(Violation(
+                oracle="hvac_no_empty_heat",
+                message=(
+                    f"thermostat {thermostat!r} held the occupied set-point "
+                    f"{occupied_value!r} for {worst_len:.0f}s inside the "
+                    f"empty interval ({empty_start:.0f}, {empty_end:.0f})"
+                ),
+                at=worst_start,
+                context={"thermostat": thermostat, "held_s": worst_len,
+                         "empty_start": empty_start, "empty_end": empty_end},
+            ))
+    return violations
+
+
+def check_intrusion_alarm_latency(
+    n_s: float = 60.0, *, siren: str = "siren", action: str = "sound"
+):
+    """Factory: every ground-truth entry must sound the siren within ``n_s``."""
+
+    def oracle(record: RunRecord) -> list[Violation]:
+        truth = record.ground_truth
+        if truth is None:
+            return []
+        sounded = sorted(
+            time
+            for name, act, value, time in record.applied_actions
+            if name == siren and act == action and value
+        )
+        violations: list[Violation] = []
+        for entry in truth.entries:
+            if not any(entry <= t <= entry + n_s for t in sounded):
+                violations.append(Violation(
+                    oracle="intrusion_alarm_latency",
+                    message=(
+                        f"entry at t={entry:.1f} raised no {siren!r} "
+                        f"{action!r} within {n_s:.0f}s"
+                    ),
+                    at=entry,
+                    context={"entry": entry, "window_s": n_s},
+                ))
+        return violations
+
+    oracle.__name__ = f"check_intrusion_alarm_latency_{n_s:g}s"
+    return oracle
+
+
+def check_safety_no_missed_alert(
+    record: RunRecord, *, app: str = "safety", window_s: float = 60.0
+) -> list[Violation]:
+    """Every ground-truth hazard must raise an app alert within the window."""
+    truth = record.ground_truth
+    if truth is None:
+        return []
+    alerts = sorted(
+        entry.time
+        for entry in record.trace.iter_kind("alert")
+        if entry.get("app") == app
+    )
+    violations: list[Violation] = []
+    for hazard in truth.hazards:
+        if not any(hazard <= t <= hazard + window_s for t in alerts):
+            violations.append(Violation(
+                oracle="safety_no_missed_alert",
+                message=(
+                    f"hazard at t={hazard:.1f} raised no {app!r} alert "
+                    f"within {window_s:.0f}s"
+                ),
+                at=hazard,
+                context={"hazard": hazard, "window_s": window_s},
+            ))
     return violations
 
 

@@ -21,6 +21,10 @@ EVENT_EMISSION_COST = 0.6
 IDLE_COST_PER_S = 0.002
 """Baseline sleep-mode drain per second."""
 
+WEAK_LEVEL = 0.2
+"""Below this remaining fraction the radio browns out: transmissions start
+failing intermittently (IoTRepair's battery-brownout fault class)."""
+
 
 @dataclass
 class Battery:
@@ -43,9 +47,37 @@ class Battery:
     def depleted(self) -> bool:
         return self.drained >= self.capacity
 
+    @property
+    def weak(self) -> bool:
+        """True while the cell is low enough to brown out, but not dead."""
+        return self.level < WEAK_LEVEL and not self.depleted
+
+    def brownout_to(self, level: float) -> None:
+        """Drain instantly so that :attr:`level` equals ``level``.
+
+        Brownouts are monotone: the target must not exceed the current
+        level (a battery cannot spontaneously regain charge — use
+        :meth:`replace` for that).
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"brownout level must be in [0, 1], got {level}")
+        if level > self.level:
+            raise ValueError(
+                f"brownout cannot raise the level ({self.level:.3f} -> {level})"
+            )
+        self.drained = self.capacity * (1.0 - level)
+
+    def replace(self) -> None:
+        """Swap in a fresh cell: full capacity, zero drain."""
+        self.drained = 0.0
+
     def projected_lifetime_ratio(self, reference_drain: float) -> float:
         """How much longer this battery lasts vs one that drained
         ``reference_drain`` over the same interval (used for Fig. 8)."""
+        if reference_drain <= 0:
+            raise ValueError(
+                f"reference_drain must be positive, got {reference_drain}"
+            )
         if self.drained == 0:
             return float("inf")
         return reference_drain / self.drained

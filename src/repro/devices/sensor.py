@@ -16,7 +16,12 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.events import Event
-from repro.devices.battery import EVENT_EMISSION_COST, POLL_SERVICE_COST, Battery
+from repro.devices.battery import (
+    EVENT_EMISSION_COST,
+    POLL_SERVICE_COST,
+    WEAK_LEVEL,
+    Battery,
+)
 from repro.net.radio import RadioNetwork, RadioTechnology
 from repro.sim.random import RandomSource
 from repro.sim.scheduler import Scheduler
@@ -50,6 +55,11 @@ class Sensor:
         self._trace = trace
         self._seq = 0
         self._failed = False
+        self._stuck = False
+        self._stuck_value: Any = None
+        self._drift_rate = 0.0
+        self._drift_start = 0.0
+        self._brownout_rng: RandomSource | None = None
         radio.register_device(self)
 
     @property
@@ -64,6 +74,61 @@ class Sensor:
     def recover(self) -> None:
         self._failed = False
         self._trace.record(self._scheduler.now, "sensor_recovered", sensor=self.name)
+
+    # -- soft device faults (IoTRepair taxonomy) -------------------------------
+
+    @property
+    def stuck(self) -> bool:
+        return self._stuck
+
+    @property
+    def drifting(self) -> bool:
+        return self._drift_rate != 0.0
+
+    def stick(self, value: Any) -> None:
+        """Stuck-at fault: every reading reports ``value`` until unstuck."""
+        self._stuck = True
+        self._stuck_value = value
+        self._trace.record(self._scheduler.now, "sensor_stuck", sensor=self.name)
+
+    def unstick(self) -> None:
+        self._stuck = False
+        self._stuck_value = None
+        self._trace.record(self._scheduler.now, "sensor_unstuck", sensor=self.name)
+
+    def set_drift(self, rate: float) -> None:
+        """Calibration drift: numeric readings gain ``rate * elapsed`` offset."""
+        self._drift_rate = rate
+        self._drift_start = self._scheduler.now
+        self._trace.record(
+            self._scheduler.now, "sensor_drift", sensor=self.name, rate=rate
+        )
+
+    def clear_drift(self) -> None:
+        self._drift_rate = 0.0
+        self._trace.record(
+            self._scheduler.now, "sensor_drift_cleared", sensor=self.name
+        )
+
+    def _apply_faults(self, value: Any) -> Any:
+        """Corrupt a reading per the active soft faults (stuck wins)."""
+        if self._stuck:
+            return self._stuck_value
+        if self._drift_rate and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            return value + self._drift_rate * (self._scheduler.now - self._drift_start)
+        return value
+
+    def _brownout_dropped(self) -> bool:
+        """Weak-battery transmission failure. Draws randomness only while the
+        battery is actually weak, so fault-free runs never touch the stream
+        (child derivation is stateless: creating it lazily is digest-safe)."""
+        if not self.battery.weak:
+            return False
+        if self._brownout_rng is None:
+            self._brownout_rng = self._rng.child("brownout")
+        drop_p = 1.0 - self.battery.level / WEAK_LEVEL
+        return self._brownout_rng.chance(drop_p)
 
     def _next_event(self, value: Any) -> Event:
         self._seq += 1
@@ -100,7 +165,14 @@ class PushSensor(Sensor):
         """Emit one event now. Returns it, or None if the sensor is down."""
         if self._failed or self.battery.depleted:
             return None
-        event = self._next_event(value)
+        if self._brownout_dropped():
+            # The MCU woke and tried to transmit: energy is spent, no event.
+            self.battery.drain(EVENT_EMISSION_COST)
+            self._trace.record(
+                self._scheduler.now, "sensor_brownout_drop", sensor=self.name
+            )
+            return None
+        event = self._next_event(self._apply_faults(value))
         self.battery.drain(EVENT_EMISSION_COST)
         self._trace.record(
             self._scheduler.now, "sensor_emit", sensor=self.name, seq=event.seq
@@ -204,7 +276,11 @@ class PollSensor(Sensor):
             self._trace.record(self._scheduler.now, "poll_glitch", sensor=self.name)
             respond(None)
             return
-        value = self._measure(self._scheduler.now, self._rng)
+        if self._brownout_dropped():
+            self._trace.record(self._scheduler.now, "poll_brownout", sensor=self.name)
+            respond(None)
+            return
+        value = self._apply_faults(self._measure(self._scheduler.now, self._rng))
         event = self._next_event(value)
         self.poll_stats.served += 1
         self._trace.record(

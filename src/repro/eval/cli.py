@@ -101,8 +101,8 @@ def _run_chaos(args) -> int:
     import json
 
     from repro.eval.chaos import (
-        DEFAULT_INTENSITIES, MODES, render_campaign_summary, replay_run,
-        run_campaign,
+        DEFAULT_INTENSITIES, MODES, render_campaign_summary,
+        render_device_summary, replay_run, run_campaign, run_device_campaign,
     )
     from repro.sim.chaos import PROFILES
 
@@ -129,6 +129,27 @@ def _run_chaos(args) -> int:
     seeds = parse_seed_list(
         args.seeds, default=list(range(5)), lone_int_is_range=True,
     )
+    if args.profile is not None:
+        if args.profile not in PROFILES:
+            raise CliError(
+                f"unknown chaos profile {args.profile!r} "
+                f"(choose from {', '.join(sorted(PROFILES))})"
+            )
+        if args.intensities is not None:
+            raise CliError(
+                "--profile and --intensities are mutually exclusive "
+                "(--profile selects a single profile)"
+            )
+        if args.profile == "device":
+            out = args.out or "CHAOS_report.json"
+            report = run_device_campaign(
+                seeds, args.horizon, out_path=out, progress=True,
+                jobs=args.jobs or 1, cache=_make_cache(args),
+            )
+            print(render_device_summary(report))
+            print(f"wrote {out}")
+            return 1 if report["summary"]["failures"] else 0
+        args.intensities = args.profile
     intensities = parse_choice_list(
         args.intensities, tuple(sorted(PROFILES)), DEFAULT_INTENSITIES,
         "intensity",
@@ -322,6 +343,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--intensities", type=str, default=None,
                         help="chaos only: comma-separated intensity profiles "
                         "(default mild,severe)")
+    parser.add_argument("--profile", type=str, default=None, metavar="NAME",
+                        help="chaos only: run a single named profile; "
+                        "'device' selects the soft device-fault scenario "
+                        "with repair-on/off outcome deltas")
     parser.add_argument("--modes", type=str, default=None,
                         help="chaos only: comma-separated delivery modes "
                         "(default gapless,gap,naive-broadcast)")

@@ -68,6 +68,33 @@ class IntensityProfile:
     max_link_loss: float = 0.6
     """Upper bound for a ramped loss rate."""
 
+    # -- soft device faults (IoTRepair taxonomy; all default 0 so the
+    #    historical profiles and their plan digests are untouched) ---------
+
+    stick_rate: float = 0.0
+    """Stuck-at sensor episode arrivals per hour (shared across sensors)."""
+
+    drift_rate: float = 0.0
+    """Calibration-drift episode arrivals per hour (numeric sensors)."""
+
+    flap_rate: float = 0.0
+    """Link-flapping episode arrivals per hour."""
+
+    ghost_rate: float = 0.0
+    """Ghost-event episode arrivals per hour (binary push sensors)."""
+
+    brownout_rate: float = 0.0
+    """Battery-brownout episode arrivals per hour."""
+
+    mean_device_fault_s: float = 300.0
+    """Mean soft-device-fault episode duration (exponential)."""
+
+    max_drift_per_s: float = 0.05
+    """Upper bound for the absolute drift rate (units/second)."""
+
+    ghost_events_per_hour: float = 40.0
+    """Spurious emission rate while a ghost episode is active."""
+
 
 PROFILES: dict[str, IntensityProfile] = {
     "mild": IntensityProfile(
@@ -88,6 +115,20 @@ PROFILES: dict[str, IntensityProfile] = {
         mean_downtime_s=90.0, mean_partition_s=60.0,
         mean_outage_s=120.0, mean_ramp_s=180.0, max_link_loss=0.8,
     ),
+    # Soft device faults mixed with moderate infrastructure chaos. Hard
+    # device outages (device_fail_rate) stay at 0 here: a sensor that is
+    # simply *gone* is unfixable at the app level, and this profile exists
+    # to measure what repair policies can and cannot absorb.
+    "device": IntensityProfile(
+        name="device", crash_rate=6.0, partition_rate=3.0,
+        device_fail_rate=0.0, link_ramp_rate=6.0,
+        mean_downtime_s=45.0, mean_partition_s=30.0,
+        mean_ramp_s=90.0, max_link_loss=0.4,
+        stick_rate=10.0, drift_rate=6.0, flap_rate=8.0,
+        ghost_rate=6.0, brownout_rate=4.0,
+        mean_device_fault_s=300.0, max_drift_per_s=0.05,
+        ghost_events_per_hour=40.0,
+    ),
 }
 
 
@@ -103,6 +144,24 @@ class FaultDomain:
 
     base_loss: dict[tuple[str, str], float] = field(default_factory=dict)
     """Loss rate a ramped link is restored to (default 0)."""
+
+    # -- soft device-fault targets (all optional) --------------------------
+
+    binary_sensors: Sequence[str] = ()
+    """Push sensors with boolean readings: stick / flap / ghost targets."""
+
+    numeric_sensors: Sequence[str] = ()
+    """Sensors with numeric readings: stick / drift / flap targets."""
+
+    battery_sensors: Sequence[str] = ()
+    """Battery-powered sensors: brownout targets."""
+
+    correlated: Sequence[tuple[str, ...]] = ()
+    """Groups of mutually correlated sensors (a primary and its backups).
+    At most one member of a group carries a soft fault at a time —
+    devices fail independently, and faulting a primary together with
+    every sensor that could repair it models a different (unfixable)
+    failure class."""
 
 
 class FaultScheduleGenerator:
@@ -242,10 +301,145 @@ class FaultScheduleGenerator:
                 process_q = self._qualify(process)
                 plan.set_link_loss(device_q, process_q, round(loss, 3), at=t)
                 plan.set_link_loss(device_q, process_q, base, at=restore_at)
+        self._add_device_episodes(plan, source, device_down_until)
         return plan
+
+    # -- soft device-fault episodes ------------------------------------------------
+
+    def _add_device_episodes(
+        self,
+        plan: FaultPlan,
+        source: RandomSource,
+        device_down_until: dict[str, float],
+    ) -> None:
+        """Sample paired soft-fault episodes from per-device streams.
+
+        Every eligible device gets its own ``chaos[/<home>]/<device>/<cat>``
+        stream (the per-home category rate is split evenly across the
+        devices), and *all* episode parameters are drawn at collection
+        time — conflict filtering afterwards cannot perturb another
+        device's draw sequence. Structural validity: episodes never
+        overlap on one device (stick/clear stay paired, one brownout per
+        battery before its replacement) and never overlap within a
+        correlated group (so a primary's backup stays healthy — see
+        :attr:`FaultDomain.correlated`).
+        """
+        profile = self.profile
+        domain = self.domain
+        binary = list(domain.binary_sensors)
+        numeric = list(domain.numeric_sensors)
+        soft = binary + numeric
+        categories = (
+            ("stick", profile.stick_rate, soft),
+            ("drift", profile.drift_rate, numeric),
+            ("flap", profile.flap_rate, soft),
+            ("ghost", profile.ghost_rate, binary),
+            ("brownout", profile.brownout_rate, list(domain.battery_sensors)),
+        )
+        if not any(rate > 0 and targets for _, rate, targets in categories):
+            return
+        end = self.window[1]
+        binary_set = set(binary)
+        episodes: list[tuple[float, str, str, float, tuple]] = []
+        for category, rate, targets in categories:
+            if rate <= 0 or not targets:
+                continue
+            per_device = rate / len(targets)
+            for device in sorted(set(targets)):
+                rng = source.child(device).child(category)
+                for t in self._arrivals(rng, per_device):
+                    until = min(
+                        t + rng.expovariate(1.0 / profile.mean_device_fault_s), end
+                    )
+                    params = self._episode_params(
+                        category, device in binary_set, rng
+                    )
+                    if until <= t:
+                        continue
+                    episodes.append((t, device, category, until, params))
+        episodes.sort(key=lambda e: (e[0], e[1], e[2]))
+
+        group_of: dict[str, int] = {}
+        for i, group in enumerate(domain.correlated):
+            for member in group:
+                group_of[member] = i
+        busy = dict(device_down_until)
+        group_busy: dict[int, float] = {}
+        for t, device, category, until, params in episodes:
+            if busy.get(device, 0.0) > t:
+                continue
+            group = group_of.get(device)
+            if group is not None and group_busy.get(group, 0.0) > t:
+                continue
+            self._emit_episode(plan, category, device, t, until, params)
+            busy[device] = until
+            if group is not None:
+                group_busy[group] = until
+
+    def _episode_params(
+        self, category: str, is_binary: bool, rng: RandomSource
+    ) -> tuple:
+        """Draw a category's parameters (always, so filtering never skews
+        a device's stream)."""
+        if category == "stick":
+            if is_binary:
+                return (bool(rng.randint(0, 1)),)
+            return (round(rng.uniform(18.0, 28.0), 2),)
+        if category == "drift":
+            sign = 1.0 if rng.randint(0, 1) == 0 else -1.0
+            return (sign * round(rng.uniform(0.01, self.profile.max_drift_per_s), 4),)
+        if category == "flap":
+            return (round(rng.uniform(30.0, 120.0), 2),
+                    round(rng.uniform(0.3, 0.7), 3))
+        if category == "ghost":
+            return (self.profile.ghost_events_per_hour,)
+        # brownout: a level safely below the WEAK threshold.
+        return (round(rng.uniform(0.0, 0.15), 3),)
+
+    def _emit_episode(
+        self,
+        plan: FaultPlan,
+        category: str,
+        device: str,
+        t: float,
+        until: float,
+        params: tuple,
+    ) -> None:
+        target = self._qualify(device)
+        if category == "stick":
+            plan.stick_sensor(target, params[0], at=t)
+            plan.unstick_sensor(target, at=until)
+        elif category == "drift":
+            plan.drift_sensor(target, params[0], at=t)
+            plan.stop_drift(target, at=until)
+        elif category == "flap":
+            plan.flap_link(target, params[0], params[1], at=t)
+            plan.stop_flap(target, at=until)
+        elif category == "ghost":
+            plan.ghost_events(target, params[0], at=t)
+            plan.stop_ghost(target, at=until)
+        else:
+            plan.brownout(target, params[0], at=t)
+            plan.replace_battery(target, at=until)
 
 
 # -- shrinking (greedy delta debugging) ---------------------------------------------
+
+
+#: Soft device-fault state machines: start kind -> clearing kind. A start
+#: while the state is active, or a clear while it is not, would raise
+#: FaultError on replay; normalize() drops both. ``brownout`` fits the
+#: same shape: with pairing enforced, every brownout happens on a fresh
+#: (or freshly replaced) battery, so its sampled level (<= 0.15, far
+#: below a fresh battery's ~1.0) is always monotone-valid.
+_PAIRED_DEVICE_KINDS: dict[str, str] = {
+    "stick_sensor": "unstick_sensor",
+    "drift_sensor": "stop_drift",
+    "flap_link": "stop_flap",
+    "ghost_events": "stop_ghost",
+    "brownout": "replace_battery",
+}
+_CLEAR_TO_START: dict[str, str] = {v: k for k, v in _PAIRED_DEVICE_KINDS.items()}
 
 
 def normalize(actions: Sequence[FaultAction]) -> list[FaultAction]:
@@ -253,13 +447,16 @@ def normalize(actions: Sequence[FaultAction]) -> list[FaultAction]:
 
     Removing a ``recover`` from a plan leaves its process down, so a later
     ``crash`` of the same process would raise ``FaultError`` on replay.
-    This simulates the crash/recover state machine over the actions in
-    apply order and drops the contradictions; every other action kind is
-    unconditionally replayable. The result is a valid plan whose surviving
-    actions keep their relative order.
+    This simulates the crash/recover state machine — and the analogous
+    paired state machines of every soft device fault (stick/unstick,
+    drift/stop, flap/stop, ghost/stop, brownout/replace) — over the
+    actions in apply order and drops the contradictions; every other
+    action kind is unconditionally replayable. The result is a valid plan
+    whose surviving actions keep their relative order.
     """
     ordered = sorted(enumerate(actions), key=lambda pair: (pair[1].at, pair[0]))
     down: set[str] = set()
+    active: set[tuple[str, str]] = set()
     dropped: set[int] = set()
     for index, action in ordered:
         if action.kind == "crash_process":
@@ -272,6 +469,18 @@ def normalize(actions: Sequence[FaultAction]) -> list[FaultAction]:
             process = action.args[0]
             if process in down:
                 down.discard(process)
+            else:
+                dropped.add(index)
+        elif action.kind in _PAIRED_DEVICE_KINDS:
+            key = (action.kind, action.args[0])
+            if key in active:
+                dropped.add(index)
+            else:
+                active.add(key)
+        elif action.kind in _CLEAR_TO_START:
+            key = (_CLEAR_TO_START[action.kind], action.args[0])
+            if key in active:
+                active.discard(key)
             else:
                 dropped.add(index)
     return [a for i, a in enumerate(actions) if i not in dropped]

@@ -53,6 +53,26 @@ class _FaultTarget(Protocol):  # pragma: no cover - typing only
 
     def set_link_loss(self, sensor: str, process: str, loss_rate: float) -> None: ...
 
+    def stick_sensor(self, name: str, value: Any) -> None: ...
+
+    def unstick_sensor(self, name: str) -> None: ...
+
+    def drift_sensor(self, name: str, rate: float) -> None: ...
+
+    def stop_drift(self, name: str) -> None: ...
+
+    def flap_link(self, name: str, period: float, duty: float) -> None: ...
+
+    def stop_flap(self, name: str) -> None: ...
+
+    def ghost_events(self, name: str, rate: float) -> None: ...
+
+    def stop_ghost(self, name: str) -> None: ...
+
+    def brownout(self, name: str, level: float) -> None: ...
+
+    def replace_battery(self, name: str) -> None: ...
+
 
 @dataclass(frozen=True)
 class FaultAction:
@@ -111,6 +131,51 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Change the Bernoulli loss rate of one sensor-process link."""
         return self._add(at, "set_link_loss", sensor, process, loss_rate)
+
+    # -- soft device faults (IoTRepair taxonomy) -------------------------------
+
+    def stick_sensor(self, sensor: str, value: Any, *, at: float) -> "FaultPlan":
+        """Stuck-at fault: the sensor keeps reporting ``value``."""
+        return self._add(at, "stick_sensor", sensor, value)
+
+    def unstick_sensor(self, sensor: str, *, at: float) -> "FaultPlan":
+        """Clear a stuck-at fault."""
+        return self._add(at, "unstick_sensor", sensor)
+
+    def drift_sensor(self, sensor: str, rate: float, *, at: float) -> "FaultPlan":
+        """Calibration drift: numeric readings gain ``rate`` units/second."""
+        return self._add(at, "drift_sensor", sensor, rate)
+
+    def stop_drift(self, sensor: str, *, at: float) -> "FaultPlan":
+        """Clear a calibration drift."""
+        return self._add(at, "stop_drift", sensor)
+
+    def flap_link(
+        self, device: str, period: float, duty: float, *, at: float
+    ) -> "FaultPlan":
+        """Flapping connectivity: the device's links cycle down/up with the
+        given ``period`` (seconds), up for ``duty`` fraction of each cycle."""
+        return self._add(at, "flap_link", device, period, duty)
+
+    def stop_flap(self, device: str, *, at: float) -> "FaultPlan":
+        """Stop link flapping and re-enable the device's links."""
+        return self._add(at, "stop_flap", device)
+
+    def ghost_events(self, sensor: str, rate: float, *, at: float) -> "FaultPlan":
+        """Ghost events: spurious emissions at ``rate`` events/hour."""
+        return self._add(at, "ghost_events", sensor, rate)
+
+    def stop_ghost(self, sensor: str, *, at: float) -> "FaultPlan":
+        """Stop injecting ghost events."""
+        return self._add(at, "stop_ghost", sensor)
+
+    def brownout(self, device: str, level: float, *, at: float) -> "FaultPlan":
+        """Battery brownout: drain the device's battery down to ``level``."""
+        return self._add(at, "brownout", device, level)
+
+    def replace_battery(self, device: str, *, at: float) -> "FaultPlan":
+        """Swap in a fresh battery (clears a brownout)."""
+        return self._add(at, "replace_battery", device)
 
     def merge(self, other: "FaultPlan") -> "FaultPlan":
         """A new plan containing both plans' actions."""

@@ -15,6 +15,7 @@ from repro.eval.chaos import (
     replay_run,
     run_campaign,
     run_chaos_case,
+    run_device_campaign,
 )
 from repro.sim.chaos import FaultScheduleGenerator, PROFILES
 from repro.sim.faults import FaultError, FaultPlan
@@ -133,6 +134,66 @@ def test_link_loss_validation(home):
     with pytest.raises(FaultError, match="no radio link"):
         home.set_link_loss("m1", "p0", 0.5)  # m1 has no link to p0
     home.set_link_loss("m1", "p1", 0.5)  # valid bounds pass
+
+
+# -- device-fault campaign (repair on vs. off) --------------------------------
+
+
+def test_device_campaign_repairs_outcomes_and_is_deterministic():
+    """Seeds picked to trip two different outcome oracles with repair off;
+    with repair on the campaign must be clean — and bit-identical on rerun."""
+    kwargs = dict(seeds=[2, 3], horizon=3600.0, out_path=None)
+    first = run_device_campaign(**kwargs)
+    second = run_device_campaign(**kwargs)
+    assert first["summary"]["failures"] == 0
+    assert first["digest"] == second["digest"]
+    deltas = first["summary"]["outcome_deltas"]
+    assert all(d["repair_on"] == 0 for d in deltas.values())
+    assert deltas["hvac_no_empty_heat"]["repair_off"] > 0
+    assert deltas["intrusion_alarm_latency"]["repair_off"] > 0
+    for run in first["runs"]:
+        assert run["repair_decisions"], "repair layer must have acted"
+
+
+def test_device_run_replays_from_the_report():
+    report = run_device_campaign(seeds=[2], horizon=1800.0, out_path=None)
+    result = replay_run(report, "device-s2")
+    assert result["source"] == "regenerated plan"
+    assert result["verdict"] == "pass" == result["recorded_verdict"]
+
+
+def test_device_report_round_trips_through_json(tmp_path):
+    out = tmp_path / "device.json"
+    report = run_device_campaign(seeds=[2], horizon=1800.0, out_path=str(out))
+    assert json.loads(out.read_text()) == report
+
+
+def test_cli_chaos_device_profile_smoke(tmp_path, capsys):
+    from repro.eval.cli import main
+
+    out = tmp_path / "device.json"
+    code = main(["chaos", "--profile", "device", "--seeds", "1",
+                 "--horizon", "1200", "--no-cache", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    captured = capsys.readouterr().out
+    assert "device-fault campaign" in captured
+    assert "failures  : 0" in captured
+
+
+def test_cli_chaos_unknown_profile_exits_2(capsys):
+    from repro.eval.cli import main
+
+    assert main(["chaos", "--profile", "nosuch"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown chaos profile" in err
+    for name in sorted(PROFILES):
+        assert name in err
+    # --profile picks one profile; combining it with --intensities is a
+    # contradiction, not a merge.
+    assert main(["chaos", "--profile", "device",
+                 "--intensities", "mild"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
 
 
 # -- full sweep (opt-in, like perf) -------------------------------------------

@@ -59,6 +59,44 @@ def test_golden_digest_unchanged_by_optimizations():
     assert scenario_digest(7) == GOLDEN_DIGEST
 
 
+# blake2b-128 digest of the device-fault scenario below: every soft device
+# fault (stick/drift/flap/ghost/brownout) plus its clearing action, over the
+# standard device workload with the repair layer on. Pins both the fault
+# models and the repair layer's decisions. Regenerate with
+# device_fault_scenario_digest(11) on intentional behaviour change.
+DEVICE_FAULT_GOLDEN = "845a739365b611a58ab9fc36ad86229f"
+
+
+def device_fault_scenario_digest(seed: int = 11) -> str:
+    from repro.eval.chaos import _schedule_device_workload, build_device_home
+
+    home = build_device_home(seed, repair=True, trace_digest=True)
+    home.start()
+    plan = (FaultPlan()
+            .stick_sensor("m1", True, at=300.0)
+            .drift_sensor("t1", 0.02, at=400.0)
+            .flap_link("d1", 60.0, 0.5, at=500.0)
+            .ghost_events("s1", 40.0, at=600.0)
+            .unstick_sensor("m1", at=700.0)
+            .brownout("m1", 0.1, at=800.0)
+            .stop_drift("t1", at=900.0)
+            .stop_flap("d1", at=1000.0)
+            .stop_ghost("s1", at=1100.0)
+            .replace_battery("m1", at=1200.0))
+    plan.apply(home)
+    _schedule_device_workload(home, seed, 1800.0)
+    home.run_until(1800.0)
+    return home.trace.digest()
+
+
+def test_device_fault_scenario_digest_pinned():
+    assert device_fault_scenario_digest(11) == DEVICE_FAULT_GOLDEN
+
+
+def test_device_fault_scenario_seed_sensitivity():
+    assert device_fault_scenario_digest(12) != DEVICE_FAULT_GOLDEN
+
+
 def test_digest_matches_incremental_hasher():
     """The streaming (digest=True) and recompute-from-storage paths agree."""
     from repro.sim.tracing import Trace

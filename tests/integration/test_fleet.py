@@ -205,6 +205,31 @@ def test_fleet_rejects_cross_home_partition_and_link():
         fleet.set_link_loss("h000/door1", "h001/hub", 0.5)
 
 
+def test_fleet_qualifies_fault_errors_with_home_and_device():
+    """Satellite: a FaultError surfacing through Fleet routing names the
+    ``home_id/name`` it came from, not just the bare local name."""
+    fleet = Fleet.build(2, template, seed=42).start()
+    with pytest.raises(FaultError, match=r"\[h000/door1\]"):
+        fleet.unstick_sensor("h000/door1")  # never stuck
+    fleet.stick_sensor("h001/door1", True)
+    with pytest.raises(FaultError, match=r"\[h001/door1\]"):
+        fleet.stick_sensor("h001/door1", False)  # already stuck
+    with pytest.raises(FaultError, match=r"\[h000/door1\]"):
+        fleet.brownout("h000/door1", 2.0)  # level out of range
+
+
+def test_fleet_routes_device_faults_to_one_home():
+    fleet = Fleet.build(2, template, seed=42).start()
+    fleet.stick_sensor("h000/door1", True)
+    assert fleet.home("h000").sensor("door1").stuck
+    assert not fleet.home("h001").sensor("door1").stuck
+    fleet.unstick_sensor("h000/door1")
+    fleet.brownout("h001/door1", 0.1)
+    assert fleet.home("h001").sensor("door1").battery.weak
+    fleet.replace_battery("h001/door1")
+    assert not fleet.home("h001").sensor("door1").battery.weak
+
+
 def test_heal_partition_does_not_leak_into_siblings():
     fleet = Fleet.build(2, template, seed=42).start()
     fleet.set_partition([["h000/hub"], ["h000/tv"]])

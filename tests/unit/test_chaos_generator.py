@@ -140,6 +140,117 @@ def test_empty_domain_rejected():
         )
 
 
+# -- soft device-fault episodes ----------------------------------------------
+
+
+_DEVICE_PAIRS = {
+    "stick_sensor": "unstick_sensor",
+    "drift_sensor": "stop_drift",
+    "flap_link": "stop_flap",
+    "ghost_events": "stop_ghost",
+    "brownout": "replace_battery",
+}
+
+
+def device_domain() -> FaultDomain:
+    return FaultDomain(
+        processes=("p0", "p1"),
+        binary_sensors=("m1", "d1"),
+        numeric_sensors=("t1",),
+        battery_sensors=("m1", "t1"),
+        correlated=(("m1", "m2"),),
+    )
+
+
+def device_generator() -> FaultScheduleGenerator:
+    return FaultScheduleGenerator(device_domain(), PROFILES["device"], HORIZON)
+
+
+def test_device_profile_emits_soft_faults():
+    plan = device_generator().generate(1)
+    kinds = {a.kind for a in plan.actions}
+    assert kinds & set(_DEVICE_PAIRS), "expected at least one soft fault"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_device_episodes_are_paired_and_non_overlapping(seed):
+    plan = device_generator().generate(seed)
+    ordered = sorted(enumerate(plan.actions),
+                     key=lambda pair: (pair[1].at, pair[0]))
+    active: dict[str, str] = {}  # device -> start kind
+    for _, action in ordered:
+        if action.kind in _DEVICE_PAIRS:
+            device = action.args[0]
+            assert device not in active, \
+                f"{device} got {action.kind} while {active[device]} is open"
+            active[device] = action.kind
+        elif action.kind in _DEVICE_PAIRS.values():
+            device = action.args[0]
+            starts = [k for k, v in _DEVICE_PAIRS.items() if v == action.kind]
+            assert active.get(device) == starts[0]
+            del active[device]
+    assert not active, "every soft fault must be cleared inside the window"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_device_episodes_respect_correlated_groups(seed):
+    plan = device_generator().generate(seed)
+    ordered = sorted(enumerate(plan.actions),
+                     key=lambda pair: (pair[1].at, pair[0]))
+    group = {"m1", "m2"}
+    open_in_group = 0
+    for _, action in ordered:
+        if not action.args or action.args[0] not in group:
+            continue
+        if action.kind in _DEVICE_PAIRS:
+            open_in_group += 1
+            assert open_in_group <= 1
+        elif action.kind in _DEVICE_PAIRS.values():
+            open_in_group -= 1
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_device_fault_parameters_are_valid(seed):
+    plan = device_generator().generate(seed)
+    for action in plan.actions:
+        if action.kind == "stick_sensor":
+            device, value = action.args
+            if device in ("m1", "d1"):
+                assert isinstance(value, bool)
+            else:
+                assert 18.0 <= value <= 28.0
+        elif action.kind == "drift_sensor":
+            assert action.args[0] == "t1"  # numeric only
+            assert 0.0 < abs(action.args[1]) <= PROFILES["device"].max_drift_per_s
+        elif action.kind == "flap_link":
+            _, period, duty = action.args
+            assert period > 0 and 0.0 < duty < 1.0
+        elif action.kind == "ghost_events":
+            assert action.args[0] in ("m1", "d1")  # binary push only
+            assert action.args[1] > 0
+        elif action.kind == "brownout":
+            assert action.args[0] in ("m1", "t1")
+            assert 0.0 <= action.args[1] <= 0.15
+
+
+def test_legacy_profiles_are_digest_stable_with_device_fields():
+    """Profiles with zero device-fault rates must generate plans that are
+    bit-identical whether or not the domain declares soft-fault targets
+    (adding the feature cannot shift existing campaigns)."""
+    bare = domain()
+    extended = FaultDomain(
+        processes=bare.processes, sensors=bare.sensors,
+        actuators=bare.actuators, links=bare.links,
+        binary_sensors=("s1",), numeric_sensors=("s2",),
+        battery_sensors=("s1",), correlated=(("s1", "s2"),),
+    )
+    for profile in ("mild", "severe"):
+        for seed in range(6):
+            a = FaultScheduleGenerator(bare, PROFILES[profile], HORIZON)
+            b = FaultScheduleGenerator(extended, PROFILES[profile], HORIZON)
+            assert a.generate(seed).actions == b.generate(seed).actions
+
+
 # -- normalize ----------------------------------------------------------------
 
 
@@ -168,6 +279,41 @@ def test_normalize_preserves_other_kinds():
             .set_link_loss("s1", "p0", 0.5, at=7.0))
     kept = normalize(plan.actions)
     assert [a.kind for a in kept] == ["fail_sensor", "set_link_loss"]
+
+
+def test_normalize_keeps_device_plans_intact():
+    plan = device_generator().generate(3)
+    assert normalize(plan.actions) == list(plan.actions)
+
+
+def test_normalize_drops_orphaned_device_actions():
+    plan = (FaultPlan()
+            .stick_sensor("m1", True, at=10.0)
+            .stick_sensor("m1", False, at=15.0)   # already stuck: dropped
+            .unstick_sensor("m1", at=20.0)
+            .unstick_sensor("m1", at=25.0)        # not stuck: dropped
+            .stop_flap("d1", at=30.0)             # never flapping: dropped
+            .brownout("t1", 0.1, at=35.0)
+            .brownout("t1", 0.05, at=40.0)        # battery already weak: dropped
+            .replace_battery("t1", at=45.0))
+    kept = normalize(plan.actions)
+    assert [(a.kind, a.at) for a in kept] == [
+        ("stick_sensor", 10.0),
+        ("unstick_sensor", 20.0),
+        ("brownout", 35.0),
+        ("replace_battery", 45.0),
+    ]
+
+
+def test_shrink_handles_device_action_subsets():
+    plan = device_generator().generate(2)
+    soft = [a for a in plan.actions if a.kind in _DEVICE_PAIRS]
+    assert soft, "need at least one soft fault for this seed"
+    culprit = soft[0]
+    shrunk = shrink(plan, _failing_if_contains(culprit.kind, culprit.args[0]))
+    assert len(shrunk) <= len(plan)
+    assert any(a.kind == culprit.kind for a in shrunk.actions)
+    assert normalize(shrunk.actions) == list(shrunk.actions)
 
 
 # -- shrink -------------------------------------------------------------------

@@ -256,3 +256,105 @@ def test_battery_lifetime_ratio():
     assert battery.projected_lifetime_ratio(100.0) == 2.0
     fresh = Battery()
     assert fresh.projected_lifetime_ratio(100.0) == float("inf")
+
+
+def test_battery_lifetime_ratio_rejects_zero_and_negative_reference():
+    battery = Battery()
+    battery.drain(50.0)
+    with pytest.raises(ValueError):
+        battery.projected_lifetime_ratio(0.0)
+    with pytest.raises(ValueError):
+        battery.projected_lifetime_ratio(-10.0)
+    # A fresh battery still validates the reference before returning inf.
+    with pytest.raises(ValueError):
+        Battery().projected_lifetime_ratio(0.0)
+
+
+def test_battery_lifetime_ratio_depleted():
+    battery = Battery(capacity=10.0)
+    battery.drain(10.0)
+    assert battery.depleted
+    assert battery.projected_lifetime_ratio(5.0) == 0.5
+
+
+def test_battery_weak_band_and_brownout():
+    battery = Battery(capacity=100.0)
+    assert not battery.weak
+    battery.brownout_to(0.1)
+    assert battery.level == pytest.approx(0.1)
+    assert battery.weak
+    with pytest.raises(ValueError):
+        battery.brownout_to(0.5)  # cannot regain charge
+    with pytest.raises(ValueError):
+        battery.brownout_to(1.5)  # out of range
+    battery.brownout_to(0.0)
+    assert battery.depleted and not battery.weak  # dead is not "weak"
+    battery.replace()
+    assert battery.level == 1.0 and not battery.weak
+
+
+# -- soft device faults ---------------------------------------------------------------
+
+
+def test_stuck_sensor_reports_fixed_value(rig):
+    sensor = make_push(rig)
+    sensor.stick(True)
+    assert sensor.stuck
+    assert sensor.emit(False).value is True
+    sensor.unstick()
+    assert not sensor.stuck
+    assert sensor.emit(False).value is False
+
+
+def test_drift_offsets_numeric_readings_only(rig):
+    sched, trace, radio = rig
+    sensor = make_push(rig)
+    sensor.set_drift(0.5)
+    assert sensor.drifting
+    sched.run_until(10.0)
+    # Booleans never drift.
+    assert sensor.emit(True).value is True
+    assert sensor.emit(3.0).value == pytest.approx(3.0 + 0.5 * 10.0)
+    sensor.clear_drift()
+    assert not sensor.drifting
+    assert sensor.emit(3.0).value == pytest.approx(3.0)
+
+
+def test_stuck_wins_over_drift(rig):
+    sched, trace, radio = rig
+    sensor = make_push(rig)
+    sensor.set_drift(1.0)
+    sched.run_until(5.0)
+    sensor.stick(42.0)
+    assert sensor.emit(3.0).value == 42.0
+
+
+def test_weak_battery_brownout_drops_push_emissions(rig):
+    sched, trace, radio = rig
+    sensor = make_push(rig)
+    sensor.battery.brownout_to(0.01)  # drop probability 0.95
+    results = [sensor.emit(True) for _ in range(40)]
+    dropped = sum(1 for r in results if r is None)
+    assert dropped > 20
+    assert trace.count("sensor_brownout_drop") == dropped
+    sensor.battery.replace()
+    assert sensor.emit(True) is not None
+
+
+def test_healthy_battery_never_brownout_drops(rig):
+    sensor = make_push(rig)
+    for _ in range(50):
+        assert sensor.emit(True) is not None
+
+
+def test_weak_battery_brownout_drops_polls(rig):
+    sched, trace, radio = rig
+    sensor = make_sensor("temperature", "t1", scheduler=sched, radio=radio,
+                         rng=RandomSource(1), trace=trace)
+    sensor.battery.brownout_to(0.0001)
+    responses = []
+    for _ in range(10):
+        sensor.receive_poll(responses.append)
+        sched.run()
+    assert responses.count(None) >= 8
+    assert trace.count("poll_brownout") == responses.count(None)

@@ -104,3 +104,69 @@ def test_to_dicts_round_trips_through_json():
     wire = json.loads(json.dumps(plan.to_dicts()))
     rebuilt = FaultPlan.from_dicts(wire)
     assert rebuilt.actions == plan.actions
+
+
+def _every_action_plan() -> FaultPlan:
+    """One plan exercising every builder, device faults included."""
+    return (FaultPlan()
+            .crash("hub", at=1.0)
+            .recover("hub", at=2.0)
+            .partition([["a"], ["b"]], at=3.0)
+            .heal(at=4.0)
+            .fail_sensor("m1", at=5.0)
+            .recover_sensor("m1", at=6.0)
+            .fail_actuator("x", at=7.0)
+            .recover_actuator("x", at=8.0)
+            .set_link_loss("m1", "hub", 0.5, at=9.0)
+            .stick_sensor("m1", True, at=10.0)
+            .unstick_sensor("m1", at=11.0)
+            .drift_sensor("t1", 0.02, at=12.0)
+            .stop_drift("t1", at=13.0)
+            .flap_link("m1", 60.0, 0.5, at=14.0)
+            .stop_flap("m1", at=15.0)
+            .ghost_events("d1", 40.0, at=16.0)
+            .stop_ghost("d1", at=17.0)
+            .brownout("s1", 0.1, at=18.0)
+            .replace_battery("s1", at=19.0))
+
+
+def test_every_action_kind_round_trips_through_json():
+    plan = _every_action_plan()
+    wire = json.loads(json.dumps(plan.to_dicts()))
+    rebuilt = FaultPlan.from_dicts(wire)
+    assert rebuilt.actions == plan.actions
+    # And the round trip is stable: serializing again yields the same wire.
+    assert rebuilt.to_dicts() == plan.to_dicts()
+
+
+def test_device_fault_actions_schedule_expected_calls():
+    target = RecordingTarget()
+    (FaultPlan()
+     .stick_sensor("m1", False, at=1.0)
+     .flap_link("m1", 30.0, 0.4, at=2.0)
+     .brownout("s1", 0.05, at=3.0)
+     .ghost_events("d1", 12.0, at=4.0)
+     .drift_sensor("t1", -0.01, at=5.0)).apply(target)
+    target.scheduler.run()
+    assert target.calls == [
+        (1.0, "stick_sensor", ("m1", False)),
+        (2.0, "flap_link", ("m1", 30.0, 0.4)),
+        (3.0, "brownout", ("s1", 0.05)),
+        (4.0, "ghost_events", ("d1", 12.0)),
+        (5.0, "drift_sensor", ("t1", -0.01)),
+    ]
+
+
+def test_normalize_round_trip_stability_on_device_plans():
+    """normalize() of a generator-shaped plan is idempotent and survives
+    the JSON wire format."""
+    from repro.sim.chaos import normalize
+
+    plan = _every_action_plan()
+    normalized = FaultPlan(actions=normalize(plan.actions))
+    again = normalize(FaultPlan.from_dicts(
+        json.loads(json.dumps(normalized.to_dicts()))
+    ).actions)
+    assert again == normalized.actions
+    # A well-formed plan (every start paired with its clear) loses nothing.
+    assert len(normalized) == len(plan)
