@@ -18,7 +18,7 @@ from typing import Any
 EventId = tuple[str, int]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Event:
     """One sensor reading / occurrence.
 

@@ -405,7 +405,11 @@ class ExecutionService:
         for app in self.plan.apps:
             self.runtimes[app.name] = LogicRuntime(self, app)
         self.heartbeat.add_view_listener(self._on_view_change)
-        self.heartbeat.add_payload_provider("exec_wm", self._watermark_payload)
+        if self.runtimes:
+            # With no apps installed the provider could only ever return
+            # an empty payload; not registering it keeps the keepalive
+            # tick's provider loop empty (the app set is fixed at start).
+            self.heartbeat.add_payload_provider("exec_wm", self._watermark_payload)
         self.heartbeat.add_payload_consumer("exec_wm", self._on_watermarks)
         initial_view = self.heartbeat.view
         for runtime in self.runtimes.values():

@@ -75,7 +75,7 @@ class _GuardedCall:
 
     def __call__(self) -> None:
         env = self._env
-        if env._alive and env._incarnation == self._incarnation:
+        if env.alive and env._incarnation == self._incarnation:
             self._fn(*self._args)
 
 
@@ -90,7 +90,7 @@ class _GuardedRepeating(_GuardedCall):
 
     def __call__(self) -> None:
         env = self._env
-        if env._alive and env._incarnation == self._incarnation:
+        if env.alive and env._incarnation == self._incarnation:
             self._fn(*self._args)
         elif self._handle is not None:
             # The owning incarnation is gone; stop the repetition so a
@@ -149,7 +149,10 @@ class RivuletProcess(RuntimeEnv):
         self._kv_sync_interval = kv_sync_interval
         self._sensor_watch_enabled = sensor_watch
 
-        self._alive = True
+        # Plain attribute (not a property): the transport reads it on
+        # every send and delivery, and stub endpoints in tests set it the
+        # same way. Only crash()/recover() write it.
+        self.alive = True
         self._incarnation = 0
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self.store = EventStore(name)
@@ -225,15 +228,12 @@ class RivuletProcess(RuntimeEnv):
             self.sensor_watch.start()
         self.trace("boot", incarnation=self._incarnation)
 
-    @property
-    def alive(self) -> bool:
-        return self._alive
 
     def crash(self) -> None:
         """Halt all activity (crash-stop until recovery)."""
-        if not self._alive:
+        if not self.alive:
             return
-        self._alive = False
+        self.alive = False
         self._handlers.clear()
         if self.heartbeat is not None:
             self.heartbeat.stop()
@@ -242,10 +242,10 @@ class RivuletProcess(RuntimeEnv):
 
     def recover(self) -> None:
         """Come back with fresh soft state; the event store persists."""
-        if self._alive:
+        if self.alive:
             return
         self._incarnation += 1
-        self._alive = True
+        self.alive = True
         self._network.liveness_changed()
         self.trace("recover", incarnation=self._incarnation)
         self.boot()
@@ -264,15 +264,22 @@ class RivuletProcess(RuntimeEnv):
         return self.clock.time()
 
     def send(self, dst: str, kind: str, **payload: Any) -> None:
-        if not self._alive:
+        if not self.alive:
             return
         self._network.send(Message(kind, self.name, dst, payload))
 
     def multicast(self, dsts: Sequence[str], kind: str, payload: dict) -> None:
-        if not self._alive:
+        if not self.alive:
             return
         network = self._network
         name = self.name
+        if not payload and network.send_multicast(name, dsts, kind):
+            # Quiescent fast path: an empty-payload fan-out (the common
+            # keepalive case) rides the cached per-peer delivery plan.
+            # False means a slow-path condition (partition, subscribers,
+            # kept records) — fall through to per-message sends, which
+            # record drops etc. exactly as before.
+            return
         wire_bytes = None
         for dst in dsts:
             message = Message(kind, name, dst, payload)
@@ -297,7 +304,10 @@ class RivuletProcess(RuntimeEnv):
         first_delay: float | None = None,
     ) -> CancelHandle:
         guarded = _GuardedRepeating(self, fn, args)
-        guarded._handle = handle = self._scheduler.call_repeating(
+        # The repeating-post express lane: periodic service ticks
+        # (heartbeat, kv sync, polls) re-arm as bare list entries with no
+        # TimerHandle traffic; ordering is identical to call_repeating.
+        guarded._handle = handle = self._scheduler.post_repeating(
             interval, guarded, first_delay=first_delay
         )
         return _GuardedHandle(handle)
@@ -338,7 +348,7 @@ class RivuletProcess(RuntimeEnv):
     # -- transport endpoint ------------------------------------------------------------------
 
     def deliver(self, message: Message) -> None:
-        if not self._alive:
+        if not self.alive:
             return
         handler = self._handlers.get(message.kind)
         if handler is None:
@@ -350,7 +360,7 @@ class RivuletProcess(RuntimeEnv):
 
     def on_sensor_event(self, event: Event) -> None:
         """An adapter received an event from a directly linked sensor."""
-        if not self._alive or self.delivery is None:
+        if not self.alive or self.delivery is None:
             return
         info = self.device_info.get(event.sensor_id)
         if info is not None and not self.adapters.supports(
@@ -383,11 +393,11 @@ class RivuletProcess(RuntimeEnv):
         adapter = self.adapters.for_technology(technology)
 
         def guarded(event: Event) -> None:
-            if self._alive:
+            if self.alive:
                 on_response(event)
 
         adapter.poll(sensor, guarded)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "up" if self._alive else "down"
+        state = "up" if self.alive else "down"
         return f"<RivuletProcess {self.name} ({state}, inc={self._incarnation})>"

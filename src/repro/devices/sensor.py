@@ -60,6 +60,9 @@ class Sensor:
         self._drift_rate = 0.0
         self._drift_start = 0.0
         self._brownout_rng: RandomSource | None = None
+        # Constant middle of the sensor_emit digest payload (the name is
+        # fixed for the sensor's lifetime) — see PushSensor.emit.
+        self._emit_mid = "|sensor_emit|sensor|" + repr(name) + "|seq|"
         radio.register_device(self)
 
     @property
@@ -135,7 +138,7 @@ class Sensor:
         return Event(
             sensor_id=self.name,
             seq=self._seq,
-            emitted_at=self._scheduler.now,
+            emitted_at=self._scheduler._now,
             value=value,
             size_bytes=self.event_size,
         )
@@ -174,9 +177,39 @@ class PushSensor(Sensor):
             return None
         event = self._next_event(self._apply_faults(value))
         self.battery.drain(EVENT_EMISSION_COST)
-        self._trace.record(
-            self._scheduler.now, "sensor_emit", sensor=self.name, seq=event.seq
-        )
+        # Positional device lane: same record and digest bytes as
+        # record(..., sensor=..., seq=...) without the kwargs dict. The
+        # count+digest configuration is inlined with the precomputed
+        # payload mid (as in RadioNetwork.emit); anything fancier falls
+        # back to the generic call.
+        trace = self._trace
+        now = self._scheduler._now
+        state = trace._kind_state.get("sensor_emit")
+        if (state is not None and not state[2] and state[3] is None
+                and state[4] is None and not trace._subscribers):
+            state[0] += 1
+            if trace._hasher is not None:
+                if now == trace._lt:
+                    tr = trace._ltr
+                else:
+                    trace._lt = now
+                    tr = trace._ltr = repr(now)
+                seq = event.seq
+                if seq == trace._ls:
+                    sr = trace._lsr
+                else:
+                    trace._ls = seq
+                    sr = trace._lsr = repr(seq)
+                buf = trace._hash_buf
+                buf.append(tr)
+                buf.append(self._emit_mid)
+                buf.append(sr)
+                if len(buf) >= 1024:
+                    trace._flush_hash()
+        else:
+            trace.record_device(
+                now, "sensor_emit", "sensor", self.name, None, event.seq
+            )
         self._radio.emit(self.name, event)
         return event
 

@@ -115,7 +115,12 @@ class _SinkEndpoint:
 
 
 def bench_scheduler(sim_seconds: float = 200.0, timers: int = 50) -> dict[str, float]:
-    """Repeating-timer throughput: ``timers`` periodic callbacks at ~10 ms."""
+    """Repeating-timer throughput: ``timers`` periodic callbacks at ~10 ms.
+
+    Uses the repeating-post express lane — the same lane every service
+    tick in the platform rides since the runtime switched
+    ``schedule_repeating`` onto ``post_repeating``.
+    """
     sched = Scheduler()
     fired = [0]
 
@@ -123,7 +128,7 @@ def bench_scheduler(sim_seconds: float = 200.0, timers: int = 50) -> dict[str, f
         fired[0] += 1
 
     for i in range(timers):
-        sched.call_repeating(0.01 + i * 1e-5, tick)
+        sched.post_repeating(0.01 + i * 1e-5, tick)
     t0 = time.perf_counter()
     sched.run_until(sim_seconds)
     elapsed = time.perf_counter() - t0

@@ -54,10 +54,24 @@ def _workload_chaos() -> None:
                  out_path=None, jobs=1, cache=None)
 
 
+def _workload_fleet() -> None:
+    """Fleet-tier hotspots: 25 Fig. 1 homes × 1 day in one scheduler.
+
+    The same entry point as ``bench_fleet`` but sized to profile in a few
+    seconds; 25 homes matches the city tier's shard size, so the hotspot
+    mix is representative of both fleet benchmarks.
+    """
+    from repro.eval.workloads import DAY_S, fleet_deployment
+
+    fleet, _workloads = fleet_deployment(homes=25, seed=42, days=1.0)
+    fleet.run_until(DAY_S)
+
+
 WORKLOADS: dict[str, Callable[[], None]] = {
     "fig1": _workload_fig1,
     "network": _workload_network,
     "chaos": _workload_chaos,
+    "fleet": _workload_fleet,
 }
 
 

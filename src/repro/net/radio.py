@@ -32,6 +32,7 @@ bit-identical to the unindexed implementation.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Protocol
 
@@ -41,6 +42,13 @@ from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Trace
 
 POLL_REQUEST_BYTES = 8
+
+# The transmission jitter fraction is a fixed 0.2; these are the exact
+# intermediates RandomSource.jittered(base, 0.2) computes, precomputed so
+# the emit loop can expand the jitter inline without a method call while
+# staying bit-identical (determinism digests depend on the float identity).
+_JITTER_NEG = -0.2
+_JITTER_SPAN = 0.2 - -0.2
 
 
 @dataclass(frozen=True)
@@ -148,7 +156,9 @@ class RadioNetwork:
         # streams they reference live in _streams and survive rebuilds, so
         # draw sequences never reset.
         self._link_state: dict[tuple[str, str], list] = {}
-        self._fanout: dict[str, list[tuple[Link, RadioListener, RandomSource]]] = {}
+        # device -> ([(link, listener, loss stream, digest mid), ...],
+        #            radio_emit digest mid) — see _build_fanout.
+        self._fanout: dict[str, tuple[list, str]] = {}
 
     def _stream(self, name: str) -> RandomSource:
         """A persistent named child stream (fresh children would repeat)."""
@@ -212,9 +222,16 @@ class RadioNetwork:
             if listener is None:
                 continue
             state = self._link_entry(link.device, link.process)
-            entries.append((link, listener, state[_LOSS_RNG]))
-        self._fanout[device_name] = entries
-        return entries
+            # Constant middle of the radio_delivered digest payload for
+            # this link — everything but the timestamp and sequence number
+            # (sorted key order "process" < "sensor" < "seq" is fixed by
+            # the alphabet, as in Trace.record_device's digest lane).
+            del_mid = ("|radio_delivered|process|" + repr(link.process)
+                       + "|sensor|" + repr(link.device) + "|seq|")
+            entries.append((link, listener, state[_LOSS_RNG], del_mid))
+        fan = (entries, "|radio_emit|sensor|" + repr(device_name) + "|seq|")
+        self._fanout[device_name] = fan
+        return fan
 
     def _invalidate_link(self, device_name: str, process_name: str) -> None:
         self._link_state.pop((device_name, process_name), None)
@@ -297,35 +314,112 @@ class RadioNetwork:
         trace = self._trace
         scheduler = self._scheduler
         now = scheduler._now
-        trace.record_device(now, "radio_emit", "sensor", sensor_name, None, event.seq)
-        fanout = self._fanout.get(sensor_name)
-        if fanout is None:
-            fanout = self._build_fanout(sensor_name)
-        rng = self._rng
-        size = event.size_bytes
         seq = event.seq
-        for link, listener, loss_rng in fanout:
+        fan = self._fanout.get(sensor_name)
+        if fan is None:
+            fan = self._build_fanout(sensor_name)
+        fanout, emit_mid = fan
+        # Trace.record_device's digest lane, inlined with the precomputed
+        # payload mid (the emission loop is the device-side hot path).
+        # Anything beyond count+digest — kept events, subscribers, an
+        # aggregate-bearing profile — falls back to the generic call;
+        # either way the record is byte-identical.
+        state = trace._kind_state.get("radio_emit")
+        if (state is not None and not state[2] and state[3] is None
+                and state[4] is None and not trace._subscribers):
+            state[0] += 1
+            if trace._hasher is not None:
+                if now == trace._lt:
+                    tr = trace._ltr
+                else:
+                    trace._lt = now
+                    tr = trace._ltr = repr(now)
+                if seq == trace._ls:
+                    sr = trace._lsr
+                else:
+                    trace._ls = seq
+                    sr = trace._lsr = repr(seq)
+                buf = trace._hash_buf
+                buf.append(tr)
+                buf.append(emit_mid)
+                buf.append(sr)
+                if len(buf) >= 1024:
+                    trace._flush_hash()
+        else:
+            trace.record_device(now, "radio_emit", "sensor", sensor_name,
+                                None, seq)
+        # ``chance``, ``jittered`` and ``post_at`` inlined bit-identically
+        # (same draws in the same order, same bucket placement) — this loop
+        # runs once per sensor emission per linked process, the device-side
+        # hot path. The jitter expansion matches RandomSource.jittered with
+        # the fixed 0.2 fraction: the constants below are computed exactly
+        # as the method computes them.
+        jitter_random = self._rng._rng.random
+        deliver = self._deliver_event
+        buckets = scheduler._buckets
+        heap = scheduler._heap
+        posted = 0
+        size = event.size_bytes
+        for link, listener, loss_rng, del_mid in fanout:
             if not link.enabled:
                 continue
-            if loss_rng.chance(link.loss_rate):
+            rate = link.loss_rate
+            if rate > 0.0 and (rate >= 1.0 or loss_rng._rng.random() < rate):
                 trace.record_device(now, "radio_lost", "sensor", link.device,
                                     link.process, seq)
                 continue
-            # RadioTechnology.transit_delay inlined bit-identically (same
-            # operations, same order) with the fixed 0.2 jitter fraction.
             tech = link.technology
-            delay = rng.jittered(
-                tech.base_latency + size / tech.bandwidth_bytes_per_s, 0.2
-            )
-            scheduler.post_at(now + delay, self._deliver_event, listener, link, event)
+            delay = (
+                tech.base_latency + size / tech.bandwidth_bytes_per_s
+            ) * (1.0 + (_JITTER_NEG + _JITTER_SPAN * jitter_random()))
+            deliver_at = now + delay
+            bucket = buckets.get(deliver_at)
+            if bucket is None:
+                buckets[deliver_at] = bucket = [
+                    (deliver, (listener, link, event, del_mid))
+                ]
+                heapq.heappush(heap, (deliver_at, bucket))
+            else:
+                bucket.append((deliver, (listener, link, event, del_mid)))
+            posted += 1
+        scheduler._live += posted
 
-    def _deliver_event(self, listener: RadioListener, link: Link, event: Event) -> None:
+    def _deliver_event(
+        self, listener: RadioListener, link: Link, event: Event, del_mid: str
+    ) -> None:
+        trace = self._trace
+        now = self._scheduler._now
         if not listener.alive:
-            self._trace.record_device(self._scheduler._now, "radio_undelivered",
-                                      "sensor", link.device, link.process, event.seq)
+            trace.record_device(now, "radio_undelivered", "sensor",
+                                link.device, link.process, event.seq)
             return
-        self._trace.record_device(self._scheduler._now, "radio_delivered",
-                                  "sensor", link.device, link.process, event.seq)
+        # Same inline digest lane as `emit`, with the per-link payload mid
+        # carried in the posted tuple.
+        state = trace._kind_state.get("radio_delivered")
+        if (state is not None and not state[2] and state[3] is None
+                and state[4] is None and not trace._subscribers):
+            state[0] += 1
+            if trace._hasher is not None:
+                if now == trace._lt:
+                    tr = trace._ltr
+                else:
+                    trace._lt = now
+                    tr = trace._ltr = repr(now)
+                seq = event.seq
+                if seq == trace._ls:
+                    sr = trace._lsr
+                else:
+                    trace._ls = seq
+                    sr = trace._lsr = repr(seq)
+                buf = trace._hash_buf
+                buf.append(tr)
+                buf.append(del_mid)
+                buf.append(sr)
+                if len(buf) >= 1024:
+                    trace._flush_hash()
+        else:
+            trace.record_device(now, "radio_delivered", "sensor",
+                                link.device, link.process, event.seq)
         listener.on_sensor_event(event)
 
     # -- polling ----------------------------------------------------------------

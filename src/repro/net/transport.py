@@ -52,6 +52,24 @@ _HANDLERS = 6  # dst's live handler dict (same object for its lifetime), or
 _NO_PAIRS: dict[str, list] = {}
 """Shared empty per-src pair map (read-only default for cache misses)."""
 
+# _mcast_plans entry layout: one cached delivery plan per multicast source,
+# valid for one exact (dsts sequence, kind, membership epoch) combination.
+# See send_multicast for what qualifies as the quiescent fast path.
+_MP_DSTS = 0    # the dsts sequence the plan was built for (identity check)
+_MP_KIND = 1    # message kind the plan was built for
+_MP_EPOCH = 2   # membership epoch at build time
+_MP_STATE = 3   # the shared per-kind trace state list for net_send
+_MP_TALLY = 4   # the shared (net_send, kind) sub-tally cell
+_MP_SENDER = 5  # src endpoint object (None if src never registered)
+_MP_NBYTES = 6  # precomputed wire size (identical for every copy)
+_MP_PEERS = 7   # per-peer (pair entry, post tuple, pair cell, digest suffix)
+_MP_TBYTES = 8  # n * nbytes — the per-tick aggregate byte increment
+_MP_LAT = 9     # latency model the cached delay block was computed from
+_MP_LIVE = 10   # live process count it was computed for
+_MP_DELAY = 11  # pre-jitter delay (identical for every copy)
+_MP_NEG = 12    # jitter expansion intermediates (see RandomSource.jittered)
+_MP_SPAN = 13
+
 
 class Endpoint(Protocol):
     """What the transport needs from a registered process."""
@@ -91,6 +109,10 @@ class HomeNetwork:
         # string lookups instead of allocating and hashing a tuple per call.
         self._pair_cache: dict[str, dict[str, list]] = {}
         self._live_count_cache: int | None = None
+        # src -> cached quiescent multicast plan (see the _MP_* layout);
+        # _mcast_epoch invalidates every plan on membership changes.
+        self._mcast_plans: dict[str, list] = {}
+        self._mcast_epoch = 0
 
     def __getstate__(self) -> dict:
         # Two members don't pickle: the MappingProxyType endpoint view and
@@ -99,6 +121,10 @@ class HomeNetwork:
         state = self.__dict__.copy()
         del state["_endpoints_view"]
         del state["_random"]
+        # Multicast plans are pure caches over the pair cache and trace
+        # aggregates; rebuild lazily after restore instead of pickling the
+        # cached Message/post-tuple web.
+        state["_mcast_plans"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -112,6 +138,9 @@ class HomeNetwork:
             raise ValueError(f"endpoint {name!r} already registered")
         self._endpoints[name] = endpoint
         self._live_count_cache = None
+        # Membership changed: every cached multicast plan may hold a stale
+        # sender slot or a stale peer set, so force rebuilds.
+        self._mcast_epoch += 1
         # Pairs cached while `name` was an unregistered sender hold a stale
         # None in the sender slot; patch them so crash gating works.
         for entry in self._pair_cache.get(name, _NO_PAIRS).values():
@@ -237,7 +266,7 @@ class HomeNetwork:
                     payload = tr + suffix
                 buf = trace._hash_buf
                 buf.append(payload)
-                if len(buf) >= 128:
+                if len(buf) >= 1024:
                     trace._flush_hash()
         else:
             channel.record(now, kind, bytes_on_wire)
@@ -281,18 +310,276 @@ class HomeNetwork:
             bucket.append((self._deliver, (entry, message)))
         scheduler._live += 1
 
-    def _deliver(self, entry: list, message: Message) -> None:
-        src = message.src
-        dst = message.dst
+    def _build_mcast_plan(self, src: str, dsts, kind: str) -> list:
+        """Precompute everything a quiescent multicast needs per peer.
+
+        One cached :class:`Message` per peer (identical empty payload →
+        identical wire image, sized once; messages are immutable once sent,
+        so reusing the instance across ticks is safe even with copies in
+        flight), its resolved pair entry, the ready-to-post delivery tuple,
+        and the constant digest suffix. Raises ``KeyError`` for unknown
+        destinations exactly as the per-message path would.
+        """
+        peers = []
+        sender = None
+        nbytes: int | None = None
+        state = tally = None
+        for dst in dsts:
+            entry = self._pair_cache.get(src, _NO_PAIRS).get(dst)
+            if entry is None:
+                entry = self._pair_entry(src, dst)
+            sender = entry[_SENDER]
+            message = Message(kind, src, dst)
+            if nbytes is None:
+                nbytes = wire_size(message)
+            message._wire_bytes = nbytes
+            channel = entry[_SEND]
+            if state is None:
+                # One per-kind state list and one (net_send, kind) tally
+                # cell are shared by every channel of the kind.
+                state = channel._state
+                tallies = channel._tallies
+                tally = tallies.get(kind)
+                if tally is None:
+                    tallies[kind] = tally = [0, 0]
+            suffix = (channel._dig_bytes + repr(nbytes)
+                      + channel._dig_mid + repr(kind)
+                      + channel._dig_tail)
+            # The delivery side is just as predictable as the send side:
+            # the copy's (src, dst, kind) are fixed, so the net_deliver
+            # aggregate cells and digest suffix can be prebound into the
+            # posted callback — _deliver_quiescent then skips the channel
+            # resolution and suffix memo entirely. Crash/partition checks
+            # stay per-delivery (they read live state).
+            dchannel = entry[_DELIVER]
+            dtallies = dchannel._tallies
+            dtally = dtallies.get(kind)
+            if dtally is None:
+                dtallies[kind] = dtally = [0, 0]
+            dsuffix = dchannel._dig_plain + repr(kind) + dchannel._dig_tail
+            post = (self._deliver_quiescent,
+                    (entry, message, dchannel._state, dtally,
+                     dchannel._pair_cell, dsuffix))
+            peers.append((entry, post, channel._pair_cell, suffix))
+        plan = [dsts, kind, self._mcast_epoch, state, tally, sender,
+                nbytes, peers, len(peers) * (nbytes or 0),
+                None, -1, 0.0, 0.0, 0.0]
+        self._mcast_plans[src] = plan
+        return plan
+
+    def send_multicast(self, src: str, dsts, kind: str) -> bool:
+        """Quiescent-path fan-out of one empty-payload message to ``dsts``.
+
+        Returns True when the multicast was fully handled; False when the
+        caller must fall back to per-message :meth:`send` — an active
+        partition (so per-peer drops are recorded exactly as before), a
+        trace with global subscribers, or kept/kind-subscribed net_send
+        records. The observable effects — trace aggregates, digest bytes,
+        RNG draw order, FIFO horizons, delivery schedule — are
+        bit-identical to the equivalent ``send`` loop.
+        """
+        if self.partition.group_of is not None:
+            return False
+        trace = self._trace
+        if trace._subscribers:
+            return False
+        plan = self._mcast_plans.get(src)
+        if (
+            plan is None
+            or plan[_MP_DSTS] is not dsts
+            or plan[_MP_KIND] != kind
+            or plan[_MP_EPOCH] != self._mcast_epoch
+        ):
+            plan = self._build_mcast_plan(src, dsts, kind)
+        peers = plan[_MP_PEERS]
+        n = len(peers)
+        if n == 0:
+            return True
+        state = plan[_MP_STATE]
+        if state[3] is not None or state[4] is not None:
+            return False
+        sender = plan[_MP_SENDER]
+        if sender is not None and not sender.alive:
+            # A crashed process performs no activity (matches `send`).
+            return True
+
+        scheduler = self._scheduler
+        now = scheduler._now
+        # Aggregates are batched per tick instead of per peer: nothing can
+        # observe them between the copies of one fan-out, and the per-peer
+        # digest records below carry the per-copy ordering.
+        tbytes = plan[_MP_TBYTES]
+        state[0] += n
+        state[1] += tbytes
+        tally = plan[_MP_TALLY]
+        tally[0] += n
+        tally[1] += tbytes
+
+        hashing = trace._hasher is not None
+        if hashing:
+            if now == trace._lt:
+                tr = trace._ltr
+            else:
+                trace._lt = now
+                tr = trace._ltr = repr(now)
+            buf = trace._hash_buf
+
+        live = self._live_count_cache
+        if live is None:
+            live = self.live_process_count()
+        # The pre-jitter delay depends only on (wire size, latency model,
+        # live count) — all tick-invariant while the home is quiescent —
+        # so the resolved value is cached in the plan and recomputed only
+        # when the latency model object or the live count changes. The
+        # recompute block is LatencyModel.message_delay +
+        # RandomSource.jittered's expansion, inlined bit-identically
+        # (see `send`).
+        if plan[_MP_LAT] is self.latency and plan[_MP_LIVE] == live:
+            base_delay = plan[_MP_DELAY]
+            neg = plan[_MP_NEG]
+            span = plan[_MP_SPAN]
+        else:
+            lat = self.latency
+            nbytes = plan[_MP_NBYTES]
+            base_delay = (
+                lat.base_latency
+                + nbytes / lat.bandwidth_bytes_per_s
+                + nbytes * lat.serialization_s_per_byte
+            )
+            extra = live - 2
+            if extra > 0:
+                base_delay += extra * lat.congestion_per_process
+            fraction = lat.jitter_fraction
+            neg = -fraction
+            span = fraction - neg
+            plan[_MP_LAT] = lat
+            plan[_MP_LIVE] = live
+            plan[_MP_DELAY] = base_delay
+            plan[_MP_NEG] = neg
+            plan[_MP_SPAN] = span
+        random = self._random
+
+        buckets = scheduler._buckets
+        heap = scheduler._heap
+        # The peer loop is duplicated by digest mode: with hashing on, the
+        # timestamp and suffix are staged as two pieces (the hash runs over
+        # the buffer's concatenation, so piece boundaries are digest-
+        # neutral); with it off, the loop carries no digest work at all.
+        if hashing:
+            for entry, post, pair_cell, suffix in peers:
+                pair_cell[0] += 1
+                buf.append(tr)
+                buf.append(suffix)
+                # One jitter draw per destination, in dsts order: the RNG
+                # sequence is exactly the per-message path's.
+                delay = base_delay * (1.0 + (neg + span * random()))
+                deliver_at = now + delay
+                horizon = entry[_HORIZON]
+                if deliver_at <= horizon:
+                    deliver_at = horizon + 1e-9
+                entry[_HORIZON] = deliver_at
+                bucket = buckets.get(deliver_at)
+                if bucket is None:
+                    buckets[deliver_at] = bucket = [post]
+                    heappush(heap, (deliver_at, bucket))
+                else:
+                    bucket.append(post)
+        else:
+            for entry, post, pair_cell, suffix in peers:
+                pair_cell[0] += 1
+                delay = base_delay * (1.0 + (neg + span * random()))
+                deliver_at = now + delay
+                horizon = entry[_HORIZON]
+                if deliver_at <= horizon:
+                    deliver_at = horizon + 1e-9
+                entry[_HORIZON] = deliver_at
+                bucket = buckets.get(deliver_at)
+                if bucket is None:
+                    buckets[deliver_at] = bucket = [post]
+                    heappush(heap, (deliver_at, bucket))
+                else:
+                    bucket.append(post)
+        scheduler._live += n
+        if hashing and len(buf) >= 1024:
+            trace._flush_hash()
+        return True
+
+    def _deliver_quiescent(
+        self,
+        entry: list,
+        message: Message,
+        state: list,
+        tally: list,
+        pair_cell: list,
+        suffix: str,
+    ) -> None:
+        """Deliver one quiescent multicast copy with prebound accounting.
+
+        The multicast plan fixes the copy's (src, dst, kind), so the
+        net_deliver state list, sub-kind tally, pair cell and digest suffix
+        arrive as arguments instead of being resolved per delivery.
+        Observable effects are bit-identical to :meth:`_deliver` on the
+        same message: same drop records, same aggregates, same digest
+        bytes, same handler dispatch. Liveness, partition state and the
+        observer gates are still read fresh — fault injection mid-flight
+        lands on exactly the paths the generic route would take.
+        """
         endpoint = entry[_DST]
         if not endpoint.alive:
-            self._drop_channel(entry, src, dst).record(
+            self._drop_channel(entry, message.src, message.dst).record(
                 self._scheduler._now, message.kind, None, "dst_crashed"
             )
             return
         partition = self.partition
-        if partition.group_of is not None and not partition.can_communicate(src, dst):
-            self._drop_channel(entry, src, dst).record(
+        if partition.group_of is not None and not partition.can_communicate(
+            message.src, message.dst
+        ):
+            self._drop_channel(entry, message.src, message.dst).record(
+                self._scheduler._now, message.kind, None, "partition"
+            )
+            return
+        kind = message.kind
+        trace = self._trace
+        if state[3] is None and state[4] is None and not trace._subscribers:
+            state[0] += 1
+            tally[0] += 1
+            pair_cell[0] += 1
+            if trace._hasher is not None:
+                now = self._scheduler._now
+                if now == trace._lt:
+                    tr = trace._ltr
+                else:
+                    trace._lt = now
+                    tr = trace._ltr = repr(now)
+                # Staged as two pieces: the hash runs over the buffer's
+                # concatenation, so piece boundaries are digest-neutral.
+                buf = trace._hash_buf
+                buf.append(tr)
+                buf.append(suffix)
+                if len(buf) >= 1024:
+                    trace._flush_hash()
+        else:
+            entry[_DELIVER].record(self._scheduler._now, kind)
+        handlers = entry[_HANDLERS]
+        if handlers is not None:
+            handler = handlers.get(kind)
+            if handler is not None:
+                handler(message)
+                return
+        endpoint.deliver(message)
+
+    def _deliver(self, entry: list, message: Message) -> None:
+        endpoint = entry[_DST]
+        if not endpoint.alive:
+            self._drop_channel(entry, message.src, message.dst).record(
+                self._scheduler._now, message.kind, None, "dst_crashed"
+            )
+            return
+        partition = self.partition
+        if partition.group_of is not None and not partition.can_communicate(
+            message.src, message.dst
+        ):
+            self._drop_channel(entry, message.src, message.dst).record(
                 self._scheduler._now, message.kind, None, "partition"
             )
             return
@@ -331,7 +618,7 @@ class HomeNetwork:
                     payload = tr + suffix
                 buf = trace._hash_buf
                 buf.append(payload)
-                if len(buf) >= 128:
+                if len(buf) >= 1024:
                     trace._flush_hash()
         else:
             channel.record(self._scheduler._now, kind)

@@ -2,15 +2,17 @@
 
 The scheduler buckets entries by timestamp: the heap holds one ``(when,
 bucket)`` pair per *distinct* firing time, and each bucket is a plain list
-of entries in scheduling order — a :class:`TimerHandle`, or a bare
+of entries in scheduling order — a :class:`TimerHandle`, a bare
 ``(callback, args)`` pair for fire-and-forget :meth:`Scheduler.post_at`
-posts. Because a timestamp appears in the heap at most once, the heap
-never compares two entries beyond their ``when`` floats, and all
-same-instant callbacks drain in one heap pop, in exactly the order they
-were scheduled. That preserves the classic ``(when, seq)`` tie-break
-semantics without a per-entry sequence number, and it makes the fleet's
-aligned timer edges (N homes' heartbeats all firing at t = 60k) cost one
-pop + one push per edge instead of one per home.
+posts, or a ``[callback, args, interval, in_bucket]`` list for the
+repeating-post lane (:meth:`Scheduler.post_repeating`). Because a
+timestamp appears in the heap at most once, the heap never compares two
+entries beyond their ``when`` floats, and all same-instant callbacks drain
+in one heap pop, in exactly the order they were scheduled. That preserves
+the classic ``(when, seq)`` tie-break semantics without a per-entry
+sequence number, and it makes the fleet's aligned timer edges (N homes'
+heartbeats all firing at t = 60k) cost one pop + one push per edge instead
+of one per home.
 
 Simulated time is a ``float`` number of seconds since the start of the run.
 
@@ -24,9 +26,15 @@ Hot-path design (see docs/performance.md):
 - a callback that schedules more work at the *current* instant appends to
   the bucket being drained and runs within the same batch, exactly as a
   fresh ``seq`` would have ordered it;
-- :meth:`call_repeating` serves the periodic-timer pattern (heartbeats,
-  poll epochs) with a single reusable handle instead of allocating a new
-  ``TimerHandle`` and closure per tick.
+- :meth:`call_repeating` serves the periodic-timer pattern with a single
+  reusable handle instead of allocating a new ``TimerHandle`` and closure
+  per tick; :meth:`post_repeating` is its express-lane sibling — the
+  entry is a bare 4-slot list, re-armed by the drain loop itself with no
+  handle attribute traffic, which is what keepalive and poll ticks ride;
+- the ``run_until`` drain batches its ``processed``/``live`` counter
+  updates per bucket and memoises the re-arm bucket across consecutive
+  same-interval repeating posts, so a fleet edge of N aligned ticks pays
+  one dictionary resolve (and at most one heap push) for all N re-arms.
 """
 
 from __future__ import annotations
@@ -36,6 +44,16 @@ from typing import Any, Callable
 
 _COMPACT_MIN_CANCELLED = 64
 """Lazy-cancel compaction kicks in past this many dead stored entries."""
+
+# Repeating-post entry layout (a bare list, the mutable sibling of the
+# post_at tuple): [callback, args, interval, in_bucket]. ``interval`` is
+# None once cancelled; ``in_bucket`` tracks whether the entry is currently
+# stored in a heap bucket (False while its callback is running), which is
+# what lets cancel() keep the live/lazy counters exact from either side.
+_RP_CALLBACK = 0
+_RP_ARGS = 1
+_RP_INTERVAL = 2
+_RP_IN_BUCKET = 3
 
 
 class SimulationError(RuntimeError):
@@ -97,6 +115,40 @@ class TimerHandle:
         state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
         kind = "repeating " if self.interval is not None else ""
         return f"<{kind}TimerHandle when={self.when:.6f} {state} cb={self._callback!r}>"
+
+
+class RepeatingPost:
+    """The cancel handle for a :meth:`Scheduler.post_repeating` entry.
+
+    The scheduled entry itself is a bare 4-slot list living in the heap
+    buckets; this handle only wraps it for cancellation, so the per-tick
+    drain never touches a handle object at all. Cancelling twice is a
+    no-op; cancelling from inside the entry's own callback suppresses the
+    re-arm that would otherwise follow the callback's return.
+    """
+
+    __slots__ = ("_entry", "_scheduler")
+
+    def __init__(self, entry: list, scheduler: "Scheduler") -> None:
+        self._entry = entry
+        self._scheduler = scheduler
+
+    def cancel(self) -> None:
+        entry = self._entry
+        if entry[_RP_INTERVAL] is None:
+            return
+        entry[_RP_INTERVAL] = None
+        if entry[_RP_IN_BUCKET]:
+            self._scheduler._on_cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_RP_INTERVAL] is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entry = self._entry
+        state = "cancelled" if entry[_RP_INTERVAL] is None else "armed"
+        return f"<RepeatingPost {state} cb={entry[_RP_CALLBACK]!r}>"
 
 
 class Scheduler:
@@ -167,28 +219,55 @@ class Scheduler:
 
         The bucket currently being drained (if any) is left alone — its
         dead entries are skipped by the drain loop itself — so the lazy
-        counter is recomputed from what actually remains stored.
+        counter is recomputed from what actually remains stored. While a
+        drain is active, buckets that end up empty keep their heap slot
+        (the run_until re-arm memo may hold a reference to one, and bucket
+        object identity must survive); outside a drain they are dropped
+        so mass cancellation actually shrinks the heap.
         """
+        draining = self._draining
+        heap = self._heap
         survivors: list[tuple[float, list]] = []
-        for when, bucket in self._heap:
+        for when, bucket in heap:
             kept = []
             for item in bucket:
-                if type(item) is not tuple and item._cancelled:
+                t = type(item)
+                if t is tuple:
+                    kept.append(item)
+                elif t is list:
+                    if item[_RP_INTERVAL] is None:
+                        item[_RP_IN_BUCKET] = False
+                    else:
+                        kept.append(item)
+                elif item._cancelled:
                     item._in_heap = False
                 else:
                     kept.append(item)
-            if kept:
-                bucket[:] = kept
+            bucket[:] = kept
+            if kept or draining is not None:
                 survivors.append((when, bucket))
             else:
                 del self._buckets[when]
-        heapq.heapify(survivors)
-        self._heap = survivors
+        if draining is None and len(survivors) != len(heap):
+            # Mutate the heap in place: run_until/step hold local bindings
+            # to the heap list across callbacks (and compaction can run
+            # from any cancel() inside one), so the object must never be
+            # swapped out from under them.
+            heap[:] = survivors
+            heapq.heapify(heap)
         remaining = 0
         draining = self._draining
         if draining is not None:
+            # The in_bucket/_in_heap flags distinguish still-stored dead
+            # entries from ones the drain loop already discarded, so this
+            # recount is exact even when the resume cursor is stale (the
+            # run_until drain writes it back once per bucket).
             for item in draining[self._drain_idx:]:
-                if type(item) is not tuple and item._cancelled:
+                t = type(item)
+                if t is list:
+                    if item[_RP_INTERVAL] is None and item[_RP_IN_BUCKET]:
+                        remaining += 1
+                elif t is not tuple and item._cancelled and item._in_heap:
                     remaining += 1
         self._lazy_cancelled = remaining
 
@@ -220,9 +299,9 @@ class Scheduler:
         The hot transport/radio delivery paths schedule hundreds of
         thousands of callbacks that are never cancelled; this lane stores a
         bare ``(callback, args)`` pair — no ``TimerHandle`` is allocated at
-        all. The drain loops tell the two entry shapes apart by type;
-        bucket position preserves scheduling order, so ordering and
-        tie-breaking are identical to :meth:`call_at`.
+        all. The drain loops tell the entry shapes apart by type; bucket
+        position preserves scheduling order, so ordering and tie-breaking
+        are identical to :meth:`call_at`.
         """
         if when < self._now:
             raise SimulationError(
@@ -236,6 +315,41 @@ class Scheduler:
         else:
             bucket.append((callback, args))
         self._live += 1
+
+    def post_repeating(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        first_delay: float | None = None,
+    ) -> RepeatingPost:
+        """Repeating :meth:`post_at`: the express lane for periodic ticks.
+
+        Semantics match :meth:`call_repeating` exactly — first firing after
+        ``first_delay`` (default ``interval``), each next firing at
+        ``previous_when + interval``, same bucket ordering — but the stored
+        entry is a bare ``[callback, args, interval, in_bucket]`` list that
+        the drain loop re-arms in place: no ``TimerHandle``, no attribute
+        traffic, and consecutive same-interval re-arms share one resolved
+        bucket (the fleet's aligned heartbeat edges). Returns a
+        :class:`RepeatingPost` whose only job is :meth:`~RepeatingPost.cancel`.
+        """
+        if interval <= 0:
+            raise SimulationError(f"repeating interval must be > 0, got {interval!r}")
+        delay = interval if first_delay is None else first_delay
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        when = self._now + delay
+        entry = [callback, args, interval, True]
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = bucket = [entry]
+            heapq.heappush(self._heap, (when, bucket))
+        else:
+            bucket.append(entry)
+        self._live += 1
+        return RepeatingPost(entry, self)
 
     def call_repeating(
         self,
@@ -251,7 +365,9 @@ class Scheduler:
         ``previous_when + interval``, matching the arithmetic of a callback
         that re-arms itself with ``call_later(interval, ...)`` — so
         converting self-rescheduling timers preserves determinism. One
-        handle is reused for every firing: no per-tick allocation.
+        handle is reused for every firing: no per-tick allocation. Callers
+        that never inspect the handle beyond ``cancel()`` should prefer
+        :meth:`post_repeating`.
         """
         if interval <= 0:
             raise SimulationError(f"repeating interval must be > 0, got {interval!r}")
@@ -276,12 +392,36 @@ class Scheduler:
                 while idx < len(bucket):
                     item = bucket[idx]
                     idx += 1
-                    if type(item) is tuple:
+                    cls = type(item)
+                    if cls is tuple:
                         self._drain_idx = idx
                         self._live -= 1
                         self._now = when
                         self._processed += 1
                         item[0](*item[1])
+                        return True
+                    if cls is list:
+                        item[_RP_IN_BUCKET] = False
+                        if item[_RP_INTERVAL] is None:
+                            self._lazy_cancelled -= 1
+                            continue
+                        self._drain_idx = idx
+                        self._live -= 1
+                        self._now = when
+                        self._processed += 1
+                        item[0](*item[1])
+                        interval = item[_RP_INTERVAL]
+                        if interval is not None:
+                            nxt = when + interval
+                            buckets = self._buckets
+                            nxt_bucket = buckets.get(nxt)
+                            if nxt_bucket is None:
+                                buckets[nxt] = nxt_bucket = [item]
+                                heapq.heappush(self._heap, (nxt, nxt_bucket))
+                            else:
+                                nxt_bucket.append(item)
+                            item[_RP_IN_BUCKET] = True
+                            self._live += 1
                         return True
                     item._in_heap = False
                     if item._cancelled:
@@ -318,50 +458,222 @@ class Scheduler:
             raise SimulationError(
                 f"deadline t={deadline:.6f} is in the past (now t={self._now:.6f})"
             )
+        if self._draining is not None:
+            # Finish a bucket a previous step()/run_until left open before
+            # touching the heap.
+            self._now = self._drain_when
+            self._drain_open()
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
         buckets = self._buckets
-        while True:
-            bucket = self._draining
-            if bucket is None:
-                if not heap or heap[0][0] > deadline:
+        # Local aliases for the list-entry slot indices: the solo repeating
+        # path reads them up to four times per event.
+        RP_INTERVAL = _RP_INTERVAL
+        RP_IN_BUCKET = _RP_IN_BUCKET
+        # Executed-callback and live-entry deltas are tallied in locals for
+        # the whole run and folded into the instance counters once, in the
+        # outer finally (lazy-cancel decrements stay inline — dead entries
+        # are rare and _compact recounts from the stored state). Callbacks
+        # that schedule new work bump the instance counters directly, which
+        # commutes with the deferred deltas; nothing reads the counters
+        # mid-drain.
+        ran = 0
+        live_delta = 0
+        try:
+            while True:
+                try:
+                    when, bucket = pop(heap)
+                except IndexError:
                     break
-                when, bucket = pop(heap)
+                if when > deadline:
+                    # Past the horizon: restore the (untouched) bucket.
+                    push(heap, (when, bucket))
+                    break
+                if len(bucket) == 1:
+                    # Solo-bucket express paths. Jittered delivery
+                    # timestamps rarely collide, so nearly every tuple post
+                    # — and, outside fleet-aligned edges, every repeating
+                    # tick — drains through here: no resume-cursor loop,
+                    # drain state only published when a same-instant append
+                    # actually happens, and a repeating re-arm into a fresh
+                    # timestamp reuses the just-drained bucket object. The
+                    # cost: if a solo callback raises, its entry is already
+                    # consumed (a lost tick / a leaked past-time bucket
+                    # entry) — same class of degradation as the general
+                    # drain re-running a bucket prefix, and unreachable
+                    # for the guarded platform callbacks, which never leak
+                    # exceptions.
+                    item = bucket[0]
+                    cls = type(item)
+                    if cls is tuple:
+                        self._now = when
+                        ran += 1
+                        live_delta -= 1
+                        cb, cb_args = item
+                        cb(*cb_args)
+                        if len(bucket) == 1:
+                            del buckets[when]
+                        else:
+                            # Same-instant appends: drain them in order.
+                            self._draining = bucket
+                            self._drain_when = when
+                            self._drain_idx = 1
+                            self._drain_open()
+                        continue
+                    if cls is list:
+                        # One unpack instead of three subscript reads.
+                        cb, cb_args, interval, _ = item
+                        if interval is None:
+                            item[RP_IN_BUCKET] = False
+                            self._lazy_cancelled -= 1
+                            del buckets[when]
+                            continue
+                        self._now = when
+                        item[RP_IN_BUCKET] = False
+                        ran += 1
+                        cb(*cb_args)
+                        # Re-read: the callback may have cancelled its own
+                        # entry, which must suppress the re-arm.
+                        interval = item[RP_INTERVAL]
+                        if interval is None:
+                            live_delta -= 1
+                            if len(bucket) == 1:
+                                del buckets[when]
+                            else:
+                                self._draining = bucket
+                                self._drain_when = when
+                                self._drain_idx = 1
+                                self._drain_open()
+                            continue
+                        nxt = when + interval
+                        if len(bucket) == 1:
+                            del buckets[when]
+                            # Single-lookup re-arm: on a fresh timestamp the
+                            # drained bucket (still exactly [item]) moves to
+                            # its new slot; on a collision the entry joins
+                            # the existing bucket.
+                            other = buckets.setdefault(nxt, bucket)
+                            if other is bucket:
+                                push(heap, (nxt, bucket))
+                            else:
+                                other.append(item)
+                            item[RP_IN_BUCKET] = True
+                            continue
+                        other = buckets.get(nxt)
+                        if other is None:
+                            buckets[nxt] = other = [item]
+                            push(heap, (nxt, other))
+                        else:
+                            other.append(item)
+                        item[RP_IN_BUCKET] = True
+                        self._draining = bucket
+                        self._drain_when = when
+                        self._drain_idx = 1
+                        self._drain_open()
+                        continue
+                    # A solo TimerHandle: the general drain handles it.
+                # Multi-entry (a fleet-aligned tick edge, a protocol burst)
+                # or TimerHandle bucket.
                 self._draining = bucket
                 self._drain_when = when
                 self._drain_idx = 0
                 self._now = when
-            else:
-                # Resuming a bucket a previous step()/run_until left open.
-                when = self._drain_when
-                self._now = when
-            idx = self._drain_idx
+                self._drain_open()
+        finally:
+            self._processed += ran
+            self._live += live_delta
+        self._now = deadline
+
+    def _drain_open(self) -> None:
+        """Drain the currently-open bucket (``self._draining``) to the end.
+
+        The general path shared by step()-style resume, multi-entry buckets
+        and TimerHandle entries. ``self._now`` is already the bucket's
+        timestamp. Counter deltas are batched per bucket and folded in the
+        ``finally`` so they stay exact when a callback raises.
+        """
+        bucket = self._draining
+        when = self._drain_when
+        buckets = self._buckets
+        heap = self._heap
+        push = heapq.heappush
+        RP_INTERVAL = _RP_INTERVAL
+        RP_IN_BUCKET = _RP_IN_BUCKET
+        idx = self._drain_idx
+        ran = 0
+        live_delta = 0
+        # Re-arm memo: repeating posts of one bucket sharing an interval (a
+        # fleet edge of aligned heartbeat ticks across tenants) resolve
+        # their next bucket once and append — heap and dict traffic is paid
+        # per edge, not per tenant.
+        memo_when = -1.0
+        memo_bucket: list | None = None
+        try:
             # Appends made by callbacks at this same instant extend the
             # bucket while we drain it, so re-check len() every pass.
             while idx < len(bucket):
                 item = bucket[idx]
                 idx += 1
-                if type(item) is tuple:
-                    self._live -= 1
-                    self._processed += 1
-                    item[0](*item[1])
+                cls = type(item)
+                if cls is tuple:
+                    # The one-shot post lane: the hottest entry shape
+                    # (every transport/radio delivery), nothing but the
+                    # call itself.
+                    ran += 1
+                    live_delta -= 1
+                    cb, cb_args = item
+                    cb(*cb_args)
+                elif cls is list:
+                    cb, cb_args, interval, _ = item
+                    item[RP_IN_BUCKET] = False
+                    if interval is None:
+                        self._lazy_cancelled -= 1
+                        continue
+                    ran += 1
+                    live_delta -= 1
+                    cb(*cb_args)
+                    # Re-read: the callback may have cancelled its own
+                    # entry, which must suppress the re-arm.
+                    interval = item[RP_INTERVAL]
+                    if interval is not None:
+                        nxt = when + interval
+                        if nxt == memo_when:
+                            memo_bucket.append(item)
+                        else:
+                            memo_bucket = buckets.get(nxt)
+                            if memo_bucket is None:
+                                buckets[nxt] = memo_bucket = [item]
+                                push(heap, (nxt, memo_bucket))
+                            else:
+                                memo_bucket.append(item)
+                            memo_when = nxt
+                        item[RP_IN_BUCKET] = True
+                        live_delta += 1
                 else:
                     item._in_heap = False
                     if item._cancelled:
                         self._lazy_cancelled -= 1
                     else:
-                        self._live -= 1
-                        self._processed += 1
+                        ran += 1
+                        live_delta -= 1
                         item._fired = True
                         item._callback(*item._args)
                         interval = item.interval
                         if interval is not None and not item._cancelled:
+                            # _push bumps self._live directly.
                             self._push(when + interval, item)
+        finally:
+            # Keep the resume cursor and counters honest even when a
+            # callback raises, so a caller that catches can continue.
             self._drain_idx = idx
-            self._draining = None
-            if buckets.get(when) is bucket:
-                del buckets[when]
-        self._now = deadline
+            self._processed += ran
+            self._live += live_delta
+        self._draining = None
+        # Within an active drain the dict always maps `when` to the drained
+        # bucket (compaction leaves every open bucket in place), so no
+        # identity re-check is needed.
+        del buckets[when]
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain (or the safety budget is exhausted)."""

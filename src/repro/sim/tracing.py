@@ -191,7 +191,7 @@ class Trace:
         # hasher state — and the trace becomes picklable at seal points.
         self._sealed: list[str] = []
         # Streaming-hash staging: record payloads are buffered as *strings*
-        # and folded into the hasher in one join+encode per ~128 records.
+        # and folded into the hasher in one join+encode per ~1024 records.
         # UTF-8 is context-free (and backslashreplace escapes per char), so
         # encoding the concatenation is byte-identical to concatenating the
         # per-record encodings — the digest value cannot change.
@@ -201,6 +201,12 @@ class Trace:
         # and repr() of a float is one of the hottest calls in a long run.
         self._lt = float("nan")
         self._ltr = ""
+        # Same idea for the last repr'd sequence number: one emission digests
+        # its seq as sensor_emit then radio_emit back-to-back, and one radio
+        # delivery as radio_delivered then ingest_unrouted, so roughly every
+        # second seq repr on the device lanes is a repeat.
+        self._ls = -1
+        self._lsr = ""
         # One-load summary of the *kind-independent* observers: True once a
         # streaming hash exists or a global (unscoped) subscriber was
         # registered. Kind-scoped subscribers live in the per-kind state
@@ -256,7 +262,7 @@ class Trace:
         if self._hasher is not None:
             buf = self._hash_buf
             buf.append(_record_str(time, kind, fields))
-            if len(buf) >= 128:
+            if len(buf) >= 1024:
                 self._flush_hash()
 
     def _flush_hash(self) -> None:
@@ -320,7 +326,7 @@ class Trace:
         if self._hasher is not None:
             buf = self._hash_buf
             buf.append(_record_str(time, kind, fields))
-            if len(buf) >= 128:
+            if len(buf) >= 1024:
                 self._flush_hash()
 
     def record_message(
@@ -432,7 +438,7 @@ class Trace:
                     payload += "|seq|" + repr(seq)
                 buf = self._hash_buf
                 buf.append(payload)
-                if len(buf) >= 128:
+                if len(buf) >= 1024:
                     self._flush_hash()
                 return
         elif not (state[3] is not None or state[4] is not None
@@ -757,7 +763,7 @@ class MessageChannel:
                     payload = tr + suffix
                 buf = trace._hash_buf
                 buf.append(payload)
-                if len(buf) >= 128:
+                if len(buf) >= 1024:
                     trace._flush_hash()
                 return
         elif not (state[3] is not None or state[4] is not None

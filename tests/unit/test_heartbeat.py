@@ -109,3 +109,48 @@ def test_stop_halts_ticks():
     ha.stop()
     sched.run_until(5.0)
     assert len(a.sent) == sent_before
+
+
+def test_suspicion_trace_pinned_under_watermark_scan():
+    """The suspicion-scan watermark is a pure fast-out: the suspect and
+    unsuspect records of a silence/recovery cycle must be exactly the ones
+    the per-tick full scan produced (same times, same peers)."""
+    sched, a, b, ha, hb = make_pair(interval=0.5, timeout=2.0)
+    ha.start()
+    hb.start()
+    sched.run_until(3.0)
+    hb.stop()
+    sched.run_until(10.0)
+    hb.start()
+    sched.run_until(15.0)
+    records = [
+        (r.time, r.kind, dict(r.fields))
+        for r in a.trace_log
+        if r.kind in ("suspect", "unsuspect")
+    ]
+    # b's last keep-alive lands at t=3.0; its deadline (3.0 + timeout) is
+    # crossed at the t=5.5 scan tick. The restart's first keep-alive
+    # arrives one link delay after t=10.0 and clears the suspicion.
+    assert records == [
+        (5.5, "suspect", {"process": "a", "peers": ["b"]}),
+        (10.001, "unsuspect", {"process": "a", "peer": "b"}),
+    ]
+
+
+def test_returning_peer_resets_watermark_for_prompt_redetection():
+    """After every peer was suspected the watermark sits far in the future;
+    a returning peer must pull it back so a second silence is still
+    detected within timeout + interval."""
+    sched, a, b, ha, hb = make_pair(interval=0.5, timeout=2.0)
+    ha.start()
+    hb.start()
+    sched.run_until(3.0)
+    hb.stop()
+    sched.run_until(10.0)
+    assert "b" not in ha.view
+    hb.start()
+    sched.run_until(12.0)
+    assert "b" in ha.view
+    hb.stop()          # second silence
+    sched.run_until(12.0 + 2.0 + 0.5 + 0.001)
+    assert "b" not in ha.view

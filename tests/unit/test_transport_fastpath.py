@@ -126,3 +126,100 @@ def test_aggregates_only_trace_counts_identically():
     quiet = totals(Trace(quiet=True))
     unstored = totals(Trace(keep_kinds=set()))
     assert kept == quiet == unstored
+
+
+def make_mcast_net():
+    # The quiescent path only engages when net_send/net_deliver records are
+    # aggregate-only (the fleet configuration); net_drop stays kept so drop
+    # records can be asserted directly.
+    sched = Scheduler()
+    trace = Trace(keep_kinds={"net_drop"})
+    net = HomeNetwork(sched, RandomSource(1), trace)
+    sinks = [Sink(n) for n in ("a", "b", "c")]
+    for sink in sinks:
+        net.register(sink)
+    return sched, trace, net, sinks
+
+
+def test_quiescent_multicast_delivers_to_every_peer():
+    sched, trace, net, (a, b, c) = make_mcast_net()
+    assert net.send_multicast("a", ("b", "c"), "keepalive")
+    sched.run()
+    assert len(b.received) == 1 and len(c.received) == 1
+    assert trace.count("net_send") == 2
+    assert trace.count("net_deliver") == 2
+
+
+def test_partition_disables_the_quiescent_multicast_path():
+    """An active partition must force the caller back onto per-message
+    send() so per-peer drops are recorded exactly as before."""
+    sched, trace, net, (a, b, c) = make_mcast_net()
+    assert net.send_multicast("a", ("b", "c"), "keepalive")
+    sched.run()
+    net.partition.set_partition([("a",), ("b", "c")])
+    assert not net.send_multicast("a", ("b", "c"), "keepalive")
+    net.partition.heal()
+    assert net.send_multicast("a", ("b", "c"), "keepalive")
+    sched.run()
+    assert len(b.received) == 2 and len(c.received) == 2
+
+
+def test_partition_drops_in_flight_quiescent_copies():
+    """Copies posted before a partition appears are lost at delivery time,
+    with the same net_drop record the generic path produces."""
+    sched, trace, net, (a, b, c) = make_mcast_net()
+    assert net.send_multicast("a", ("b", "c"), "keepalive")
+    net.partition.set_partition([("a",), ("b", "c")])
+    sched.run()
+    assert b.received == [] and c.received == []
+    drops = trace.of_kind("net_drop")
+    assert len(drops) == 2
+    assert all(e["reason"] == "partition" for e in drops)
+
+
+def test_crashed_destination_drops_quiescent_copy():
+    sched, trace, net, (a, b, c) = make_mcast_net()
+    assert net.send_multicast("a", ("b", "c"), "keepalive")
+    b.alive = False
+    sched.run()
+    assert b.received == []
+    assert len(c.received) == 1
+    drops = trace.of_kind("net_drop")
+    assert len(drops) == 1
+    assert drops[0]["reason"] == "dst_crashed"
+
+
+def test_membership_change_invalidates_cached_plan():
+    """Registering a new endpoint bumps the epoch: the next multicast must
+    rebuild its plan instead of reusing a stale peer set."""
+    sched, trace, net, (a, b, c) = make_mcast_net()
+    assert net.send_multicast("a", ("b", "c"), "keepalive")
+    plan_before = net._mcast_plans["a"]
+    d = Sink("d")
+    net.register(d)
+    assert net.send_multicast("a", ("b", "c", "d"), "keepalive")
+    sched.run()
+    assert net._mcast_plans["a"] is not plan_before
+    assert len(d.received) == 1
+
+
+def test_multicast_digest_matches_per_message_sends():
+    """The express lane's digest bytes must be exactly the per-message
+    path's: same records, same order, same payload reprs."""
+    def run(multicast):
+        sched = Scheduler()
+        trace = Trace(digest=True, keep_kinds=set())
+        net = HomeNetwork(sched, RandomSource(1), trace)
+        sinks = [Sink(n) for n in ("a", "b", "c")]
+        for sink in sinks:
+            net.register(sink)
+        for _ in range(50):
+            if multicast:
+                assert net.send_multicast("a", ("b", "c"), "keepalive")
+            else:
+                for dst in ("b", "c"):
+                    net.send(Message("keepalive", "a", dst))
+            sched.run()
+        return trace.digest()
+
+    assert run(multicast=True) == run(multicast=False)
