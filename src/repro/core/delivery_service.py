@@ -37,6 +37,17 @@ from repro.membership.heartbeat import HeartbeatService
 from repro.membership.views import LocalView
 from repro.net.latency import ProcessingModel
 from repro.net.message import Message
+from repro.sim.tracing import (
+    _FLUSH_BYTES,
+    _K_PROCESS,
+    _K_SENSOR,
+    _K_SEQ,
+    _NF,
+    _PACK_D,
+    _kind_lp,
+    _pack_int,
+    _pack_str,
+)
 
 CMD_FWD = "cmd_fwd"
 
@@ -135,7 +146,7 @@ class DeliveryService:
         # The inline lane needs the simulator trace and clock; duck-typed
         # like the heartbeat's fast path, so stub/real-time envs without
         # them keep the generic trace_device route.
-        self._unrouted_mids: dict[str, str] = {}
+        self._unrouted_mids: dict[str, bytes] = {}
         env = ctx.env
         self._fast_trace = getattr(env, "_trace", None)
         self._fast_sched = getattr(env, "_scheduler", None)
@@ -243,31 +254,31 @@ class DeliveryService:
             if (state is not None and not state[2] and state[3] is None
                     and state[4] is None and not trace._subscribers):
                 state[0] += 1
-                if trace._hasher is not None:
+                buf = trace._dig_buf
+                if buf is not None:
                     sensor_id = event.sensor_id
                     mid = self._unrouted_mids.get(sensor_id)
                     if mid is None:
-                        mid = ("|ingest_unrouted|process|"
-                               + repr(self._ctx.env.name)
-                               + "|sensor|" + repr(sensor_id) + "|seq|")
+                        mid = (_NF[3] + _kind_lp("ingest_unrouted")
+                               + _K_PROCESS + _pack_str(self._ctx.env.name)
+                               + _K_SENSOR + _pack_str(sensor_id) + _K_SEQ)
                         self._unrouted_mids[sensor_id] = mid
                     now = self._fast_sched._now
                     if now == trace._lt:
                         tr = trace._ltr
                     else:
                         trace._lt = now
-                        tr = trace._ltr = repr(now)
+                        tr = trace._ltr = _PACK_D(now)
                     seq = event.seq
                     if seq == trace._ls:
                         sr = trace._lsr
                     else:
                         trace._ls = seq
-                        sr = trace._lsr = repr(seq)
-                    buf = trace._hash_buf
-                    buf.append(tr)
-                    buf.append(mid)
-                    buf.append(sr)
-                    if len(buf) >= 1024:
+                        sr = trace._lsr = _pack_int(seq)
+                    buf += tr
+                    buf += mid
+                    buf += sr
+                    if len(buf) >= _FLUSH_BYTES:
                         trace._flush_hash()
             else:
                 self._ctx.env.trace_device(

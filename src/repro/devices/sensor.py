@@ -25,7 +25,17 @@ from repro.devices.battery import (
 from repro.net.radio import RadioNetwork, RadioTechnology
 from repro.sim.random import RandomSource
 from repro.sim.scheduler import Scheduler
-from repro.sim.tracing import Trace
+from repro.sim.tracing import (
+    _FLUSH_BYTES,
+    _K_SENSOR,
+    _K_SEQ,
+    _NF,
+    _PACK_D,
+    _kind_lp,
+    _pack_int,
+    _pack_str,
+    Trace,
+)
 
 
 class Sensor:
@@ -62,7 +72,8 @@ class Sensor:
         self._brownout_rng: RandomSource | None = None
         # Constant middle of the sensor_emit digest payload (the name is
         # fixed for the sensor's lifetime) — see PushSensor.emit.
-        self._emit_mid = "|sensor_emit|sensor|" + repr(name) + "|seq|"
+        self._emit_mid = (_NF[2] + _kind_lp("sensor_emit")
+                          + _K_SENSOR + _pack_str(name) + _K_SEQ)
         radio.register_device(self)
 
     @property
@@ -188,23 +199,23 @@ class PushSensor(Sensor):
         if (state is not None and not state[2] and state[3] is None
                 and state[4] is None and not trace._subscribers):
             state[0] += 1
-            if trace._hasher is not None:
+            buf = trace._dig_buf
+            if buf is not None:
                 if now == trace._lt:
                     tr = trace._ltr
                 else:
                     trace._lt = now
-                    tr = trace._ltr = repr(now)
+                    tr = trace._ltr = _PACK_D(now)
                 seq = event.seq
                 if seq == trace._ls:
                     sr = trace._lsr
                 else:
                     trace._ls = seq
-                    sr = trace._lsr = repr(seq)
-                buf = trace._hash_buf
-                buf.append(tr)
-                buf.append(self._emit_mid)
-                buf.append(sr)
-                if len(buf) >= 1024:
+                    sr = trace._lsr = _pack_int(seq)
+                buf += tr
+                buf += self._emit_mid
+                buf += sr
+                if len(buf) >= _FLUSH_BYTES:
                     trace._flush_hash()
         else:
             trace.record_device(

@@ -61,7 +61,8 @@ from repro.core.repair import RepairPolicy
 from repro.core.windows import CountWindow
 from repro.eval.cache import RunCache
 from repro.eval.parallel import SweepTask, run_sweep
-from repro.eval.report import report_digest
+from repro.eval.report import report_digest, require_digest_version
+from repro.sim.tracing import DIGEST_VERSION
 from repro.sim.chaos import (
     FaultDomain, FaultScheduleGenerator, PROFILES, shrink,
 )
@@ -387,6 +388,7 @@ def run_campaign(
 
     failures = sum(1 for r in runs if r["verdict"] != "pass")
     report: dict[str, Any] = {
+        "digest_version": DIGEST_VERSION,
         "campaign": {
             "horizon": horizon,
             "seeds": list(seeds),
@@ -409,7 +411,14 @@ def replay_run(
     gapless_options: GaplessOptions | None = None,
 ) -> dict[str, Any]:
     """Re-execute one recorded run (its reproducer if present, else the
-    regenerated full plan) and return the fresh verdict."""
+    regenerated full plan) and return the fresh verdict.
+
+    Refuses reports recorded under a different trace-digest version: the
+    replayed verdict would be compared against artifacts whose digests
+    can never match this build's, so the mismatch would be format noise,
+    not a determinism signal.
+    """
+    require_digest_version(report, source=f"chaos report (run {run_id!r})")
     matches = [r for r in report["runs"] if r["run_id"] == run_id]
     if not matches:
         known = ", ".join(r["run_id"] for r in report["runs"][:10])
@@ -909,6 +918,7 @@ def run_device_campaign(
 
     failures = sum(1 for r in runs if r["verdict"] != "pass")
     report: dict[str, Any] = {
+        "digest_version": DIGEST_VERSION,
         "campaign": {
             "horizon": horizon,
             "seeds": list(seeds),

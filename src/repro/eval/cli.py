@@ -104,6 +104,7 @@ def _run_chaos(args) -> int:
         DEFAULT_INTENSITIES, MODES, render_campaign_summary,
         render_device_summary, replay_run, run_campaign, run_device_campaign,
     )
+    from repro.eval.report import DigestVersionMismatch
     from repro.sim.chaos import PROFILES
 
     if args.replay:
@@ -118,6 +119,8 @@ def _run_chaos(args) -> int:
             result = replay_run(report, args.replay)
         except KeyError as exc:
             raise CliError(str(exc.args[0])) from None
+        except DigestVersionMismatch as exc:
+            raise CliError(str(exc)) from None
         print(f"replayed {result['run_id']} from {result['source']} "
               f"({result['fault_actions']} fault actions)")
         print(f"verdict: {result['verdict']} "

@@ -27,6 +27,7 @@ from repro.eval.parallel import SweepTask, run_sweep
 from repro.eval.report import report_digest
 from repro.eval.workloads import DAY_S, fleet_deployment, fleet_home_ids
 from repro.sim.context import combine_digests
+from repro.sim.tracing import DIGEST_VERSION
 
 #: Dotted runner name so shard tasks pickle as plain data.
 CELL_RUNNER = "repro.eval.fleet:run_fleet_cell"
@@ -132,6 +133,7 @@ def run_fleet_sweep(
     )
 
     report: dict[str, Any] = {
+        "digest_version": DIGEST_VERSION,
         "fleet": {"n_homes": n_homes, "days": days, "seed": seed},
         "homes": homes,
         "summary": summary,

@@ -25,8 +25,10 @@ The simulator's wall-clock cost is dominated by three hot paths —
   events per second, peak RSS and marginal KB per home.
 
 - :func:`bench_fleet_city` — the city tier: 1000 home-days executed as
-  sequential 25-home shards (the locality-optimal schedule on this
-  single-core container), digest-identical to the monolithic fleet.
+  25-home shards across a process pool (``--jobs``, defaulting to every
+  available core, falling back to the locality-optimal sequential
+  schedule on single-core hosts), digest-identical to the monolithic
+  fleet for every ``(jobs, shards)`` choice.
 
 :func:`run_kernel_bench` runs all of them and writes ``BENCH_kernel.json``
 next to the repo root so successive PRs leave a perf trajectory; each run
@@ -59,7 +61,7 @@ from repro.net.message import Message
 from repro.net.transport import HomeNetwork
 from repro.sim.random import RandomSource
 from repro.sim.scheduler import Scheduler
-from repro.sim.tracing import Trace
+from repro.sim.tracing import DIGEST_VERSION, Trace
 
 #: The same benchmarks, measured on the growth seed (commit 74fb492) on the
 #: reference container — median of 3 interleaved runs. Used to report
@@ -344,28 +346,36 @@ def bench_fleet(
 
 def bench_fleet_city(
     *, homes: int = 1000, days: float = 1.0, seed: int = 42,
-    homes_per_shard: int = 25,
+    homes_per_shard: int = 25, jobs: int | None = None,
 ) -> dict[str, Any]:
-    """The city tier: a 1000-home-day fleet as sequential shards.
+    """The city tier: a 1000-home-day fleet as parallel shards.
 
     On this simulator the throughput cliff at scale is working-set
     locality, not algorithmic growth — 200 interleaved homes run ~45%
     slower per home-day than 25 do, and splitting the same fleet into
-    sequential 25-home cells recovers the small-fleet rate. The city tier
-    therefore runs through :func:`repro.eval.fleet.run_fleet_sweep` with
-    ``jobs=1``: one cell at a time in this process, merged by ``home_id``.
-    The merged fleet digest is byte-identical to a monolithic run (the
-    sharding invariant the integration tests pin), so the tier measures a
-    faithful execution of the same simulation, and memory stays flat in
-    fleet size — each cell is freed before the next begins.
+    25-home cells recovers the small-fleet rate. Those cells are also
+    fully independent, so the city tier runs them through
+    :func:`repro.eval.fleet.run_fleet_sweep` on a process pool:
+    ``jobs=None`` means every available core, a single-core host (or one
+    without working process pools) degrades to the sequential one-cell-
+    at-a-time schedule, and the merged fleet digest is byte-identical to
+    a monolithic run for every ``(jobs, shards)`` choice (the sharding
+    invariant the integration tests pin). Memory stays flat in fleet
+    size — each cell is freed (or its worker exits) before the merge.
     """
     from repro.eval.fleet import run_fleet_sweep
+    from repro.eval.parallel import pools_available, resolve_jobs
+
+    workers = resolve_jobs(jobs)
+    pool_fallback = workers > 1 and not pools_available()
+    if pool_fallback:
+        workers = 1
 
     rss_before = current_rss_mb()
     shards = max(1, round(homes / homes_per_shard))
     t0 = time.perf_counter()
     report = run_fleet_sweep(
-        homes, days, seed=seed, jobs=1, shards=shards, cache=None,
+        homes, days, seed=seed, jobs=workers, shards=shards, cache=None,
     )
     elapsed = time.perf_counter() - t0
     rss_after = current_rss_mb()
@@ -374,12 +384,18 @@ def bench_fleet_city(
         "homes": homes,
         "days": days,
         "shards": shards,
+        "jobs": workers,
+        "cpu_count": os.cpu_count() or 1,
         "wall_clock_s": elapsed,
         "homes_days_per_s": homes * days / elapsed,
         "events_emitted": report["summary"]["events_emitted"],
         "errors": report["summary"]["errors"],
         "digest": report["summary"]["fleet_digest"],
     }
+    if pool_fallback:
+        result["jobs_note"] = (
+            "process pools unavailable on this host; shards ran sequentially"
+        )
     peak = peak_rss_mb()
     if peak is not None:
         result["peak_rss_mb"] = peak
@@ -434,6 +450,7 @@ def append_history(results: dict[str, Any], out_path: str | Path) -> None:
         ),
         "git_rev": _git_rev(),
         "quick": results["quick"],
+        "digest_version": results.get("digest_version", 1),
         "scheduler_events_per_s": results["scheduler"]["events_per_s"],
         "network_messages_per_s": results["network"]["messages_per_s"],
         "combined_events_per_s": results["combined"]["events_per_s"],
@@ -487,7 +504,9 @@ def run_kernel_bench(
         combined = bench_combined(sim_seconds=30.0)
         fig1 = bench_fig1(days=1.0)
         fleet = bench_fleet(homes=6, days=1.0)
-        fleet_city = bench_fleet_city(homes=40, days=1.0, homes_per_shard=10)
+        fleet_city = bench_fleet_city(
+            homes=40, days=1.0, homes_per_shard=10, jobs=jobs,
+        )
     else:
         # Best-of-3 per microbenchmark (see _best_of): one run per metric
         # is dominated by host noise on small containers.
@@ -495,11 +514,14 @@ def run_kernel_bench(
         network = _best_of(3, bench_network, "messages_per_s")
         combined = _best_of(3, bench_combined, "events_per_s")
         fig1 = _best_of(3, bench_fig1, "wall_clock_s", smallest=True)
-        fleet = bench_fleet(homes=50, days=1.0)
-        fleet_city = bench_fleet_city(homes=1000, days=1.0)
+        fleet = _best_of(
+            3, lambda: bench_fleet(homes=50, days=1.0), "homes_days_per_s"
+        )
+        fleet_city = bench_fleet_city(homes=1000, days=1.0, jobs=jobs)
 
     results: dict[str, Any] = {
         "quick": quick,
+        "digest_version": DIGEST_VERSION,
         "scheduler": scheduler,
         "network": network,
         "combined": combined,
@@ -555,10 +577,12 @@ def render_summary(results: dict[str, Any]) -> str:
         )
         lines.append(
             f"  city      : {city['homes']} homes x {city['days']:g} day(s) "
-            f"as {city['shards']} sequential shards in "
+            f"as {city['shards']} shards / jobs={city.get('jobs', 1)} in "
             f"{city['wall_clock_s']:.1f}s "
             f"({city['homes_days_per_s']:.1f} home-days/s{marginal})"
         )
+        if "jobs_note" in city:
+            lines.append(f"              note: {city['jobs_note']}")
     sweep = results.get("sweep")
     if sweep:
         lines.append(

@@ -27,6 +27,36 @@ def report_digest(report: dict[str, Any]) -> str:
     return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
+class DigestVersionMismatch(ValueError):
+    """A stored report was produced under a different trace-digest format.
+
+    Digests from different format versions are incomparable by
+    construction (the version seeds the hash prefix), so replaying or
+    diffing across versions would report a mismatch on every run even
+    when the simulation is bit-identical. Callers refuse loudly instead.
+    """
+
+
+def require_digest_version(
+    report: dict[str, Any], *, source: str = "report"
+) -> None:
+    """Refuse to compare a report recorded under another digest version.
+
+    Reports written before versioning carry no ``digest_version`` field
+    and are treated as version 1 (the text encoding they were built with).
+    """
+    from repro.sim.tracing import DIGEST_VERSION
+
+    found = report.get("digest_version", 1)
+    if found != DIGEST_VERSION:
+        raise DigestVersionMismatch(
+            f"{source} was recorded under trace-digest v{found}, but this "
+            f"build produces v{DIGEST_VERSION}; digests across versions are "
+            "incomparable by design — regenerate the stored report with "
+            "this build instead of comparing across formats"
+        )
+
+
 def _format_cell(value: Any) -> str:
     if isinstance(value, float):
         if value == 0:

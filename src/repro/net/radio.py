@@ -39,7 +39,18 @@ from typing import Any, Callable, Protocol
 from repro.core.events import Command, Event
 from repro.sim.random import RandomSource
 from repro.sim.scheduler import Scheduler
-from repro.sim.tracing import Trace
+from repro.sim.tracing import (
+    _FLUSH_BYTES,
+    _K_PROCESS,
+    _K_SENSOR,
+    _K_SEQ,
+    _NF,
+    _PACK_D,
+    _kind_lp,
+    _pack_int,
+    _pack_str,
+    Trace,
+)
 
 POLL_REQUEST_BYTES = 8
 
@@ -226,10 +237,12 @@ class RadioNetwork:
             # this link — everything but the timestamp and sequence number
             # (sorted key order "process" < "sensor" < "seq" is fixed by
             # the alphabet, as in Trace.record_device's digest lane).
-            del_mid = ("|radio_delivered|process|" + repr(link.process)
-                       + "|sensor|" + repr(link.device) + "|seq|")
+            del_mid = (_NF[3] + _kind_lp("radio_delivered")
+                       + _K_PROCESS + _pack_str(link.process)
+                       + _K_SENSOR + _pack_str(link.device) + _K_SEQ)
             entries.append((link, listener, state[_LOSS_RNG], del_mid))
-        fan = (entries, "|radio_emit|sensor|" + repr(device_name) + "|seq|")
+        fan = (entries, _NF[2] + _kind_lp("radio_emit")
+               + _K_SENSOR + _pack_str(device_name) + _K_SEQ)
         self._fanout[device_name] = fan
         return fan
 
@@ -328,22 +341,22 @@ class RadioNetwork:
         if (state is not None and not state[2] and state[3] is None
                 and state[4] is None and not trace._subscribers):
             state[0] += 1
-            if trace._hasher is not None:
+            buf = trace._dig_buf
+            if buf is not None:
                 if now == trace._lt:
                     tr = trace._ltr
                 else:
                     trace._lt = now
-                    tr = trace._ltr = repr(now)
+                    tr = trace._ltr = _PACK_D(now)
                 if seq == trace._ls:
                     sr = trace._lsr
                 else:
                     trace._ls = seq
-                    sr = trace._lsr = repr(seq)
-                buf = trace._hash_buf
-                buf.append(tr)
-                buf.append(emit_mid)
-                buf.append(sr)
-                if len(buf) >= 1024:
+                    sr = trace._lsr = _pack_int(seq)
+                buf += tr
+                buf += emit_mid
+                buf += sr
+                if len(buf) >= _FLUSH_BYTES:
                     trace._flush_hash()
         else:
             trace.record_device(now, "radio_emit", "sensor", sensor_name,
@@ -385,7 +398,7 @@ class RadioNetwork:
         scheduler._live += posted
 
     def _deliver_event(
-        self, listener: RadioListener, link: Link, event: Event, del_mid: str
+        self, listener: RadioListener, link: Link, event: Event, del_mid: bytes
     ) -> None:
         trace = self._trace
         now = self._scheduler._now
@@ -399,23 +412,23 @@ class RadioNetwork:
         if (state is not None and not state[2] and state[3] is None
                 and state[4] is None and not trace._subscribers):
             state[0] += 1
-            if trace._hasher is not None:
+            buf = trace._dig_buf
+            if buf is not None:
                 if now == trace._lt:
                     tr = trace._ltr
                 else:
                     trace._lt = now
-                    tr = trace._ltr = repr(now)
+                    tr = trace._ltr = _PACK_D(now)
                 seq = event.seq
                 if seq == trace._ls:
                     sr = trace._lsr
                 else:
                     trace._ls = seq
-                    sr = trace._lsr = repr(seq)
-                buf = trace._hash_buf
-                buf.append(tr)
-                buf.append(del_mid)
-                buf.append(sr)
-                if len(buf) >= 1024:
+                    sr = trace._lsr = _pack_int(seq)
+                buf += tr
+                buf += del_mid
+                buf += sr
+                if len(buf) >= _FLUSH_BYTES:
                     trace._flush_hash()
         else:
             trace.record_device(now, "radio_delivered", "sensor",

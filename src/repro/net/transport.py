@@ -35,7 +35,7 @@ from repro.net.partition import PartitionState
 from repro.net.wire import wire_size
 from repro.sim.random import RandomSource
 from repro.sim.scheduler import Scheduler
-from repro.sim.tracing import Trace
+from repro.sim.tracing import _FLUSH_BYTES, _PACK_D, _PACK_Q, Trace, _pack_str
 
 # _pair_cache entry layout: one list per (src, dst) pair ever used on the
 # send path, so one dict lookup resolves everything `send` needs.
@@ -248,25 +248,25 @@ class HomeNetwork:
             tally[0] += 1
             tally[1] += bytes_on_wire
             channel._pair_cell[0] += 1
-            if trace._hasher is not None:
+            buf = trace._dig_buf
+            if buf is not None:
                 if now == trace._lt:
                     tr = trace._ltr
                 else:
                     trace._lt = now
-                    tr = trace._ltr = repr(now)
+                    tr = trace._ltr = _PACK_D(now)
                 if kind == channel._last_sub and bytes_on_wire == channel._last_nb:
                     payload = tr + channel._last_suffix
                 else:
-                    suffix = (channel._dig_bytes + repr(bytes_on_wire)
-                              + channel._dig_mid + repr(kind)
+                    suffix = (channel._dig_bytes + _PACK_Q(bytes_on_wire)
+                              + channel._dig_mid + _pack_str(kind)
                               + channel._dig_tail)
                     channel._last_sub = kind
                     channel._last_nb = bytes_on_wire
                     channel._last_suffix = suffix
                     payload = tr + suffix
-                buf = trace._hash_buf
-                buf.append(payload)
-                if len(buf) >= 1024:
+                buf += payload
+                if len(buf) >= _FLUSH_BYTES:
                     trace._flush_hash()
         else:
             channel.record(now, kind, bytes_on_wire)
@@ -342,8 +342,8 @@ class HomeNetwork:
                 tally = tallies.get(kind)
                 if tally is None:
                     tallies[kind] = tally = [0, 0]
-            suffix = (channel._dig_bytes + repr(nbytes)
-                      + channel._dig_mid + repr(kind)
+            suffix = (channel._dig_bytes + _PACK_Q(nbytes)
+                      + channel._dig_mid + _pack_str(kind)
                       + channel._dig_tail)
             # The delivery side is just as predictable as the send side:
             # the copy's (src, dst, kind) are fixed, so the net_deliver
@@ -356,7 +356,7 @@ class HomeNetwork:
             dtally = dtallies.get(kind)
             if dtally is None:
                 dtallies[kind] = dtally = [0, 0]
-            dsuffix = dchannel._dig_plain + repr(kind) + dchannel._dig_tail
+            dsuffix = dchannel._dig_plain + _pack_str(kind) + dchannel._dig_tail
             post = (self._deliver_quiescent,
                     (entry, message, dchannel._state, dtally,
                      dchannel._pair_cell, dsuffix))
@@ -415,14 +415,14 @@ class HomeNetwork:
         tally[0] += n
         tally[1] += tbytes
 
-        hashing = trace._hasher is not None
+        buf = trace._dig_buf
+        hashing = buf is not None
         if hashing:
             if now == trace._lt:
                 tr = trace._ltr
             else:
                 trace._lt = now
-                tr = trace._ltr = repr(now)
-            buf = trace._hash_buf
+                tr = trace._ltr = _PACK_D(now)
 
         live = self._live_count_cache
         if live is None:
@@ -468,8 +468,8 @@ class HomeNetwork:
         if hashing:
             for entry, post, pair_cell, suffix in peers:
                 pair_cell[0] += 1
-                buf.append(tr)
-                buf.append(suffix)
+                buf += tr
+                buf += suffix
                 # One jitter draw per destination, in dsts order: the RNG
                 # sequence is exactly the per-message path's.
                 delay = base_delay * (1.0 + (neg + span * random()))
@@ -500,7 +500,7 @@ class HomeNetwork:
                 else:
                     bucket.append(post)
         scheduler._live += n
-        if hashing and len(buf) >= 1024:
+        if hashing and len(buf) >= _FLUSH_BYTES:
             trace._flush_hash()
         return True
 
@@ -544,19 +544,16 @@ class HomeNetwork:
             state[0] += 1
             tally[0] += 1
             pair_cell[0] += 1
-            if trace._hasher is not None:
-                now = self._scheduler._now
-                if now == trace._lt:
-                    tr = trace._ltr
-                else:
-                    trace._lt = now
-                    tr = trace._ltr = repr(now)
+            buf = trace._dig_buf
+            if buf is not None:
+                # Quiescent copies land at per-copy jittered instants, so
+                # the same-instant timestamp memo would never hit here —
+                # pack directly and leave the memo to the chained lanes.
                 # Staged as two pieces: the hash runs over the buffer's
-                # concatenation, so piece boundaries are digest-neutral.
-                buf = trace._hash_buf
-                buf.append(tr)
-                buf.append(suffix)
-                if len(buf) >= 1024:
+                # accumulated bytes, so the split is digest-neutral.
+                buf += _PACK_D(self._scheduler._now)
+                buf += suffix
+                if len(buf) >= _FLUSH_BYTES:
                     trace._flush_hash()
         else:
             entry[_DELIVER].record(self._scheduler._now, kind)
@@ -601,24 +598,25 @@ class HomeNetwork:
                 channel._last_tally = tally
             tally[0] += 1
             channel._pair_cell[0] += 1
-            if trace._hasher is not None:
+            buf = trace._dig_buf
+            if buf is not None:
                 now = self._scheduler._now
                 if now == trace._lt:
                     tr = trace._ltr
                 else:
                     trace._lt = now
-                    tr = trace._ltr = repr(now)
+                    tr = trace._ltr = _PACK_D(now)
                 if kind == channel._last_sub and channel._last_nb is None:
                     payload = tr + channel._last_suffix
                 else:
-                    suffix = channel._dig_plain + repr(kind) + channel._dig_tail
+                    suffix = (channel._dig_plain + _pack_str(kind)
+                              + channel._dig_tail)
                     channel._last_sub = kind
                     channel._last_nb = None
                     channel._last_suffix = suffix
                     payload = tr + suffix
-                buf = trace._hash_buf
-                buf.append(payload)
-                if len(buf) >= 1024:
+                buf += payload
+                if len(buf) >= _FLUSH_BYTES:
                     trace._flush_hash()
         else:
             channel.record(self._scheduler._now, kind)

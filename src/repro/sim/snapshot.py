@@ -43,7 +43,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.fleet import Fleet
 
 MAGIC = "rivulet-fleet-snapshot"
-FORMAT_VERSION = 1
+#: Version 2: trace digests inside the snapshot (sealed segments, memos)
+#: use the binary digest-v2 encoding; a v1 snapshot restored here would
+#: fold v1 sealed segments into v2 digests and never match anything.
+FORMAT_VERSION = 2
 
 
 class SnapshotError(RuntimeError):

@@ -28,14 +28,161 @@ O(1) appends and O(1) aggregate queries:
   (no copying); ``iter_kind`` is the matching lazy iterator;
 - :class:`TraceEvent` is slot-based, and ``digest()`` provides a stable
   hash over the full record stream so determinism can be asserted cheaply.
+  The digest payload is the versioned **binary v2 encoding** (see
+  :data:`DIGEST_VERSION` and :func:`_pack_value`): floats are packed to 8
+  bytes with ``struct.pack("<d", ...)`` instead of ``repr()``-ed, strings
+  and ints are length-prefixed/tagged, and the format version seeds every
+  hasher so digests never compare across formats by accident.
 """
 
 from __future__ import annotations
 
 import hashlib
+import struct
 from collections import Counter
 from collections.abc import Sequence
 from typing import Any, Callable, Iterator
+
+#: Digest format version. v1 hashed ``repr()``-joined text records; v2 is a
+#: length-prefixed binary framing (floats via ``struct.pack("<d", ...)``)
+#: whose version string seeds every hasher, so digests produced by
+#: different format versions can never collide — and can never be compared
+#: by accident either (reports carry ``digest_version``; see
+#: :mod:`repro.eval.report`).
+DIGEST_VERSION = 2
+
+#: Fed into every hasher before any record bytes. Changing the encoding
+#: REQUIRES bumping this string (and :data:`DIGEST_VERSION`): that is what
+#: makes a v2 digest self-describing.
+_VERSION_PREFIX = b"rivulet-digest/2\n"
+
+_PACK_D = struct.Struct("<d").pack   # float64, little-endian (8 bytes)
+_PACK_Q = struct.Struct("<q").pack   # int64, little-endian (8 bytes)
+_PACK_I = struct.Struct("<I").pack   # uint32 escape length (4 bytes)
+
+#: One-byte length/count prefixes. Trace strings are short (kind names,
+#: process ids, sensor ids), so lengths below 255 — effectively all of
+#: them — frame in a single byte; 0xff escapes to a uint32 for the rest.
+_LEN1 = tuple(bytes([n]) for n in range(255))
+
+#: The streaming-hash staging buffer is folded into the hasher once it
+#: holds this many bytes (~the old 1024-piece cadence at ~32 B/piece).
+_FLUSH_BYTES = 32768
+
+
+def _new_hasher() -> "hashlib._Hash":
+    """A fresh digest hasher, seeded with the format-version prefix.
+
+    SHA-256 rather than blake2b: OpenSSL's SHA-256 (with SHA-NI / AVX2)
+    roughly doubles the hash throughput of CPython's bundled blake2
+    reference implementation, and the digest stream is an integrity
+    check, not an adversarial boundary. Digests are truncated to 128
+    bits (see :func:`_hexdigest`) so their printed width is unchanged.
+    """
+    return hashlib.sha256(_VERSION_PREFIX)
+
+
+def _hexdigest(hasher: "hashlib._Hash") -> str:
+    """A hasher's 32-hex-char (128-bit, truncated SHA-256) digest."""
+    return hasher.hexdigest()[:32]
+
+
+def _clen(n: int) -> bytes:
+    """One length/count in v2 framing: one byte, or 0xff + uint32."""
+    return _LEN1[n] if n < 255 else b"\xff" + _PACK_I(n)
+
+
+def _lp(raw: bytes) -> bytes:
+    """Length-prefix one byte string (unambiguous binary framing)."""
+    n = len(raw)
+    return (_LEN1[n] + raw) if n < 255 else b"\xff" + _PACK_I(n) + raw
+
+
+#: Field-count byte for a record's framing (records carry < 64 fields).
+_NF = tuple(bytes([n]) for n in range(64))
+
+#: Length-prefixed field-key bytes for the precomposed digest lanes.
+_K_BYTES = _lp(b"bytes")
+_K_DST = _lp(b"dst")
+_K_KIND = _lp(b"kind")
+_K_PROCESS = _lp(b"process")
+_K_SENSOR = _lp(b"sensor")
+_K_SEQ = _lp(b"seq")
+_K_SRC = _lp(b"src")
+
+#: record kind -> length-prefixed UTF-8, interned (the kind set is small).
+_KIND_LP: dict[str, bytes] = {}
+
+
+def _kind_lp(kind: str) -> bytes:
+    encoded = _KIND_LP.get(kind)
+    if encoded is None:
+        _KIND_LP[kind] = encoded = _lp(kind.encode("utf-8", "backslashreplace"))
+    return encoded
+
+
+def _pack_str(value: str) -> bytes:
+    """One string *value* in v2 framing: tag + length + UTF-8 bytes."""
+    encoded = value.encode("utf-8", "backslashreplace")
+    n = len(encoded)
+    return (b"s" + _LEN1[n] + encoded) if n < 255 else (
+        b"s\xff" + _PACK_I(n) + encoded)
+
+
+def _pack_int(value: int) -> bytes:
+    """One int value: fixed 8 bytes for the int64 range, decimal beyond."""
+    try:
+        return b"q" + _PACK_Q(value)
+    except struct.error:
+        encoded = str(value).encode("ascii")
+        return b"i" + _clen(len(encoded)) + encoded
+
+
+def _pack_value(value: Any) -> bytes:
+    """A deterministic binary form of one trace field value (digest v2).
+
+    Every variable-length piece is length-prefixed and every scalar is
+    tagged with a one-byte type marker, so the concatenation of packed
+    values is unambiguous. Floats go through ``struct.pack("<d", ...)`` —
+    8 bytes, bit-exact (NaN payloads, signed zeros and infinities all
+    round-trip), and an order of magnitude cheaper than ``repr``.
+    Collections with unspecified iteration order (sets, dicts) are sorted
+    by their packed encodings; objects whose ``repr`` would leak memory
+    addresses are reduced to their type name, so the digest is
+    reproducible across processes and machines.
+    """
+    t = type(value)
+    if t is str:
+        encoded = value.encode("utf-8", "backslashreplace")
+        n = len(encoded)
+        return (b"s" + _LEN1[n] + encoded) if n < 255 else (
+            b"s\xff" + _PACK_I(n) + encoded)
+    if t is float:
+        return b"f" + _PACK_D(value)
+    if t is int:
+        return _pack_int(value)
+    if t is bool:
+        return b"T" if value else b"F"
+    if value is None:
+        return b"N"
+    if t is bytes:
+        return b"b" + _clen(len(value)) + value
+    if t in (list, tuple):
+        return (b"l" + _clen(len(value))
+                + b"".join(_pack_value(v) for v in value))
+    if t in (set, frozenset) or isinstance(value, (set, frozenset)):
+        items = sorted(_pack_value(v) for v in value)
+        return b"e" + _clen(len(items)) + b"".join(items)
+    if isinstance(value, dict):
+        pairs = sorted((_pack_value(k), _pack_value(v))
+                       for k, v in value.items())
+        return (b"d" + _clen(len(pairs))
+                + b"".join(k + v for k, v in pairs))
+    if type(value).__repr__ is object.__repr__:
+        encoded = type(value).__name__.encode("utf-8", "backslashreplace")
+        return b"o" + _clen(len(encoded)) + encoded
+    encoded = repr(value).encode("utf-8", "backslashreplace")
+    return b"r" + _clen(len(encoded)) + encoded
 
 
 class TraceEvent:
@@ -101,28 +248,6 @@ class EventsView(Sequence):
 _EMPTY_VIEW = EventsView([])
 
 
-def _stable(value: Any) -> str:
-    """A deterministic string form of one trace field value.
-
-    Collections with unspecified iteration order (sets) are sorted; objects
-    whose ``repr`` would leak memory addresses are reduced to their type
-    name, so the digest is reproducible across processes and machines.
-    """
-    t = type(value)
-    if t in (int, float, bool, str, bytes, type(None)):
-        return repr(value)
-    if t in (list, tuple):
-        return "[" + ",".join(_stable(v) for v in value) + "]"
-    if t in (set, frozenset) or isinstance(value, (set, frozenset)):
-        return "{" + ",".join(sorted(_stable(v) for v in value)) + "}"
-    if isinstance(value, dict):
-        items = sorted((_stable(k), _stable(v)) for k, v in value.items())
-        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
-    if type(value).__repr__ is object.__repr__:
-        return f"<{type(value).__name__}>"
-    return repr(value)
-
-
 class Trace:
     """An append-only, queryable log of :class:`TraceEvent`.
 
@@ -184,29 +309,32 @@ class Trace:
         self._sample = sample_every if sample_every != 1 else None
         self._subscribers: list[Callable[[TraceEvent], None]] = []
         self._kind_subscribers: dict[str, list[Callable[[TraceEvent], None]]] = {}
-        self._hasher = hashlib.blake2b(digest_size=16) if digest else None
+        self._hasher = _new_hasher() if digest else None
         # Hex digests of sealed stream segments (see :meth:`seal`): once a
         # segment is sealed its hash state is reduced to 32 hex chars, so a
         # year-long trace holds O(days) small strings instead of live
         # hasher state — and the trace becomes picklable at seal points.
         self._sealed: list[str] = []
-        # Streaming-hash staging: record payloads are buffered as *strings*
-        # and folded into the hasher in one join+encode per ~1024 records.
-        # UTF-8 is context-free (and backslashreplace escapes per char), so
-        # encoding the concatenation is byte-identical to concatenating the
-        # per-record encodings — the digest value cannot change.
-        self._hash_buf: list[str] = []
-        # Cache of the last repr'd timestamp. Same-instant records are
+        # Streaming-hash staging: packed record payloads accumulate in a
+        # bytearray and fold into the hasher once ~32 KB are staged. The
+        # hash runs over the accumulated bytes, so how payloads were split
+        # when appended is digest-neutral.
+        self._hash_buf = bytearray()
+        # One-load digest gate for the inline lanes: the staging buffer
+        # itself when a streaming hash is live, None otherwise — so the
+        # hottest paths test and fetch with a single attribute load.
+        self._dig_buf = self._hash_buf if digest else None
+        # Cache of the last packed timestamp. Same-instant records are
         # common (all of a home's processes heartbeat on one bucket edge),
-        # and repr() of a float is one of the hottest calls in a long run.
+        # so the 8-byte float packing of the current instant is reused.
         self._lt = float("nan")
-        self._ltr = ""
-        # Same idea for the last repr'd sequence number: one emission digests
-        # its seq as sensor_emit then radio_emit back-to-back, and one radio
-        # delivery as radio_delivered then ingest_unrouted, so roughly every
-        # second seq repr on the device lanes is a repeat.
+        self._ltr = b""
+        # Same idea for the last packed sequence number: one emission
+        # digests its seq as sensor_emit then radio_emit back-to-back, and
+        # one radio delivery as radio_delivered then ingest_unrouted, so
+        # roughly every second seq packing on the device lanes is a repeat.
         self._ls = -1
-        self._lsr = ""
+        self._lsr = _pack_int(-1)
         # One-load summary of the *kind-independent* observers: True once a
         # streaming hash exists or a global (unscoped) subscriber was
         # registered. Kind-scoped subscribers live in the per-kind state
@@ -261,15 +389,15 @@ class Trace:
                     subscriber(event)
         if self._hasher is not None:
             buf = self._hash_buf
-            buf.append(_record_str(time, kind, fields))
-            if len(buf) >= 1024:
+            buf += _record_bytes(time, kind, fields)
+            if len(buf) >= _FLUSH_BYTES:
                 self._flush_hash()
 
     def _flush_hash(self) -> None:
         """Fold the staged record payloads into the streaming hasher."""
         buf = self._hash_buf
         if buf:
-            self._hasher.update("".join(buf).encode("utf-8", "backslashreplace"))
+            self._hasher.update(buf)
             buf.clear()
 
     def record(self, time: float, kind: str, /, **fields: Any) -> None:
@@ -325,8 +453,8 @@ class Trace:
                     subscriber(event)
         if self._hasher is not None:
             buf = self._hash_buf
-            buf.append(_record_str(time, kind, fields))
-            if len(buf) >= 1024:
+            buf += _record_bytes(time, kind, fields)
+            if len(buf) >= _FLUSH_BYTES:
                 self._flush_hash()
 
     def record_message(
@@ -416,29 +544,33 @@ class Trace:
             return
         state[0] += 1
         if state[3] is None and state[4] is None and not self._subscribers:
-            hasher = self._hasher
-            if hasher is None:
+            buf = self._dig_buf
+            if buf is None:
                 return
             if id_field == "sensor" and action is None:
                 # Digest-only fast path for the hot radio shapes. Sorted
                 # key order is fixed by the alphabet — "process" < "sensor"
                 # < "seq" — so the payload is composed directly,
-                # byte-identical to _record_str over the fields dict.
+                # byte-identical to _record_bytes over the fields dict.
                 if time == self._lt:
                     tr = self._ltr
                 else:
                     self._lt = time
-                    tr = self._ltr = repr(time)
+                    tr = self._ltr = _PACK_D(time)
+                n = 1 + (process is not None) + (seq is not None)
                 if process is None:
-                    payload = tr + "|" + kind + "|sensor|" + repr(id_value)
+                    payload = (tr + _NF[n] + _kind_lp(kind)
+                               + _K_SENSOR + _pack_str(id_value))
                 else:
-                    payload = (tr + "|" + kind + "|process|" + repr(process)
-                               + "|sensor|" + repr(id_value))
+                    payload = (tr + _NF[n] + _kind_lp(kind)
+                               + _K_PROCESS + _pack_str(process)
+                               + _K_SENSOR + _pack_str(id_value))
                 if seq is not None:
-                    payload += "|seq|" + repr(seq)
-                buf = self._hash_buf
-                buf.append(payload)
-                if len(buf) >= 1024:
+                    payload += _K_SEQ + (
+                        _pack_int(seq) if type(seq) is int else _pack_value(seq)
+                    )
+                buf += payload
+                if len(buf) >= _FLUSH_BYTES:
                     self._flush_hash()
                 return
         elif not (state[3] is not None or state[4] is not None
@@ -585,8 +717,8 @@ class Trace:
         if self._hasher is not None:
             self._flush_hash()
             if self._sealed:
-                return _fold_segments(self._sealed, self._hasher.hexdigest())
-            return self._hasher.hexdigest()
+                return _fold_segments(self._sealed, _hexdigest(self._hasher))
+            return _hexdigest(self._hasher)
         if self._quiet:
             raise RuntimeError("digest() on a quiet trace (aggregates only)")
         if self._keep_kinds is not None or self._sample is not None:
@@ -594,14 +726,10 @@ class Trace:
                 "digest() on a kind-limited or sampled trace requires "
                 "Trace(digest=True)"
             )
-        hasher = hashlib.blake2b(digest_size=16)
+        hasher = _new_hasher()
         for event in self._events:
-            hasher.update(
-                _record_str(event.time, event.kind, event.fields).encode(
-                    "utf-8", "backslashreplace"
-                )
-            )
-        return hasher.hexdigest()
+            hasher.update(_record_bytes(event.time, event.kind, event.fields))
+        return _hexdigest(hasher)
 
     def seal(self) -> str:
         """Close the current streaming-hash segment; returns its digest.
@@ -622,9 +750,9 @@ class Trace:
         if self._hasher is None:
             raise RuntimeError("seal() requires Trace(digest=True)")
         self._flush_hash()
-        segment = self._hasher.hexdigest()
+        segment = _hexdigest(self._hasher)
         self._sealed.append(segment)
-        self._hasher = hashlib.blake2b(digest_size=16)
+        self._hasher = _new_hasher()
         return segment
 
     # -- pickling (checkpoint/restore support) -----------------------------------
@@ -633,21 +761,21 @@ class Trace:
         self._flush_hash()
         state = self.__dict__.copy()
         hasher = state.pop("_hasher")
-        if hasher is not None and hasher.hexdigest() != _EMPTY_SEGMENT:
+        if hasher is not None and _hexdigest(hasher) != _EMPTY_SEGMENT:
             raise TypeError(
                 "cannot pickle a Trace with unsealed streaming-hash state; "
                 "seal() first (Fleet.checkpoint does so at day boundaries)"
             )
         state["_digest_enabled"] = hasher is not None
-        state["_hash_buf"] = []
+        state["_hash_buf"] = bytearray()
+        state.pop("_dig_buf", None)  # re-derived from the fresh buffer
         return state
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         digest_enabled = state.pop("_digest_enabled")
         self.__dict__.update(state)
-        self._hasher = (
-            hashlib.blake2b(digest_size=16) if digest_enabled else None
-        )
+        self._hasher = _new_hasher() if digest_enabled else None
+        self._dig_buf = self._hash_buf if digest_enabled else None
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
@@ -693,25 +821,28 @@ class MessageChannel:
         self._state = state
         self._tallies = tallies
         self._pair_cell = pair_cell
-        # Precomposed digest segments. A channel's records hash to
-        # `repr(time)|kind|<sorted fields>` where only the time, sub-kind
-        # and byte count vary per record, so everything else is fixed at
-        # construction: with a bytes field the sorted key order is
-        # (bytes, dst, kind, src); without it (dst, kind, src). The fast
-        # path below concatenates these with the three variable reprs and
-        # feeds the hasher directly — byte-identical to _record_str over
-        # the equivalent fields dict, without building it.
-        self._dig_plain = "|" + kind + "|dst|" + repr(dst) + "|kind|"
-        self._dig_bytes = "|" + kind + "|bytes|"
-        self._dig_mid = "|dst|" + repr(dst) + "|kind|"
-        self._dig_tail = "|src|" + repr(src)
+        # Precomposed digest segments (binary v2 framing). A channel's
+        # records hash to `<packed time><field count><kind><sorted fields>`
+        # where only the time, sub-kind and byte count vary per record, so
+        # everything else is fixed at construction: with a bytes field the
+        # sorted key order is (bytes, dst, kind, src); without it
+        # (dst, kind, src). The fast path below concatenates these with
+        # the three variable packings and feeds the hasher directly —
+        # byte-identical to _record_bytes over the equivalent fields dict,
+        # without building it. _dig_bytes ends with the int tag byte, so
+        # only the raw 8-byte int64 packing of nbytes follows it.
+        self._dig_plain = (_NF[3] + _kind_lp(kind)
+                           + _K_DST + _pack_str(dst) + _K_KIND)
+        self._dig_bytes = _NF[4] + _kind_lp(kind) + _K_BYTES + b"q"
+        self._dig_mid = _K_DST + _pack_str(dst) + _K_KIND
+        self._dig_tail = _K_SRC + _pack_str(src)
         # (sub_kind, nbytes) -> composed suffix memo of depth one. A
         # channel's records are overwhelmingly a single repeated shape
         # (keepalives of a fixed wire size), so the whole digest payload
-        # minus the timestamp is usually one cached string.
+        # minus the timestamp is usually one cached byte string.
         self._last_sub: str | None = None
         self._last_nb: int | None = None
-        self._last_suffix = ""
+        self._last_suffix = b""
         # Last sub-kind tally cell, memoised for the same reason.
         self._last_tkind: str | None = None
         self._last_tally: list[int] | None = None
@@ -741,29 +872,31 @@ class MessageChannel:
         self._pair_cell[0] += 1
         trace = self._trace
         if state[3] is None and state[4] is None and not trace._subscribers:
-            if trace._hasher is None:
+            buf = trace._dig_buf
+            if buf is None:
                 return
             if reason is None:
                 if time == trace._lt:
                     tr = trace._ltr
                 else:
                     trace._lt = time
-                    tr = trace._ltr = repr(time)
+                    tr = trace._ltr = _PACK_D(time)
                 if sub_kind == self._last_sub and nbytes == self._last_nb:
                     payload = tr + self._last_suffix
                 else:
                     if nbytes is None:
-                        suffix = self._dig_plain + repr(sub_kind) + self._dig_tail
+                        suffix = (self._dig_plain + _pack_str(sub_kind)
+                                  + self._dig_tail)
                     else:
-                        suffix = (self._dig_bytes + repr(nbytes)
-                                  + self._dig_mid + repr(sub_kind) + self._dig_tail)
+                        suffix = (self._dig_bytes + _PACK_Q(nbytes)
+                                  + self._dig_mid + _pack_str(sub_kind)
+                                  + self._dig_tail)
                     self._last_sub = sub_kind
                     self._last_nb = nbytes
                     self._last_suffix = suffix
                     payload = tr + suffix
-                buf = trace._hash_buf
-                buf.append(payload)
-                if len(buf) >= 1024:
+                buf += payload
+                if len(buf) >= _FLUSH_BYTES:
                     trace._flush_hash()
                 return
         elif not (state[3] is not None or state[4] is not None
@@ -782,41 +915,57 @@ class MessageChannel:
 
 _EMPTY_DICT: dict = {}
 
-#: blake2b-128 of zero bytes: what a fresh (or just-sealed) hasher reports.
-_EMPTY_SEGMENT = hashlib.blake2b(digest_size=16).hexdigest()
+#: What a fresh (or just-sealed) hasher reports: truncated SHA-256 over
+#: the version prefix alone — the "no records yet" segment digest.
+_EMPTY_SEGMENT = _hexdigest(_new_hasher())
 
 
 def _fold_segments(sealed: list[str], open_segment: str) -> str:
     """Combine sealed segment digests (plus the open one) into one digest."""
-    hasher = hashlib.blake2b(digest_size=16)
+    hasher = _new_hasher()
     for segment in sealed:
         hasher.update(segment.encode("ascii"))
         hasher.update(b"\n")
     hasher.update(open_segment.encode("ascii"))
-    return hasher.hexdigest()
+    return _hexdigest(hasher)
 
-#: Insertion-order key tuple -> sorted key tuple. Record schemas are stable
-#: per call site, so the handful of distinct key sets are sorted once and
-#: every later record skips the sort (and its allocations) entirely.
-_KEY_ORDERS: dict[tuple, tuple[str, ...]] = {}
+#: Insertion-order key tuple -> (sorted keys, their length-prefixed
+#: encodings, the field-count byte). Record schemas are stable per call
+#: site, so the handful of distinct key sets are prepared once and every
+#: later record skips the sort and the key encoding entirely.
+_KEY_ORDERS: dict[tuple, tuple[tuple[str, ...], tuple[bytes, ...], bytes]] = {}
 
 
-def _record_str(time: float, kind: str, fields: dict[str, Any]) -> str:
-    """One record's digest payload (the hasher sees its UTF-8 encoding)."""
+def _record_bytes(time: float, kind: str, fields: dict[str, Any]) -> bytes:
+    """One record's digest payload: packed time, field count, kind, fields."""
     ikeys = tuple(fields)
-    keys = _KEY_ORDERS.get(ikeys)
-    if keys is None:
-        _KEY_ORDERS[ikeys] = keys = tuple(sorted(ikeys))
-    parts = [repr(time), kind]
+    cached = _KEY_ORDERS.get(ikeys)
+    if cached is None:
+        keys = tuple(sorted(ikeys))
+        cached = (
+            keys,
+            tuple(_lp(k.encode("utf-8", "backslashreplace")) for k in keys),
+            _NF[len(keys)],
+        )
+        _KEY_ORDERS[ikeys] = cached
+    keys, key_lps, nf = cached
+    parts = [_PACK_D(time), nf, _kind_lp(kind)]
     append = parts.append
-    for key in keys:
-        append(key)
+    for key, key_lp in zip(keys, key_lps):
+        append(key_lp)
         value = fields[key]
         t = type(value)
-        # Exact-type dispatch mirrors _stable's first branch (repr for the
-        # scalar types), inlined to skip a call per field on the hot path.
-        if t is str or t is int or t is float or t is bool:
-            append(repr(value))
+        # Exact-type dispatch mirrors _pack_value's scalar branches,
+        # inlined to skip a call per field on the hot path.
+        if t is str:
+            encoded = value.encode("utf-8", "backslashreplace")
+            append(b"s" + _PACK_I(len(encoded)) + encoded)
+        elif t is float:
+            append(b"f" + _PACK_D(value))
+        elif t is int:
+            append(_pack_int(value))
+        elif t is bool:
+            append(b"T" if value else b"F")
         else:
-            append(_stable(value))
-    return "|".join(parts)
+            append(_pack_value(value))
+    return b"".join(parts)

@@ -1,0 +1,80 @@
+"""City-tier sharding invariance under digest v2.
+
+The claim the city benchmark stands on: a fleet's digest is a property of
+the *simulation*, not the execution schedule. Parallel-shard, sequential-
+shard and monolithic runs must all produce the same fleet digest — and
+when the host cannot run process pools, the tier must degrade to the
+sequential schedule, not crash or silently change results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.eval.parallel as parallel_mod
+from repro.eval.fleet import run_fleet_sweep
+from repro.eval.perf import bench_fleet_city
+from repro.eval.workloads import DAY_S, fleet_deployment, fleet_home_ids
+
+HOMES = 6
+DAYS = 0.05
+SEED = 42
+
+
+@pytest.fixture()
+def monolithic_digest():
+    fleet, _ = fleet_deployment(
+        home_ids=fleet_home_ids(HOMES), seed=SEED, days=DAYS
+    )
+    fleet.run_until(DAYS * DAY_S)
+    return fleet.digest()
+
+
+def test_parallel_sequential_and_monolithic_digests_agree(monolithic_digest):
+    sequential = run_fleet_sweep(
+        HOMES, DAYS, seed=SEED, jobs=1, shards=3, cache=None
+    )
+    parallel = run_fleet_sweep(
+        HOMES, DAYS, seed=SEED, jobs=2, shards=3, cache=None
+    )
+    assert sequential["summary"]["fleet_digest"] == monolithic_digest
+    assert parallel["summary"]["fleet_digest"] == monolithic_digest
+    # Beyond the fleet digest: the merged reports are byte-identical.
+    assert parallel["digest"] == sequential["digest"]
+    assert parallel["digest_version"] == 2
+
+
+def test_bench_fleet_city_parallel_matches_monolithic(monolithic_digest):
+    city = bench_fleet_city(
+        homes=HOMES, days=DAYS, seed=SEED, homes_per_shard=2, jobs=2
+    )
+    assert city["digest"] == monolithic_digest
+    assert city["jobs"] == 2
+    assert city["errors"] == 0
+
+
+def test_bench_fleet_city_pool_unavailable_falls_back(
+    monolithic_digest, monkeypatch
+):
+    monkeypatch.setattr(parallel_mod, "pools_available", lambda: False)
+    city = bench_fleet_city(
+        homes=HOMES, days=DAYS, seed=SEED, homes_per_shard=2, jobs=4
+    )
+    assert city["jobs"] == 1
+    assert "jobs_note" in city
+    assert city["digest"] == monolithic_digest
+
+
+def test_run_sweep_pool_construction_failure_degrades_sequentially(
+    monolithic_digest, monkeypatch, capsys
+):
+    def broken_executor(jobs):
+        raise OSError("no semaphores on this host")
+
+    monkeypatch.setattr(parallel_mod, "_make_executor", broken_executor)
+    report = run_fleet_sweep(
+        HOMES, DAYS, seed=SEED, jobs=4, shards=3, cache=None
+    )
+    assert report["summary"]["fleet_digest"] == monolithic_digest
+    assert report["summary"]["errors"] == 0
+    assert "process pools unavailable" in capsys.readouterr().err

@@ -58,3 +58,22 @@ def test_series_plot_empty_series():
     plot = SeriesPlot(title="empty", x_label="t")
     plot.series["nothing"] = []
     assert "empty" in plot.render()
+
+
+def test_require_digest_version_accepts_current_build():
+    from repro.eval.report import require_digest_version
+    from repro.sim.tracing import DIGEST_VERSION
+
+    require_digest_version({"digest_version": DIGEST_VERSION})  # no raise
+
+
+def test_require_digest_version_refuses_v1_and_legacy():
+    import pytest
+
+    from repro.eval.report import DigestVersionMismatch, require_digest_version
+
+    with pytest.raises(DigestVersionMismatch, match="v1"):
+        require_digest_version({"digest_version": 1}, source="old report")
+    # Pre-versioning reports carry no field at all: treated as v1.
+    with pytest.raises(DigestVersionMismatch, match="incomparable"):
+        require_digest_version({"runs": []})
