@@ -12,7 +12,7 @@ from repro.core.intervals import IntervalSet
 from repro.core.marzullo import Interval, fuse
 from repro.net.message import Message
 from repro.net.wire import ProcessIdSet, wire_size
-from repro.rt.wire import decode_body, encode_message
+from repro.rt.wire import decode_body, encode_message, split_frame
 from repro.sim.scheduler import Scheduler
 
 
@@ -52,7 +52,7 @@ def test_rt_frame_roundtrip(benchmark):
 
     def roundtrip():
         frame = encode_message(message)
-        return decode_body(frame[4:])
+        return decode_body(split_frame(frame)[1])
 
     decoded = benchmark(roundtrip)
     assert decoded["event"] == event

@@ -151,19 +151,9 @@ class RunRecord:
         lossless: bool = True,
         ground_truth: "GroundTruth | None" = None,
     ) -> "RunRecord":
-        alive = {name: p.alive for name, p in home.processes.items()}
-        views: dict[str, frozenset[str]] = {}
-        sensor_modes: dict[str, str] = {}
-        for name, process in home.processes.items():
-            if process.alive and process.heartbeat is not None:
-                views[name] = frozenset(process.heartbeat.view.members)
-            if process.alive and process.delivery is not None:
-                for sensor, instance in process.delivery.instances.items():
-                    sensor_modes.setdefault(sensor, instance.guarantee_name)
-        consumers: dict[str, tuple[str, ...]] = {}
-        for app in home.apps:
-            for sensor in app.sensor_requirements():
-                consumers[sensor] = consumers.get(sensor, ()) + (app.name,)
+        # Deferred: records.py imports RunRecord from this module.
+        from repro.core.records import build_run_record
+
         actuations: list[tuple[str, tuple, float]] = []
         applied_actions: list[tuple[str, str, Any, float]] = []
         for name in home.actuator_names:
@@ -173,14 +163,10 @@ class RunRecord:
                     applied_actions.append(
                         (name, rec.command.action, rec.command.value, rec.time)
                     )
-        actuations.sort(key=lambda item: item[2])
-        applied_actions.sort(key=lambda item: item[3])
-        return cls(
-            trace=home.trace,
-            alive=alive,
-            views=views,
-            sensor_modes=sensor_modes,
-            consumers=consumers,
+        return build_run_record(
+            home.trace,
+            processes=home.processes,
+            apps=home.apps,
             actuations=actuations,
             applied_actions=applied_actions,
             ground_truth=ground_truth,

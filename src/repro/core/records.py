@@ -1,0 +1,175 @@
+"""Runtime-agnostic :class:`~repro.core.invariants.RunRecord` production.
+
+Historically a ``RunRecord`` could only be built from a simulated
+:class:`~repro.core.home.Home` (``RunRecord.from_home``), which welded the
+oracle and metric pipelines to ``repro.sim``. This module extracts the
+construction into pieces that work for *any* runtime that runs the sans-IO
+protocol core — the discrete-event simulator and the asyncio TCP runtime
+(``repro.rt``) alike:
+
+- :func:`snapshot_processes` reads end-state liveness, membership views and
+  per-sensor delivery modes off any mapping of process-like objects. Both
+  :class:`~repro.core.runtime.RivuletProcess` and
+  :class:`~repro.rt.node.AsyncRivuletNode` expose the same structural
+  surface (``alive``, ``heartbeat.view.members``,
+  ``delivery.instances[...].guarantee_name``), because they host the same
+  service objects.
+- :func:`normalize_trace` rebases a wall-clock trace onto a run-relative
+  origin, so records collected from a real deployment (where ``now()`` is
+  ``loop.time()``) compare like-for-like with simulated traces that start
+  at t=0.
+- :func:`build_run_record` assembles the final record from either source.
+
+``RunRecord.from_home`` now delegates here; an rt cluster calls
+:func:`build_run_record` directly (see ``LocalCluster.run_record``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.invariants import GroundTruth, RunRecord
+from repro.sim.tracing import Trace
+
+__all__ = [
+    "normalize_trace",
+    "snapshot_processes",
+    "app_consumers",
+    "build_run_record",
+]
+
+#: Trace fields that hold *absolute* timestamps (same clock as the record
+#: times). :func:`normalize_trace` rebases these along with the record time
+#: so that wall-clock traces normalize cleanly; relative fields such as
+#: ``delay`` are untouched.
+_ABSOLUTE_TIME_FIELDS = ("emitted_at",)
+
+
+def normalize_trace(trace: Trace, origin: float) -> Trace:
+    """A copy of ``trace`` with all times rebased to ``origin``.
+
+    The normalized-time adapter for wall-clock runs: an rt harness records
+    with ``loop.time()`` (an arbitrary monotonic origin), while oracles,
+    metrics, and human readers expect run-relative seconds. Only kept
+    events survive — aggregates are rebuilt from them — so normalize the
+    trace *before* computing metrics, not after sampling kinds away.
+    """
+    normalized = Trace()
+    record = normalized.record
+    for event in trace.events:
+        fields = event.fields
+        patched = None
+        for key in _ABSOLUTE_TIME_FIELDS:
+            value = fields.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if patched is None:
+                    patched = dict(fields)
+                patched[key] = value - origin
+        record(event.time - origin, event.kind, **(patched if patched is not None else fields))
+    return normalized
+
+
+def snapshot_processes(
+    processes: Mapping[str, Any],
+) -> tuple[dict[str, bool], dict[str, frozenset[str]], dict[str, str]]:
+    """End-state ``(alive, views, sensor_modes)`` for any process mapping.
+
+    Works for any object exposing the protocol-core surface: ``alive``,
+    an optional ``heartbeat`` service (``.view.members``), and an optional
+    ``delivery`` service (``.instances`` → objects with
+    ``guarantee_name``). Dead processes contribute liveness only — a
+    crashed node has no authoritative view or mode table.
+    """
+    alive: dict[str, bool] = {}
+    views: dict[str, frozenset[str]] = {}
+    sensor_modes: dict[str, str] = {}
+    for name, process in processes.items():
+        alive[name] = bool(process.alive)
+        if not process.alive:
+            continue
+        heartbeat = getattr(process, "heartbeat", None)
+        if heartbeat is not None:
+            views[name] = frozenset(heartbeat.view.members)
+        delivery = getattr(process, "delivery", None)
+        if delivery is not None:
+            for sensor, instance in delivery.instances.items():
+                sensor_modes.setdefault(sensor, instance.guarantee_name)
+    return alive, views, sensor_modes
+
+
+def app_consumers(apps: Iterable[Any]) -> dict[str, tuple[str, ...]]:
+    """Sensor -> names of the apps consuming it, in deployment order."""
+    consumers: dict[str, tuple[str, ...]] = {}
+    for app in apps:
+        for sensor in app.sensor_requirements():
+            consumers[sensor] = consumers.get(sensor, ()) + (app.name,)
+    return consumers
+
+
+def build_run_record(
+    trace: Trace,
+    *,
+    processes: Mapping[str, Any] | None = None,
+    apps: Iterable[Any] = (),
+    alive: Mapping[str, bool] | None = None,
+    views: Mapping[str, frozenset[str]] | None = None,
+    sensor_modes: Mapping[str, str] | None = None,
+    consumers: Mapping[str, tuple[str, ...]] | None = None,
+    actuations: Sequence[tuple[str, tuple, float]] = (),
+    applied_actions: Sequence[tuple[str, str, Any, float]] = (),
+    ground_truth: GroundTruth | None = None,
+    fault_free: bool = False,
+    lossless: bool = True,
+    time_origin: float | None = None,
+) -> RunRecord:
+    """Assemble a :class:`RunRecord` from any runtime's observations.
+
+    Callers either pass ``processes`` (live objects, snapshotted via
+    :func:`snapshot_processes`) or pre-extracted ``alive``/``views``/
+    ``sensor_modes`` mappings — a subprocess harness only has the latter,
+    harvested from each child's exit report. Explicit mappings override the
+    snapshot. ``consumers`` defaults to :func:`app_consumers` over ``apps``.
+
+    ``time_origin`` engages the normalized-time adapter: the trace and all
+    actuation timestamps are rebased so the record reads in run-relative
+    seconds, exactly like a simulated run.
+    """
+    snap_alive: dict[str, bool] = {}
+    snap_views: dict[str, frozenset[str]] = {}
+    snap_modes: dict[str, str] = {}
+    if processes is not None:
+        snap_alive, snap_views, snap_modes = snapshot_processes(processes)
+    if alive is not None:
+        snap_alive.update(alive)
+    if views is not None:
+        snap_views.update({name: frozenset(members) for name, members in views.items()})
+    if sensor_modes is not None:
+        for sensor, mode in sensor_modes.items():
+            snap_modes.setdefault(sensor, mode)
+    if consumers is None:
+        consumers = app_consumers(apps)
+
+    origin = 0.0 if time_origin is None else time_origin
+    if time_origin is not None:
+        trace = normalize_trace(trace, origin)
+    actuation_list = sorted(
+        ((actuator, command_id, time - origin) for actuator, command_id, time in actuations),
+        key=lambda item: item[2],
+    )
+    applied_list = sorted(
+        ((actuator, action, value, time - origin)
+         for actuator, action, value, time in applied_actions),
+        key=lambda item: item[3],
+    )
+    return RunRecord(
+        trace=trace,
+        alive=snap_alive,
+        views=snap_views,
+        sensor_modes=snap_modes,
+        consumers=dict(consumers),
+        actuations=actuation_list,
+        applied_actions=applied_list,
+        ground_truth=ground_truth,
+        fault_free=fault_free,
+        lossless=lossless,
+    )

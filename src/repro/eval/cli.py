@@ -97,6 +97,33 @@ def _supported_kwargs(fn, **candidates):
     return {k: v for k, v in candidates.items() if k in parameters and v is not None}
 
 
+def _run_rt(args) -> int:
+    """Run a scenario on the real asyncio/subprocess runtime + cross-validate."""
+    from repro.eval.rt import SCENARIOS, render_rt_summary, run_rt_report
+
+    scenario = args.scenario or "smoke3"
+    if scenario not in SCENARIOS:
+        raise CliError(
+            f"unknown rt scenario {scenario!r} "
+            f"(choose from {', '.join(sorted(SCENARIOS))})"
+        )
+    mode = args.rt_mode or "subprocess"
+    if mode not in ("subprocess", "in-process"):
+        raise CliError(
+            f"--rt-mode wants subprocess or in-process, got {mode!r}"
+        )
+    duration = args.duration if args.duration is not None else 6.0
+    seed = args.seed if args.seed is not None else 42
+    out = args.out or "RT_report.json"
+    report = run_rt_report(
+        scenario_name=scenario, seed=seed, duration=duration, mode=mode,
+        out_path=out,
+    )
+    print(render_rt_summary(report))
+    print(f"wrote {out}")
+    return 0 if report["ok"] else 1
+
+
 def _run_chaos(args) -> int:
     import json
 
@@ -288,13 +315,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "fleet", "perf", "chaos", "profile"],
+        choices=sorted(EXPERIMENTS) + ["all", "fleet", "perf", "chaos",
+                                       "profile", "rt"],
         help="which table/figure to regenerate, 'fleet' for a multi-home "
         "fleet run sharded over cores, 'perf' for the kernel "
         "throughput benchmark (writes BENCH_kernel.json), 'chaos' for a "
-        "randomized fault-injection campaign (writes CHAOS_report.json), or "
+        "randomized fault-injection campaign (writes CHAOS_report.json), "
         "'profile' to run cProfile over hot workloads (writes "
-        "PROFILE_report.json)",
+        "PROFILE_report.json), or 'rt' to run a home over real localhost "
+        "TCP with SIGKILL/proxy fault injection and cross-validate against "
+        "the simulator (writes RT_report.json)",
     )
     parser.add_argument("--duration", type=float, default=None,
                         help="run length in simulated seconds (paper: 200)")
@@ -358,6 +388,12 @@ def main(argv: list[str] | None = None) -> int:
                         "the report instead of running a campaign")
     parser.add_argument("--report", type=str, default="CHAOS_report.json",
                         help="chaos only: report to read for --replay")
+    parser.add_argument("--scenario", type=str, default=None,
+                        help="rt only: scenario name (default smoke3)")
+    parser.add_argument("--rt-mode", type=str, default=None,
+                        help="rt only: 'subprocess' (one OS process per "
+                        "node, real SIGKILL; default) or 'in-process' "
+                        "(asyncio nodes in this interpreter)")
     parser.add_argument("--workloads", type=str, default=None,
                         help="profile only: comma-separated workloads to "
                         "profile (default fig1,network; also: chaos)")
@@ -368,6 +404,9 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         parse_jobs(args.jobs)
+
+        if args.experiment == "rt":
+            return _run_rt(args)
 
         if args.experiment == "chaos":
             return _run_chaos(args)

@@ -6,13 +6,29 @@ simulator (heartbeats, Gap chain, Gapless ring, reliable broadcast,
 election) run unchanged over :class:`asyncio` sockets, because they only
 ever talk to the sans-IO :class:`repro.core.env.RuntimeEnv` interface.
 
-- :mod:`.wire` — length-prefixed JSON framing with Event/Command codecs;
+- :mod:`.wire` — versioned length-prefixed JSON framing with Event/Command
+  codecs; oversized or wrong-version frames fail loudly;
 - :mod:`.node` — :class:`AsyncRivuletNode`: one Rivulet process on one port;
 - :mod:`.cluster` — :class:`LocalCluster`: spin up a whole home on
-  localhost ports inside one event loop (used by tests and the example).
+  localhost ports inside one event loop, with a shared trace and
+  :meth:`~LocalCluster.run_record` for the standard oracles/metrics;
+- :mod:`.proxy` — :class:`FaultProxy`: per-peer TCP shim injecting
+  loss/delay/partitions into real connections;
+- :mod:`.faults` — :class:`RtFaultDriver`: replay a declarative
+  :class:`~repro.sim.faults.FaultPlan` against a live cluster in wall time;
+- :mod:`.proc` / :mod:`.child` — run each node as a real OS subprocess so
+  faults can be injected with actual SIGKILL.
 """
 
 from repro.rt.cluster import LocalCluster
+from repro.rt.faults import RtFaultDriver, UnsupportedFaultAction
 from repro.rt.node import AsyncRivuletNode
+from repro.rt.proxy import FaultProxy
 
-__all__ = ["AsyncRivuletNode", "LocalCluster"]
+__all__ = [
+    "AsyncRivuletNode",
+    "FaultProxy",
+    "LocalCluster",
+    "RtFaultDriver",
+    "UnsupportedFaultAction",
+]

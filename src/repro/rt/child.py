@@ -1,0 +1,232 @@
+"""One Rivulet node as a real OS process: ``python -m repro.rt.child``.
+
+The subprocess harness (:mod:`repro.rt.proc`) spawns one of these per
+declared process, passing a JSON spec on the command line::
+
+    python -m repro.rt.child --spec '{"scenario": "smoke3", "node": "p0", ...}'
+
+The child boots an :class:`~repro.rt.node.AsyncRivuletNode` from the named
+scenario in :data:`repro.eval.rt.SCENARIOS` and then serves the parent's
+control messages on the node's ordinary wire port (control frames are
+regular versioned frames, just with ``ctl/*`` kinds the protocol core
+never uses):
+
+- ``ctl/emit`` — inject one sensor :class:`~repro.core.events.Event`, as
+  a local device adapter would;
+- ``ctl/report`` — atomically write a JSON observation report (membership
+  view, per-sensor delivery modes, activity counts) to the path the
+  parent chose — cheap enough for quiescence polling;
+- ``ctl/shutdown`` — stop the node and exit 0.
+
+Being a real process is the point: the parent can SIGKILL it mid-run and
+the survivors must detect the death over real TCP silence. Observations
+must survive that kill, so the child does what a real deployment does:
+every trace record and actuation is appended to an on-disk journal
+(line-buffered, one JSON line per record). SIGKILL loses at most a
+partially written final line — the page cache keeps the rest — and the
+parent merges all journals, dead children's included, into the final
+:class:`~repro.core.invariants.RunRecord`. The write happens *before*
+any downstream protocol effect (watermark replication, acks), so a
+record another process acts upon is always on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+from typing import Any
+
+from repro.core.events import Command, Event
+from repro.core.plan import DeploymentPlan
+from repro.rt import wire
+from repro.rt.node import AsyncRivuletNode
+from repro.sim.tracing import Trace
+
+#: Activity kinds summarized in light reports (mirrors
+#: repro.rt.cluster.QUIESCE_KINDS, minus parent-side kinds).
+LIGHT_COUNT_KINDS: tuple[str, ...] = (
+    "ingest", "relay_receive", "rbcast_receive", "logic_delivery",
+    "command_issued", "command_rerouted", "actuation",
+    "promotion", "promotion_replay",
+)
+
+#: Per-process offset that keeps poll sequence numbers globally unique
+#: when a poll epoch straddles a coordinator change.
+POLL_SEQ_STRIDE = 1_000_000
+
+
+def _atomic_write_json(path: str, payload: dict[str, Any]) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+class JournalTrace(Trace):
+    """A Trace that also appends every record to a line-buffered journal.
+
+    Line buffering flushes each record to the OS on the newline, so a
+    SIGKILL loses nothing already recorded (the page cache survives the
+    process); only a torn final line is possible, which readers skip.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self._journal = open(path, "a", encoding="utf-8", buffering=1)
+
+    def record(self, time: float, kind: str, /, **fields: Any) -> None:
+        super().record(time, kind, **fields)
+        line = json.dumps([
+            "trace", time, kind,
+            {key: wire.to_jsonable(value) for key, value in fields.items()},
+        ])
+        self._journal.write(line + "\n")
+
+    def journal_actuation(self, time: float, actuator: str, command_id: tuple,
+                          action: str, value: Any) -> None:
+        line = json.dumps([
+            "actuation", time, actuator, list(command_id), action,
+            wire.to_jsonable(value),
+        ])
+        self._journal.write(line + "\n")
+
+
+class _ChildNode:
+    """The node plus the parent-facing control surface."""
+
+    def __init__(self, spec: dict[str, Any]) -> None:
+        from repro.eval.rt import scenario_named, thermometer_value
+
+        self.spec = spec
+        self.scenario = scenario_named(spec["scenario"])
+        self.name = spec["node"]
+        self.stop_event = asyncio.Event()
+        trace_path = spec.get("trace_path")
+        self.trace = JournalTrace(trace_path) if trace_path else Trace()
+        self._poll_seq = POLL_SEQ_STRIDE * self.scenario.processes.index(self.name)
+        self._thermometer_value = thermometer_value
+
+        scenario = self.scenario
+        plan = DeploymentPlan(
+            processes=list(scenario.processes),
+            sensor_hosts={
+                **{s: list(r) for s, r in scenario.push_sensors.items()},
+                **{s: list(r) for s, r in scenario.poll_sensors.items()},
+            },
+            actuator_hosts={a: list(h) for a, h in scenario.actuators.items()},
+            apps=scenario.make_apps(),
+        )
+        from repro.core.delivery_service import DeviceInfo
+
+        device_info = {}
+        for sensor in scenario.push_sensors:
+            device_info[sensor] = DeviceInfo(
+                name=sensor, category="sensor", mode="push", technology="ip"
+            )
+        for sensor in scenario.poll_sensors:
+            device_info[sensor] = DeviceInfo(
+                name=sensor, category="sensor", mode="poll", technology="ip",
+                service_time=0.02, default_epoch=scenario.poll_epoch_s,
+            )
+        for actuator in scenario.actuators:
+            device_info[actuator] = DeviceInfo(
+                name=actuator, category="actuator", technology="ip"
+            )
+
+        self.node = AsyncRivuletNode(
+            self.name,
+            spec["port"],
+            {name: tuple(addr) for name, addr in spec["addresses"].items()},
+            plan,
+            device_info=device_info,
+            seed=spec.get("seed", 42),
+            heartbeat_interval=spec.get("heartbeat_interval", 0.15),
+            failure_detection_s=spec.get("failure_detection_s", 0.6),
+            on_actuate=self._on_actuate,
+            poll_handler=self._serve_poll,
+            delivery_override=scenario.delivery_override or None,
+            trace=self.trace,
+        )
+
+    # -- device plumbing ---------------------------------------------------------
+
+    def _now(self) -> float:
+        return asyncio.get_event_loop().time()
+
+    def _on_actuate(self, command: Command) -> None:
+        if isinstance(self.trace, JournalTrace):
+            self.trace.journal_actuation(
+                self._now(), command.actuator_id, command.command_id,
+                command.action, command.value,
+            )
+
+    def _serve_poll(self, sensor: str, respond) -> None:
+        self._poll_seq += 1
+        seq = self._poll_seq
+        event = Event(
+            sensor_id=sensor, seq=seq, emitted_at=self._now(),
+            value=self._thermometer_value(sensor, seq), size_bytes=4,
+        )
+        self.trace.record(self._now(), "poll_served", sensor=sensor, seq=seq)
+        respond(event)
+
+    # -- control handlers --------------------------------------------------------
+
+    def _ctl_emit(self, message) -> None:
+        self.node.inject_event(message.payload["event"])
+
+    def _ctl_report(self, message) -> None:
+        payload = message.payload
+        _atomic_write_json(payload["path"], self._report(payload["token"]))
+
+    def _ctl_shutdown(self, message) -> None:
+        self.stop_event.set()
+
+    def _report(self, token: str) -> dict[str, Any]:
+        """The live-state snapshot: view, delivery modes, activity counts.
+
+        Trace records and actuations are NOT here — they flow through the
+        on-disk journal so they survive SIGKILL.
+        """
+        node = self.node
+        return {
+            "token": token,
+            "node": self.name,
+            "view": sorted(node.heartbeat.view.members) if node.heartbeat else [],
+            "counts": {kind: self.trace.count(kind) for kind in LIGHT_COUNT_KINDS},
+            "sensor_modes": (
+                {sensor: instance.guarantee_name
+                 for sensor, instance in node.delivery.instances.items()}
+                if node.delivery is not None else {}
+            ),
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def run(self) -> None:
+        node = self.node
+        node.register_handler("ctl/emit", self._ctl_emit)
+        node.register_handler("ctl/report", self._ctl_report)
+        node.register_handler("ctl/shutdown", self._ctl_shutdown)
+        await node.start()
+        try:
+            await self.stop_event.wait()
+        finally:
+            await node.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.rt.child")
+    parser.add_argument("--spec", required=True,
+                        help="JSON node spec from the parent harness")
+    args = parser.parse_args(argv)
+    spec = json.loads(args.spec)
+    asyncio.run(_ChildNode(spec).run())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

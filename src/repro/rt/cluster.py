@@ -12,8 +12,20 @@ inject events and observe actuations — over real sockets.
     cluster.deploy(app)
     async with cluster:
         cluster.emit("door1", True)
-        await cluster.settle(0.5)
+        await cluster.wait_for(lambda: cluster.node("hub").actuations)
         assert cluster.node("hub").actuations
+
+The cluster is also the rt observation pipeline: every node records into
+one shared :class:`~repro.sim.tracing.Trace`, the cluster itself records
+the device/fault envelope (``sensor_emit``, ``poll_served``, ``crash``,
+``partition``/``partition_healed``) with the same fields the simulator
+uses, and :meth:`run_record` assembles a runtime-agnostic
+:class:`~repro.core.invariants.RunRecord` — normalized to run-relative
+time — that the standard oracles and metrics consume unchanged.
+
+With ``use_proxy=True`` every inter-node connection is routed through a
+:class:`~repro.rt.proxy.FaultProxy`, enabling per-peer loss/delay/partition
+injection against real TCP traffic (and ``net_send`` overhead accounting).
 """
 
 from __future__ import annotations
@@ -21,13 +33,17 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.core.delivery_service import DeviceInfo, GaplessOptions
-from repro.core.events import Event
+from repro.core.events import Command, Event
 from repro.core.graph import App, validate_apps
+from repro.core.invariants import GroundTruth, RunRecord
 from repro.core.plan import DeploymentPlan
 from repro.rt.node import AsyncRivuletNode, PollHandler
+from repro.rt.proxy import FaultProxy
+from repro.sim.random import RandomSource
+from repro.sim.tracing import Trace
 
 
 def free_port() -> int:
@@ -35,6 +51,16 @@ def free_port() -> int:
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
         sock.bind(("127.0.0.1", 0))
         return sock.getsockname()[1]
+
+
+#: Trace kinds whose counts constitute "protocol activity" for
+#: :meth:`LocalCluster.quiesce` — heartbeat chatter never settles, but
+#: event propagation, app delivery, and actuation do.
+QUIESCE_KINDS: tuple[str, ...] = (
+    "ingest", "relay_receive", "rbcast_receive", "logic_delivery",
+    "command_issued", "command_rerouted", "actuation",
+    "poll_served", "promotion", "promotion_replay",
+)
 
 
 class LocalCluster:
@@ -48,12 +74,14 @@ class LocalCluster:
         failure_detection_s: float = 0.6,
         delivery_override: dict[str, str] | None = None,
         gapless_options: GaplessOptions | None = None,
+        use_proxy: bool = False,
     ) -> None:
         self.seed = seed
         self.heartbeat_interval = heartbeat_interval
         self.failure_detection_s = failure_detection_s
         self.delivery_override = delivery_override
         self.gapless_options = gapless_options
+        self.use_proxy = use_proxy
         self._process_names: list[str] = []
         self._sensor_receivers: dict[str, list[str]] = {}
         self._actuator_hosts: dict[str, list[str]] = {}
@@ -62,6 +90,16 @@ class LocalCluster:
         self._apps: list[App] = []
         self._event_seq: dict[str, itertools.count] = {}
         self.nodes: dict[str, AsyncRivuletNode] = {}
+        self.trace = Trace()
+        self.proxy: FaultProxy | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._t0: float = 0.0
+        self._actuation_log: list[tuple[str, tuple, float]] = []
+        self._applied_log: list[tuple[str, str, Any, float]] = []
+        self._emit_loss: dict[tuple[str, str], float] = {}
+        self._loss_rng = RandomSource(seed).child("rt/emit-loss")
+        self._fault_free = True
+        self._lossless = True
         self._started = False
 
     # -- declaration ---------------------------------------------------------------
@@ -117,6 +155,8 @@ class LocalCluster:
         if self._started:
             return
         self._started = True
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
         plan = DeploymentPlan(
             processes=list(self._process_names),
             sensor_hosts=dict(self._sensor_receivers),
@@ -126,28 +166,39 @@ class LocalCluster:
         plan.validate()
         ports = {name: free_port() for name in self._process_names}
         addresses = {name: ("127.0.0.1", port) for name, port in ports.items()}
+        if self.use_proxy:
+            self.proxy = FaultProxy(
+                self._process_names, addresses, seed=self.seed, trace=self.trace
+            )
+            await self.proxy.start()
 
         def make_poll_router() -> PollHandler:
             def route(sensor: str, respond) -> None:
                 handler = self._poll_handlers.get(sensor)
                 if handler is not None:
-                    handler(sensor, respond)
+                    handler(sensor, self._traced_responder(sensor, respond))
 
             return route
 
         for name in self._process_names:
+            peer_addresses = (
+                self.proxy.address_map_for(name) if self.proxy is not None
+                else addresses
+            )
             node = AsyncRivuletNode(
                 name,
                 ports[name],
-                addresses,
+                peer_addresses,
                 plan,
                 device_info=self._device_info,
                 seed=self.seed,
                 heartbeat_interval=self.heartbeat_interval,
                 failure_detection_s=self.failure_detection_s,
+                on_actuate=self._record_actuation,
                 poll_handler=make_poll_router(),
                 delivery_override=self.delivery_override,
                 gapless_options=self.gapless_options,
+                trace=self.trace,
             )
             self.nodes[name] = node
         for node in self.nodes.values():
@@ -157,6 +208,8 @@ class LocalCluster:
         for node in self.nodes.values():
             if node.alive:
                 await node.stop()
+        if self.proxy is not None:
+            await self.proxy.stop()
         self._started = False
 
     async def __aenter__(self) -> "LocalCluster":
@@ -173,26 +226,218 @@ class LocalCluster:
 
     def emit(self, sensor: str, value: Any, *, size_bytes: int = 4) -> Event:
         """Multicast one software-sensor event to every receiving node."""
-        loop = asyncio.get_event_loop()
+        loop = self._loop or asyncio.get_event_loop()
+        now = loop.time()
         event = Event(
             sensor_id=sensor,
             seq=next(self._event_seq[sensor]),
-            emitted_at=loop.time(),
+            emitted_at=now,
             value=value,
             size_bytes=size_bytes,
         )
+        self.trace.record(now, "sensor_emit", sensor=sensor, seq=event.seq)
         for receiver in self._sensor_receivers[sensor]:
             node = self.nodes[receiver]
-            if node.alive:
-                node.inject_event(event)
+            if not node.alive:
+                continue
+            loss = self._emit_loss.get((sensor, receiver), 0.0)
+            if loss > 0.0 and self._loss_rng.chance(loss):
+                continue  # radio loss: the frame simply never arrives
+            node.inject_event(event)
         return event
 
+    def _traced_responder(
+        self, sensor: str, respond: Callable[[Event], None]
+    ) -> Callable[[Event], None]:
+        def traced(event: Event) -> None:
+            loop = self._loop or asyncio.get_event_loop()
+            self.trace.record(loop.time(), "poll_served",
+                              sensor=sensor, seq=event.seq)
+            respond(event)
+
+        return traced
+
+    def _record_actuation(self, command: Command) -> None:
+        loop = self._loop or asyncio.get_event_loop()
+        now = loop.time()
+        self._actuation_log.append(
+            (command.actuator_id, command.command_id, now)
+        )
+        self._applied_log.append(
+            (command.actuator_id, command.action, command.value, now)
+        )
+
+    # -- waiting ---------------------------------------------------------------------------
+
     async def settle(self, seconds: float) -> None:
-        """Let the cluster run for a bit of real time."""
+        """Let the cluster run for a fixed slice of real time.
+
+        Prefer :meth:`wait_for` (condition-based) or :meth:`quiesce`
+        (activity-based) — fixed sleeps either waste wall-clock or flake
+        on slow machines.
+        """
         await asyncio.sleep(seconds)
 
+    async def wait_for(
+        self,
+        predicate: Callable[[], Any],
+        *,
+        timeout: float = 5.0,
+        poll: float = 0.02,
+    ) -> Any:
+        """Poll ``predicate`` until truthy; raise on deadline.
+
+        Returns the truthy value, so callers can both wait and read:
+        ``hits = await cluster.wait_for(lambda: node.actuations)``.
+        """
+        loop = self._loop or asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while True:
+            value = predicate()
+            if value:
+                return value
+            if loop.time() >= deadline:
+                raise TimeoutError(
+                    f"condition not reached within {timeout}s: {predicate!r}"
+                )
+            await asyncio.sleep(poll)
+
+    async def quiesce(
+        self,
+        *,
+        idle_for: float = 0.3,
+        timeout: float = 10.0,
+        poll: float = 0.05,
+        kinds: Sequence[str] = QUIESCE_KINDS,
+    ) -> bool:
+        """Wait until protocol activity stops for ``idle_for`` seconds.
+
+        Deadline-based quiescence detection: the cluster is considered
+        quiescent once no new trace record of any activity kind has
+        appeared for a continuous ``idle_for`` window. Returns True when
+        quiescent, False if ``timeout`` elapsed first (callers that
+        require quiescence should assert on the result).
+        """
+        loop = self._loop or asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        count = self.trace.count
+        last = tuple(count(kind) for kind in kinds)
+        idle_since = loop.time()
+        while True:
+            await asyncio.sleep(poll)
+            now = loop.time()
+            current = tuple(count(kind) for kind in kinds)
+            if current != last:
+                last = current
+                idle_since = now
+            elif now - idle_since >= idle_for:
+                return True
+            if now >= deadline:
+                return False
+
+    # -- fault injection -------------------------------------------------------------------
+
     async def crash(self, name: str) -> None:
-        await self.nodes[name].stop()
+        """Crash-stop a node (the in-process analogue of SIGKILL)."""
+        node = self.nodes[name]
+        if not node.alive:
+            return
+        self._fault_free = False
+        loop = self._loop or asyncio.get_event_loop()
+        self.trace.record(loop.time(), "crash", process=name)
+        await node.stop()
+
+    def set_emit_loss(self, sensor: str, receiver: str, loss: float) -> None:
+        """Drop sensor->process injections with probability ``loss``.
+
+        The rt analogue of the simulator's radio link loss
+        (``set_link_loss``): the event is simply never handed to that
+        receiver's delivery service.
+        """
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss rate must be within [0, 1], got {loss}")
+        if sensor not in self._sensor_receivers:
+            raise KeyError(f"unknown sensor {sensor!r}")
+        if receiver not in self.nodes and receiver not in self._process_names:
+            raise KeyError(f"unknown process {receiver!r}")
+        self._emit_loss[(sensor, receiver)] = loss
+        if loss > 0.0:
+            self._fault_free = False
+            self._lossless = False
+
+    def set_peer_loss(
+        self, src: str, dst: str, loss: float, *, symmetric: bool = True
+    ) -> None:
+        """Drop inter-process frames with probability ``loss`` (needs proxy)."""
+        self._require_proxy().set_loss(src, dst, loss, symmetric=symmetric)
+        if loss > 0.0:
+            self._fault_free = False
+            self._lossless = False
+
+    def set_peer_delay(
+        self, src: str, dst: str, delay_s: float, *, symmetric: bool = True
+    ) -> None:
+        """Add fixed latency to inter-process frames (needs proxy)."""
+        self._require_proxy().set_delay(src, dst, delay_s, symmetric=symmetric)
+
+    def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Partition the processes into isolated groups (needs proxy)."""
+        for group in groups:
+            for name in group:
+                if name not in self.nodes:
+                    raise KeyError(f"cannot partition unknown process {name!r}")
+        self._fault_free = False
+        proxy = self._require_proxy()
+        loop = self._loop or asyncio.get_event_loop()
+        self.trace.record(loop.time(), "partition",
+                          groups=[list(g) for g in groups])
+        proxy.set_partition(groups)
+
+    def heal_partition(self) -> None:
+        proxy = self._require_proxy()
+        loop = self._loop or asyncio.get_event_loop()
+        proxy.heal()
+        self.trace.record(loop.time(), "partition_healed")
+
+    def _require_proxy(self) -> FaultProxy:
+        if self.proxy is None:
+            raise RuntimeError(
+                "this fault needs the TCP proxy: construct "
+                "LocalCluster(use_proxy=True)"
+            )
+        return self.proxy
+
+    # -- observation ------------------------------------------------------------------------
 
     def all_actuations(self) -> dict[str, list]:
         return {name: list(node.actuations) for name, node in self.nodes.items()}
+
+    def run_record(
+        self,
+        *,
+        ground_truth: GroundTruth | None = None,
+        fault_free: bool | None = None,
+        lossless: bool | None = None,
+    ) -> RunRecord:
+        """The finished run as a runtime-agnostic, time-normalized record.
+
+        The same structure ``RunRecord.from_home`` yields for a simulated
+        run: trace times are rebased to the cluster's start instant, and
+        liveness/views/delivery modes are snapshotted straight off the
+        node objects (they host the identical service stack). Feed it to
+        :func:`repro.core.invariants.check_all` or
+        :mod:`repro.eval.metrics` unchanged.
+        """
+        from repro.core.records import build_run_record
+
+        return build_run_record(
+            self.trace,
+            processes=self.nodes,
+            apps=self._apps,
+            actuations=list(self._actuation_log),
+            applied_actions=list(self._applied_log),
+            ground_truth=ground_truth,
+            fault_free=self._fault_free if fault_free is None else fault_free,
+            lossless=self._lossless if lossless is None else lossless,
+            time_origin=self._t0,
+        )

@@ -80,7 +80,9 @@ class AsyncRivuletNode(RuntimeEnv):
         self._poll_mode_override = poll_mode_override
         self._active_replicas = active_replicas
 
-        self._trace = trace or Trace()
+        # Not `trace or Trace()`: an empty Trace is falsy, and a shared
+        # cluster trace is always empty at construction time.
+        self._trace = trace if trace is not None else Trace()
         self._rng_root = RandomSource(seed).child(f"node/{name}")
         self._rng_streams: dict[str, RandomSource] = {}
         self._handlers: dict[str, Callable[[Message], None]] = {}
@@ -157,13 +159,15 @@ class AsyncRivuletNode(RuntimeEnv):
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in self._sender_tasks.values():
+        tasks = list(self._sender_tasks.values())
+        for task in tasks:
             task.cancel()
-        for task in list(self._sender_tasks.values()):
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
-                pass
+        if tasks:
+            # Bounded: a sender that somehow survives its cancel (e.g. a
+            # lost-cancel bug in a dependency) must not wedge shutdown.
+            done, pending = await asyncio.wait(tasks, timeout=2.0)
+            for task in pending:
+                task.cancel()
         self._sender_tasks.clear()
         self.trace("stop")
 
@@ -206,10 +210,13 @@ class AsyncRivuletNode(RuntimeEnv):
         while True:
             frame = await queue.get()
             if writer is None:
+                # asyncio.timeout (not wait_for): under 3.11's wait_for, an
+                # external cancel racing the connect timeout is swallowed as
+                # TimeoutError, leaving a zombie sender that stop() awaits
+                # forever.
                 try:
-                    _reader, writer = await asyncio.wait_for(
-                        asyncio.open_connection(*address), timeout=1.0
-                    )
+                    async with asyncio.timeout(1.0):
+                        _reader, writer = await asyncio.open_connection(*address)
                 except (OSError, asyncio.TimeoutError):
                     continue  # peer unreachable: the frame is lost (TCP-like)
             try:

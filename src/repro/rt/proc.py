@@ -1,0 +1,505 @@
+"""ProcessHome: one OS subprocess per Rivulet node, faults via real SIGKILL.
+
+The strongest form of the rt harness: each declared process runs as a
+separate Python interpreter (:mod:`repro.rt.child`), connected over real
+localhost TCP — optionally through the :class:`~repro.rt.proxy.FaultProxy`
+so links can be degraded per peer pair. Crashing a node is an actual
+``SIGKILL``: no atexit handlers, no goodbye frames, just TCP silence that
+the surviving processes must detect through missed keep-alives.
+
+The parent is the observer. It records device-side trace kinds
+(``sensor_emit``, ``crash``, ``partition``) plus the proxy's ``net_send``
+/ ``net_drop`` accounting. Each child appends its own trace records and
+actuations to an on-disk journal (see :class:`repro.rt.child.JournalTrace`)
+that survives SIGKILL, so the merged record keeps the evidence of work a
+dead node demonstrably did — just like reading a bricked hub's log file
+post-mortem. Live-state facts that cannot outlive a process (membership
+view, negotiated delivery modes) are harvested from surviving children's
+reports only.
+
+Timestamps merge cleanly because ``loop.time()`` is ``CLOCK_MONOTONIC``,
+which is machine-global on Linux; :func:`repro.core.records.build_run_record`
+then rebases everything to the parent's start instant.
+
+Duck-compatible with :class:`~repro.rt.cluster.LocalCluster` where it
+matters: ``nodes`` / ``emit`` / ``crash`` / ``set_emit_loss`` /
+``set_peer_loss`` / ``set_partition`` / ``heal_partition`` / ``quiesce``,
+so :class:`~repro.rt.faults.RtFaultDriver` and the shared scenario driver
+in :mod:`repro.eval.rt` work on either harness unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import uuid
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import repro
+from repro.core.events import Event
+from repro.core.invariants import GroundTruth, RunRecord
+from repro.net.message import Message
+from repro.rt import wire
+from repro.rt.cluster import free_port
+from repro.rt.proxy import FaultProxy
+from repro.sim.random import RandomSource
+from repro.sim.tracing import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.rt import RtScenario
+
+
+def _read_journal(path: str) -> list[list]:
+    """Parse a child's journal, skipping a torn (SIGKILL-cut) final line."""
+    entries: list[list] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # torn tail: everything before it is intact
+    except OSError:
+        pass  # child died before writing anything
+    return entries
+
+
+class ProcessNode:
+    """Parent-side handle for one child process."""
+
+    def __init__(self, name: str, port: int, popen: subprocess.Popen,
+                 stderr_path: str) -> None:
+        self.name = name
+        self.port = port
+        self.popen = popen
+        self.stderr_path = stderr_path
+        self.alive = True
+        self.writer: asyncio.StreamWriter | None = None
+
+    @property
+    def pid(self) -> int:
+        return self.popen.pid
+
+    def stderr_tail(self, limit: int = 2000) -> str:
+        try:
+            with open(self.stderr_path, "r", encoding="utf-8",
+                      errors="replace") as fh:
+                return fh.read()[-limit:]
+        except OSError:
+            return ""
+
+
+class ProcessHome:
+    """A scenario home where every Rivulet process is an OS process."""
+
+    def __init__(
+        self,
+        scenario: "RtScenario",
+        *,
+        seed: int = 42,
+        use_proxy: bool = True,
+        python: str | None = None,
+    ) -> None:
+        from repro.eval.rt import (
+            FAILURE_DETECTION_S, HEARTBEAT_INTERVAL, SCENARIOS,
+        )
+
+        if scenario.name not in SCENARIOS:
+            raise ValueError(
+                f"subprocess mode needs a registered scenario, got "
+                f"{scenario.name!r}"
+            )
+        self.scenario = scenario
+        self.seed = seed
+        self.use_proxy = use_proxy
+        self.python = python or sys.executable
+        self.heartbeat_interval = HEARTBEAT_INTERVAL
+        self.failure_detection_s = FAILURE_DETECTION_S
+        self.nodes: dict[str, ProcessNode] = {}
+        self.trace = Trace()
+        self.proxy: FaultProxy | None = None
+        self.workdir: str | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._t0: float = 0.0
+        self._event_seq: dict[str, itertools.count] = {
+            sensor: itertools.count(1) for sensor in scenario.push_sensors
+        }
+        self._emit_loss: dict[tuple[str, str], float] = {}
+        self._loss_rng = RandomSource(seed).child("rt/emit-loss")
+        self._report_token = itertools.count(1)
+        self._fault_free = True
+        self._lossless = True
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self.workdir = tempfile.mkdtemp(prefix="rivulet-rt-")
+        names = list(self.scenario.processes)
+        ports = {name: free_port() for name in names}
+        addresses = {name: ("127.0.0.1", port) for name, port in ports.items()}
+        if self.use_proxy:
+            self.proxy = FaultProxy(names, addresses, seed=self.seed,
+                                    trace=self.trace)
+            await self.proxy.start()
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src_dir
+        )
+        for name in names:
+            peer_addresses = (
+                self.proxy.address_map_for(name) if self.proxy is not None
+                else {p: a for p, a in addresses.items() if p != name}
+            )
+            spec = {
+                "scenario": self.scenario.name,
+                "node": name,
+                "port": ports[name],
+                "addresses": {p: list(a) for p, a in peer_addresses.items()},
+                "seed": self.seed,
+                "heartbeat_interval": self.heartbeat_interval,
+                "failure_detection_s": self.failure_detection_s,
+                "trace_path": os.path.join(self.workdir, f"{name}.journal"),
+            }
+            stderr_path = os.path.join(self.workdir, f"{name}.stderr")
+            popen = subprocess.Popen(
+                [self.python, "-m", "repro.rt.child", "--spec",
+                 json.dumps(spec)],
+                stdout=subprocess.DEVNULL,
+                stderr=open(stderr_path, "wb"),
+                env=env,
+            )
+            self.nodes[name] = ProcessNode(name, ports[name], popen, stderr_path)
+        for node in self.nodes.values():
+            await self._connect_control(node)
+
+    async def _connect_control(self, node: ProcessNode, *,
+                               timeout: float = 15.0) -> None:
+        """Dial the child's real port; this connection carries ctl frames."""
+        loop = self._loop or asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            if node.popen.poll() is not None:
+                raise RuntimeError(
+                    f"child {node.name!r} exited at startup "
+                    f"(rc={node.popen.returncode}):\n{node.stderr_tail()}"
+                )
+            try:
+                _reader, node.writer = await asyncio.open_connection(
+                    "127.0.0.1", node.port
+                )
+                return
+            except OSError:
+                if loop.time() >= deadline:
+                    raise RuntimeError(
+                        f"child {node.name!r} did not open its port within "
+                        f"{timeout}s:\n{node.stderr_tail()}"
+                    ) from None
+                await asyncio.sleep(0.05)
+
+    async def stop(self) -> None:
+        for node in self.nodes.values():
+            if node.alive:
+                self._ctl(node, "ctl/shutdown", {})
+        await asyncio.sleep(0)  # let writes flush before waiting
+        for node in self.nodes.values():
+            if node.popen.poll() is None:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.to_thread(node.popen.wait, timeout=3.0), 4.0
+                    )
+                except (subprocess.TimeoutExpired, asyncio.TimeoutError):
+                    node.popen.kill()
+                    await asyncio.to_thread(node.popen.wait)
+            node.alive = False
+            if node.writer is not None:
+                node.writer.close()
+                node.writer = None
+        if self.proxy is not None:
+            await self.proxy.stop()
+        if self.workdir is not None:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+            self.workdir = None
+
+    async def __aenter__(self) -> "ProcessHome":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # -- control channel ---------------------------------------------------------
+
+    def _ctl(self, node: ProcessNode, kind: str, payload: dict[str, Any]) -> None:
+        """Fire one control frame at a child (best-effort, like a device)."""
+        if node.writer is None or node.writer.is_closing():
+            return
+        frame = wire.encode_message(
+            Message(kind=kind, src="parent", dst=node.name, payload=payload)
+        )
+        try:
+            node.writer.write(frame)
+        except (OSError, ConnectionError):
+            pass
+
+    # -- driving ------------------------------------------------------------------
+
+    def emit(self, sensor: str, value: Any, *, size_bytes: int = 4) -> Event:
+        """Multicast one software-sensor event to every receiving child."""
+        loop = self._loop or asyncio.get_event_loop()
+        now = loop.time()
+        event = Event(
+            sensor_id=sensor,
+            seq=next(self._event_seq[sensor]),
+            emitted_at=now,
+            value=value,
+            size_bytes=size_bytes,
+        )
+        self.trace.record(now, "sensor_emit", sensor=sensor, seq=event.seq)
+        for receiver in self.scenario.push_sensors[sensor]:
+            node = self.nodes[receiver]
+            if not node.alive:
+                continue
+            loss = self._emit_loss.get((sensor, receiver), 0.0)
+            if loss > 0.0 and self._loss_rng.chance(loss):
+                continue  # radio loss: the frame never leaves the device
+            self._ctl(node, "ctl/emit", {"event": event})
+        return event
+
+    # -- fault injection -----------------------------------------------------------
+
+    async def crash(self, name: str) -> None:
+        """SIGKILL a child: no cleanup, no goodbye — real TCP silence."""
+        node = self.nodes[name]
+        if not node.alive:
+            return
+        self._fault_free = False
+        loop = self._loop or asyncio.get_event_loop()
+        self.trace.record(loop.time(), "crash", process=name)
+        node.popen.kill()
+        node.alive = False
+        await asyncio.to_thread(node.popen.wait)
+        if node.writer is not None:
+            node.writer.close()
+            node.writer = None
+
+    def set_emit_loss(self, sensor: str, receiver: str, loss: float) -> None:
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss rate must be within [0, 1], got {loss}")
+        if sensor not in self.scenario.push_sensors:
+            raise KeyError(f"unknown push sensor {sensor!r}")
+        self._emit_loss[(sensor, receiver)] = loss
+        if loss > 0.0:
+            self._fault_free = False
+            self._lossless = False
+
+    def set_peer_loss(self, src: str, dst: str, loss: float, *,
+                      symmetric: bool = True) -> None:
+        self._require_proxy().set_loss(src, dst, loss, symmetric=symmetric)
+        if loss > 0.0:
+            self._fault_free = False
+            self._lossless = False
+
+    def set_peer_delay(self, src: str, dst: str, delay_s: float, *,
+                       symmetric: bool = True) -> None:
+        self._require_proxy().set_delay(src, dst, delay_s, symmetric=symmetric)
+
+    def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
+        self._fault_free = False
+        loop = self._loop or asyncio.get_event_loop()
+        self.trace.record(loop.time(), "partition",
+                          groups=[list(g) for g in groups])
+        self._require_proxy().set_partition(groups)
+
+    def heal_partition(self) -> None:
+        self._require_proxy().heal()
+        loop = self._loop or asyncio.get_event_loop()
+        self.trace.record(loop.time(), "partition_healed")
+
+    def _require_proxy(self) -> FaultProxy:
+        if self.proxy is None:
+            raise RuntimeError(
+                "this fault needs the TCP proxy: construct "
+                "ProcessHome(use_proxy=True)"
+            )
+        return self.proxy
+
+    # -- observation ---------------------------------------------------------------
+
+    async def _harvest(self, *, timeout: float = 6.0) -> dict[str, dict]:
+        """Request a state report from every live child; return name -> report."""
+        assert self.workdir is not None, "home not started"
+        loop = self._loop or asyncio.get_running_loop()
+        token = f"{next(self._report_token)}-{uuid.uuid4().hex[:8]}"
+        paths: dict[str, str] = {}
+        for name, node in self.nodes.items():
+            if not node.alive:
+                continue
+            path = os.path.join(self.workdir, f"report-{name}-{token}.json")
+            paths[name] = path
+            self._ctl(node, "ctl/report", {"path": path, "token": token})
+        reports: dict[str, dict] = {}
+        deadline = loop.time() + timeout
+        pending = dict(paths)
+        while pending and loop.time() < deadline:
+            for name, path in list(pending.items()):
+                if not self.nodes[name].alive:  # killed mid-harvest
+                    del pending[name]
+                    continue
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        report = json.load(fh)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                if report.get("token") == token:
+                    reports[name] = report
+                    del pending[name]
+            if pending:
+                await asyncio.sleep(0.05)
+        if pending:
+            raise TimeoutError(
+                f"no report from {sorted(pending)} within {timeout}s"
+            )
+        return reports
+
+    async def wait_for(
+        self,
+        predicate: Callable[[], Any],
+        *,
+        timeout: float = 5.0,
+        poll: float = 0.05,
+    ) -> Any:
+        """Poll a parent-side predicate until truthy; raise on deadline."""
+        loop = self._loop or asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while True:
+            value = predicate()
+            if value:
+                return value
+            if loop.time() >= deadline:
+                raise TimeoutError(
+                    f"condition not reached within {timeout}s: {predicate!r}"
+                )
+            await asyncio.sleep(poll)
+
+    async def views(self) -> dict[str, list[str]]:
+        """Live children's current membership views (one report each)."""
+        reports = await self._harvest()
+        return {name: report["view"] for name, report in reports.items()}
+
+    async def quiesce(
+        self,
+        *,
+        idle_for: float = 0.4,
+        timeout: float = 10.0,
+        poll: float = 0.25,
+    ) -> bool:
+        """True once children's activity counters stop moving for ``idle_for``."""
+        loop = self._loop or asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        last: Any = None
+        idle_since = loop.time()
+        while True:
+            reports = await self._harvest(timeout=max(2.0, poll * 4))
+            current = {
+                name: report["counts"] for name, report in sorted(reports.items())
+            }
+            now = loop.time()
+            if current != last:
+                last = current
+                idle_since = now
+            elif now - idle_since >= idle_for:
+                return True
+            if now >= deadline:
+                return False
+            await asyncio.sleep(poll)
+
+    async def run_record(
+        self,
+        *,
+        ground_truth: GroundTruth | None = None,
+        fault_free: bool | None = None,
+        lossless: bool | None = None,
+    ) -> RunRecord:
+        """Harvest the survivors and assemble the merged, normalized record."""
+        from repro.core.records import build_run_record
+        from repro.eval.rt import scenario_named
+
+        reports = await self._harvest(timeout=8.0)
+        entries: list[tuple[float, str, dict]] = [
+            (event.time, event.kind, dict(event.fields))
+            for event in self.trace.events
+        ]
+        actuations: list[tuple[str, tuple, float]] = []
+        applied: list[tuple[str, str, Any, float]] = []
+        alive = {name: node.alive for name, node in self.nodes.items()}
+        views: dict[str, frozenset[str]] = {}
+        sensor_modes: dict[str, str] = {}
+        for name, report in sorted(reports.items()):
+            views[name] = frozenset(report["view"])
+            for sensor, mode in report.get("sensor_modes", {}).items():
+                sensor_modes.setdefault(sensor, mode)
+        # Journals survive SIGKILL: read every node's, dead ones included.
+        for name in self.scenario.processes:
+            path = os.path.join(self.workdir or "", f"{name}.journal")
+            for entry in _read_journal(path):
+                if entry[0] == "trace":
+                    _tag, t, kind, fields = entry
+                    entries.append((
+                        t, kind,
+                        {key: wire.from_jsonable(value)
+                         for key, value in fields.items()},
+                    ))
+                elif entry[0] == "actuation":
+                    _tag, t, actuator, command_id, action, value = entry
+                    actuations.append((actuator, tuple(command_id), t))
+                    applied.append(
+                        (actuator, action, wire.from_jsonable(value), t)
+                    )
+        ordered = Trace()
+        for t, kind, fields in sorted(entries, key=lambda item: item[0]):
+            ordered.record(t, kind, **fields)
+        apps = scenario_named(self.scenario.name).make_apps()
+        return build_run_record(
+            ordered,
+            apps=apps,
+            alive=alive,
+            views=views,
+            sensor_modes=sensor_modes,
+            actuations=actuations,
+            applied_actions=applied,
+            ground_truth=ground_truth,
+            fault_free=self._fault_free if fault_free is None else fault_free,
+            lossless=self._lossless if lossless is None else lossless,
+            time_origin=self._t0,
+        )
+
+
+async def run_process_case(
+    scenario: "RtScenario", *, seed: int, duration: float,
+    with_faults: bool = True,
+) -> tuple[RunRecord, int]:
+    """Run one scenario on OS subprocesses; returns (record, events_emitted)."""
+    from repro.eval.rt import _drive_cluster
+
+    home = ProcessHome(scenario, seed=seed)
+    try:
+        await home.start()
+        emitted = await _drive_cluster(
+            home, scenario, seed=seed, duration=duration,
+            with_faults=with_faults,
+        )
+        record = await home.run_record()
+    finally:
+        await home.stop()
+    return record, emitted

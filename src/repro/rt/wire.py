@@ -1,7 +1,12 @@
-"""Wire format for the asyncio runtime: length-prefixed JSON frames.
+"""Wire format for the asyncio runtime: versioned length-prefixed JSON frames.
 
-Every frame is ``4-byte big-endian length || UTF-8 JSON``. Rivulet payloads
-contain a handful of non-JSON types which are encoded with type tags:
+Every frame is ``1-byte version || 4-byte big-endian length || UTF-8 JSON``.
+The version byte and the :data:`MAX_FRAME` sanity bound exist to fail
+*loudly*: a peer speaking a different frame revision, or a corrupted length
+prefix pointing megabytes into garbage, raises :class:`WireError` at the
+frame boundary instead of silently desyncing the stream and misparsing
+every subsequent byte. Rivulet payloads contain a handful of non-JSON types
+which are encoded with type tags:
 
 - :class:`repro.core.events.Event`   -> ``{"__event__": {...}}``
 - :class:`repro.core.events.Command` -> ``{"__command__": {...}}``
@@ -20,12 +25,22 @@ from repro.core.events import Command, Event
 from repro.net.message import Message
 from repro.net.wire import ProcessIdSet
 
-_LENGTH = struct.Struct(">I")
-MAX_FRAME = 64 * 1024 * 1024
+#: Current frame revision. Bump on any incompatible framing/body change.
+WIRE_VERSION = 1
+
+#: ``version byte || body length``.
+_HEADER = struct.Struct(">BI")
+HEADER_SIZE = _HEADER.size
+
+#: Sanity bound on a single frame body. The largest legitimate Rivulet
+#: payloads (gapless sync snapshots, journal replays) are well under a
+#: megabyte; anything bigger is a corrupted length prefix or an abusive
+#: peer, and buffering it would just delay the inevitable desync.
+MAX_FRAME = 16 * 1024 * 1024
 
 
 class WireError(ValueError):
-    """Malformed frame or unserializable payload."""
+    """Malformed frame, wrong frame version, or unserializable payload."""
 
 
 def _encode_value(value: Any) -> Any:
@@ -83,8 +98,18 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
+def to_jsonable(value: Any) -> Any:
+    """Public tag-encoder for report files (same codec as frame bodies)."""
+    return _encode_value(value)
+
+
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    return _decode_value(value)
+
+
 def encode_message(message: Message) -> bytes:
-    """One message as a complete frame (length prefix included)."""
+    """One message as a complete frame (version + length prefix included)."""
     body = json.dumps({
         "kind": message.kind,
         "src": message.src,
@@ -93,7 +118,33 @@ def encode_message(message: Message) -> bytes:
     }, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
         raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
-    return _LENGTH.pack(len(body)) + body
+    return _HEADER.pack(WIRE_VERSION, len(body)) + body
+
+
+def split_frame(frame: bytes) -> tuple[int, bytes]:
+    """``(version, body)`` of a complete frame, validating the header."""
+    if len(frame) < HEADER_SIZE:
+        raise WireError(f"truncated frame header ({len(frame)} bytes)")
+    version, length = _HEADER.unpack_from(frame)
+    _check_header(version, length)
+    body = frame[HEADER_SIZE:]
+    if len(body) != length:
+        raise WireError(f"frame length {length} != body of {len(body)} bytes")
+    return version, body
+
+
+def frame_kind(frame: bytes) -> str | None:
+    """The message ``kind`` of a complete frame, or None if unparsable.
+
+    Used by the fault proxy to classify forwarded traffic for overhead
+    accounting without fully decoding payloads.
+    """
+    try:
+        _, body = split_frame(frame)
+        kind = json.loads(body.decode("utf-8")).get("kind")
+    except (WireError, UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+        return None
+    return kind if isinstance(kind, str) else None
 
 
 def decode_body(body: bytes) -> Message:
@@ -101,6 +152,8 @@ def decode_body(body: bytes) -> Message:
         data = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"malformed frame: {exc}") from exc
+    if not isinstance(data, dict):
+        raise WireError(f"frame body is {type(data).__name__}, not an object")
     for key in ("kind", "src", "dst", "payload"):
         if key not in data:
             raise WireError(f"frame missing {key!r}")
@@ -110,19 +163,62 @@ def decode_body(body: bytes) -> Message:
     )
 
 
-async def read_frame(reader) -> Message | None:
-    """Read one frame; None on clean EOF."""
+def _check_header(version: int, length: int) -> None:
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"frame version {version} != supported WIRE_VERSION {WIRE_VERSION}"
+        )
+    if length > MAX_FRAME:
+        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME")
+
+
+async def _read_header(reader) -> tuple[int, int] | None:
     import asyncio
 
     try:
-        header = await reader.readexactly(_LENGTH.size)
+        header = await reader.readexactly(HEADER_SIZE)
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
-    (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME:
-        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME")
+    version, length = _HEADER.unpack(header)
+    _check_header(version, length)
+    return version, length
+
+
+async def read_frame(reader) -> Message | None:
+    """Read and decode one frame; None on clean EOF.
+
+    Raises :class:`WireError` on a wrong version byte or an oversized
+    length — the stream is unrecoverable past either, so callers must
+    drop the connection rather than resynchronize.
+    """
+    import asyncio
+
+    header = await _read_header(reader)
+    if header is None:
+        return None
+    _, length = header
     try:
         body = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
     return decode_body(body)
+
+
+async def read_raw_frame(reader) -> bytes | None:
+    """Read one complete frame as raw bytes (header included); None on EOF.
+
+    The fault proxy forwards frames verbatim, so it validates the header
+    (same :class:`WireError` rules as :func:`read_frame`) but never decodes
+    the body.
+    """
+    import asyncio
+
+    header = await _read_header(reader)
+    if header is None:
+        return None
+    version, length = header
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return _HEADER.pack(version, length) + body

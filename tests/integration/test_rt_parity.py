@@ -1,0 +1,68 @@
+"""Oracle parity: the same 4-app home passes ``check_all`` on both runtimes.
+
+The sim half is cheap (virtual time) and stays in tier-1; the rt half
+drives real sockets in wall time and is rt-marked.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.invariants import check_all
+from repro.eval.rt import (
+    cross_validate,
+    record_metrics,
+    run_cluster_case,
+    run_sim_case,
+    scenario_named,
+    workload_schedule,
+)
+
+PARITY = scenario_named("parity4")
+
+
+def test_workload_schedule_is_deterministic():
+    a = workload_schedule(PARITY, seed=5, duration=6.0)
+    b = workload_schedule(PARITY, seed=5, duration=6.0)
+    assert a == b
+    assert a != workload_schedule(PARITY, seed=6, duration=6.0)
+    assert all(sensor in PARITY.push_sensors for _, sensor, _ in a)
+
+
+def test_parity4_sim_record_passes_all_oracles():
+    record, emitted = run_sim_case(PARITY, seed=42, duration=6.0)
+    violations = check_all(record)
+    assert violations == [], [str(v) for v in violations]
+    assert emitted > 0
+    # Mixed modes negotiated as declared: d1 overridden to Gap.
+    assert record.sensor_modes["d1"] == "gap"
+    assert record.sensor_modes["m1"] == "gapless"
+
+
+@pytest.mark.rt
+def test_parity4_rt_record_passes_all_oracles():
+    record, emitted = asyncio.run(run_cluster_case(
+        PARITY, seed=42, duration=6.0, use_proxy=True,
+    ))
+    violations = check_all(record)
+    assert violations == [], [str(v) for v in violations]
+    # Same structural facts as the sim record.
+    assert record.sensor_modes["d1"] == "gap"
+    assert record.sensor_modes["m1"] == "gapless"
+    assert set(record.alive) == {"hub", "tv", "fridge"}
+    assert all(record.alive.values())
+
+
+@pytest.mark.rt
+def test_smoke3_rt_agrees_with_sim_prediction():
+    scenario = scenario_named("smoke3")
+    sim_record, sim_emitted = run_sim_case(scenario, seed=42, duration=5.0)
+    rt_record, rt_emitted = asyncio.run(run_cluster_case(
+        scenario, seed=42, duration=5.0,
+    ))
+    checks = cross_validate(
+        record_metrics(rt_record, rt_emitted),
+        record_metrics(sim_record, sim_emitted),
+    )
+    failed = [c for c in checks if not c["ok"]]
+    assert not failed, failed

@@ -1,4 +1,7 @@
-"""Robustness tests for the asyncio runtime: dead peers, garbage, state."""
+"""Robustness tests for the asyncio runtime: dead peers, garbage, state.
+
+All waits are deadline-based (``wait_for``) rather than fixed sleeps.
+"""
 
 import asyncio
 import struct
@@ -9,6 +12,7 @@ from repro.core.operators import Operator
 from repro.core.windows import CountWindow
 from repro.rt import LocalCluster
 from repro.rt.cluster import free_port
+from repro.rt.wire import WIRE_VERSION
 
 
 def run(coro):
@@ -30,18 +34,27 @@ def two_node_cluster() -> LocalCluster:
     return cluster
 
 
+async def write_raw(port: int, data: bytes) -> None:
+    _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(data)
+    await writer.drain()
+    writer.close()
+
+
 def test_sends_to_dead_peer_do_not_crash_the_sender():
     async def scenario():
         cluster = two_node_cluster()
         async with cluster:
-            await cluster.settle(0.3)
+            await cluster.quiesce(idle_for=0.2, timeout=5.0)
             await cluster.crash("b")
             # a keeps emitting into the void: frames are dropped, a lives.
             for _ in range(5):
                 cluster.emit("s1", True)
-                await cluster.settle(0.1)
-            assert cluster.node("a").alive
-            assert cluster.node("a").store.total_events() == 5
+            node = cluster.node("a")
+            await cluster.wait_for(
+                lambda: node.store.total_events() == 5, timeout=5.0
+            )
+            assert node.alive
 
     run(scenario())
 
@@ -50,18 +63,38 @@ def test_garbage_frames_are_dropped():
     async def scenario():
         cluster = two_node_cluster()
         async with cluster:
-            await cluster.settle(0.3)
             node = cluster.node("a")
-            reader, writer = await asyncio.open_connection("127.0.0.1",
-                                                           node.port)
-            writer.write(struct.pack(">I", 11) + b"not json!!!")
-            await writer.drain()
-            writer.close()
-            await cluster.settle(0.3)
+            # Correct header, garbage body: the node traces a wire error
+            # and drops the connection without dying.
+            await write_raw(
+                node.port,
+                bytes([WIRE_VERSION]) + struct.pack(">I", 11) + b"not json!!!",
+            )
+            await cluster.wait_for(
+                lambda: cluster.trace.count("wire_error") >= 1, timeout=5.0
+            )
             # The node survived and still processes real traffic.
             cluster.emit("s1", True)
-            await cluster.settle(0.3)
-            assert node.store.total_events() == 1
+            await cluster.wait_for(
+                lambda: node.store.total_events() == 1, timeout=5.0
+            )
+
+    run(scenario())
+
+
+def test_wrong_version_frame_rejected():
+    async def scenario():
+        cluster = two_node_cluster()
+        async with cluster:
+            node = cluster.node("a")
+            await write_raw(
+                node.port,
+                bytes([WIRE_VERSION + 1]) + struct.pack(">I", 2) + b"{}",
+            )
+            await cluster.wait_for(
+                lambda: cluster.trace.count("wire_error") >= 1, timeout=5.0
+            )
+            assert node.alive
 
     run(scenario())
 
@@ -70,14 +103,14 @@ def test_oversized_frame_rejected():
     async def scenario():
         cluster = two_node_cluster()
         async with cluster:
-            await cluster.settle(0.2)
             node = cluster.node("a")
-            reader, writer = await asyncio.open_connection("127.0.0.1",
-                                                           node.port)
-            writer.write(struct.pack(">I", 2**31))  # absurd length prefix
-            await writer.drain()
-            writer.close()
-            await cluster.settle(0.2)
+            # Absurd length prefix: rejected at the header, never buffered.
+            await write_raw(
+                node.port, bytes([WIRE_VERSION]) + struct.pack(">I", 2**31)
+            )
+            await cluster.wait_for(
+                lambda: cluster.trace.count("wire_error") >= 1, timeout=5.0
+            )
             assert node.alive
 
     run(scenario())
@@ -87,20 +120,17 @@ def test_unknown_message_kind_traced():
     async def scenario():
         cluster = two_node_cluster()
         async with cluster:
-            await cluster.settle(0.2)
             node = cluster.node("a")
             from repro.net.message import Message
             from repro.rt.wire import encode_message
 
             frame = encode_message(Message(kind="martian", src="x", dst="a",
                                            payload={}))
-            reader, writer = await asyncio.open_connection("127.0.0.1",
-                                                           node.port)
-            writer.write(frame)
-            await writer.drain()
-            writer.close()
-            await cluster.settle(0.3)
-            assert node.traced.count("unhandled_message") >= 1
+            await write_raw(node.port, frame)
+            await cluster.wait_for(
+                lambda: node.traced.count("unhandled_message") >= 1,
+                timeout=5.0,
+            )
 
     run(scenario())
 
@@ -109,10 +139,11 @@ def test_replicated_store_over_tcp():
     async def scenario():
         cluster = two_node_cluster()
         async with cluster:
-            await cluster.settle(0.3)
             cluster.node("a").kv.put("mode", "home")
-            await cluster.settle(0.4)
-            assert cluster.node("b").kv.get("mode") == "home"
+            await cluster.wait_for(
+                lambda: cluster.node("b").kv.get("mode") == "home",
+                timeout=5.0,
+            )
 
     run(scenario())
 

@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 from repro.core.events import Event
 from repro.net.message import Message
 from repro.net.wire import ProcessIdSet
-from repro.rt.wire import decode_body, encode_message
+from repro.rt.wire import WIRE_VERSION, decode_body, encode_message, split_frame
 
 json_scalars = st.one_of(
     st.none(),
@@ -41,7 +41,9 @@ payload_values = st.one_of(json_values, events, pidsets)
 
 def roundtrip(message: Message) -> Message:
     frame = encode_message(message)
-    return decode_body(frame[4:])
+    version, body = split_frame(frame)
+    assert version == WIRE_VERSION
+    return decode_body(body)
 
 
 @given(st.dictionaries(st.text(min_size=1, max_size=10), payload_values,

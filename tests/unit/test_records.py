@@ -1,0 +1,184 @@
+"""Unit tests for runtime-agnostic RunRecord production (repro.core.records)."""
+
+from repro.core.records import (
+    app_consumers,
+    build_run_record,
+    normalize_trace,
+    snapshot_processes,
+)
+from repro.sim.tracing import Trace
+
+
+class FakeView:
+    def __init__(self, members):
+        self.members = set(members)
+
+
+class FakeHeartbeat:
+    def __init__(self, members):
+        self.view = FakeView(members)
+
+
+class FakeInstance:
+    def __init__(self, guarantee_name):
+        self.guarantee_name = guarantee_name
+
+
+class FakeDelivery:
+    def __init__(self, modes):
+        self.instances = {s: FakeInstance(m) for s, m in modes.items()}
+
+
+class FakeProcess:
+    """Structurally what both RivuletProcess and AsyncRivuletNode expose."""
+
+    def __init__(self, alive=True, members=(), modes=None):
+        self.alive = alive
+        self.heartbeat = FakeHeartbeat(members)
+        self.delivery = FakeDelivery(modes or {})
+
+
+class FakeOperator:
+    def __init__(self, sensors):
+        self._sensors = sensors
+
+
+class FakeApp:
+    def __init__(self, name, sensors):
+        self.name = name
+        self._sensors = sensors
+
+    def sensor_requirements(self):
+        return {s: object() for s in self._sensors}
+
+
+# -- normalize_trace -------------------------------------------------------------------
+
+
+def test_normalize_trace_rebases_record_times():
+    trace = Trace()
+    trace.record(1000.5, "ingest", sensor="s1", seq=1)
+    trace.record(1002.0, "logic_delivery", app="a", sensor="s1", seq=1,
+                 delay=0.25)
+    normalized = normalize_trace(trace, origin=1000.0)
+    times = [event.time for event in normalized.events]
+    assert times == [0.5, 2.0]
+    # Relative fields are untouched.
+    assert normalized.events[1]["delay"] == 0.25
+
+
+def test_normalize_trace_rebases_absolute_emitted_at():
+    trace = Trace()
+    trace.record(1001.0, "ingest", sensor="s1", seq=1, emitted_at=1000.75)
+    normalized = normalize_trace(trace, origin=1000.0)
+    assert normalized.events[0]["emitted_at"] == 0.75
+
+
+def test_normalize_trace_leaves_non_numeric_emitted_at_alone():
+    trace = Trace()
+    trace.record(1001.0, "odd", emitted_at="n/a")
+    trace.record(1002.0, "odd", emitted_at=True)  # bool is not a timestamp
+    normalized = normalize_trace(trace, origin=1000.0)
+    assert normalized.events[0]["emitted_at"] == "n/a"
+    assert normalized.events[1]["emitted_at"] is True
+
+
+def test_normalize_trace_preserves_counts():
+    trace = Trace()
+    for i in range(5):
+        trace.record(10.0 + i, "ingest", sensor="s1", seq=i)
+    normalized = normalize_trace(trace, origin=10.0)
+    assert normalized.count("ingest") == 5
+
+
+# -- snapshot_processes ----------------------------------------------------------------
+
+
+def test_snapshot_reads_liveness_views_and_modes():
+    processes = {
+        "p0": FakeProcess(members={"p0", "p1"}, modes={"s1": "gapless"}),
+        "p1": FakeProcess(members={"p0", "p1"}, modes={"s1": "gapless"}),
+    }
+    alive, views, modes = snapshot_processes(processes)
+    assert alive == {"p0": True, "p1": True}
+    assert views == {"p0": frozenset({"p0", "p1"}),
+                     "p1": frozenset({"p0", "p1"})}
+    assert modes == {"s1": "gapless"}
+
+
+def test_snapshot_dead_process_contributes_liveness_only():
+    processes = {
+        "p0": FakeProcess(members={"p0"}, modes={"s1": "gap"}),
+        "p1": FakeProcess(alive=False, members={"p0", "p1"},
+                          modes={"s1": "stale"}),
+    }
+    alive, views, modes = snapshot_processes(processes)
+    assert alive == {"p0": True, "p1": False}
+    assert "p1" not in views
+    assert modes == {"s1": "gap"}
+
+
+# -- app_consumers ---------------------------------------------------------------------
+
+
+def test_app_consumers_orders_by_deployment():
+    apps = [FakeApp("alarm", ["m1", "d1"]), FakeApp("watch", ["d1"])]
+    assert app_consumers(apps) == {
+        "m1": ("alarm",),
+        "d1": ("alarm", "watch"),
+    }
+
+
+# -- build_run_record ------------------------------------------------------------------
+
+
+def test_build_run_record_from_processes():
+    trace = Trace()
+    trace.record(0.5, "sensor_emit", sensor="s1", seq=1)
+    processes = {"p0": FakeProcess(members={"p0"}, modes={"s1": "gapless"})}
+    record = build_run_record(
+        trace, processes=processes, apps=[FakeApp("a", ["s1"])],
+        fault_free=True,
+    )
+    assert record.alive == {"p0": True}
+    assert record.sensor_modes == {"s1": "gapless"}
+    assert record.consumers == {"s1": ("a",)}
+    assert record.fault_free is True
+
+
+def test_build_run_record_explicit_mappings_override_snapshot():
+    record = build_run_record(
+        Trace(),
+        alive={"p0": True, "p1": False},
+        views={"p0": {"p0"}},
+        sensor_modes={"s1": "gap"},
+        consumers={"s1": ("a",)},
+    )
+    assert record.alive == {"p0": True, "p1": False}
+    assert record.views == {"p0": frozenset({"p0"})}
+    assert record.sensor_modes == {"s1": "gap"}
+
+
+def test_build_run_record_time_origin_rebases_everything():
+    trace = Trace()
+    trace.record(100.2, "sensor_emit", sensor="s1", seq=1, emitted_at=100.2)
+    record = build_run_record(
+        trace,
+        actuations=[("a1", ("a1", "app@p0", 1), 100.9)],
+        applied_actions=[("a1", "set", True, 100.9)],
+        time_origin=100.0,
+    )
+    assert abs(record.trace.events[0].time - 0.2) < 1e-9
+    assert abs(record.trace.events[0]["emitted_at"] - 0.2) < 1e-9
+    assert abs(record.actuations[0][2] - 0.9) < 1e-9
+    assert abs(record.applied_actions[0][3] - 0.9) < 1e-9
+
+
+def test_build_run_record_sorts_actuations_by_time():
+    record = build_run_record(
+        Trace(),
+        actuations=[("a1", ("a1", "x", 2), 5.0), ("a1", ("a1", "x", 1), 1.0)],
+        applied_actions=[("a1", "set", 2, 5.0), ("a1", "set", 1, 1.0)],
+    )
+    assert [c[2] for c in record.actuations] == [1.0, 5.0]
+    assert [a[3] for a in record.applied_actions] == [1.0, 5.0]

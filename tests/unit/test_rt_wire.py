@@ -5,14 +5,23 @@ import pytest
 from repro.core.events import Command, Event
 from repro.net.message import Message
 from repro.net.wire import ProcessIdSet
-from repro.rt.wire import WireError, decode_body, encode_message
+from repro.rt.wire import (
+    HEADER_SIZE,
+    MAX_FRAME,
+    WIRE_VERSION,
+    WireError,
+    decode_body,
+    encode_message,
+    frame_kind,
+    split_frame,
+)
 
 
 def roundtrip(message: Message) -> Message:
     frame = encode_message(message)
-    length = int.from_bytes(frame[:4], "big")
-    body = frame[4:]
-    assert len(body) == length
+    version, body = split_frame(frame)
+    assert version == WIRE_VERSION
+    assert len(body) == len(frame) - HEADER_SIZE
     return decode_body(body)
 
 
@@ -74,3 +83,67 @@ def test_malformed_body_rejected():
         decode_body(b"not json")
     with pytest.raises(WireError):
         decode_body(b'{"kind": "k"}')
+    with pytest.raises(WireError):
+        decode_body(b"[1, 2, 3]")
+
+
+def test_frame_carries_version_byte():
+    frame = encode_message(Message(kind="k", src="a", dst="b", payload={}))
+    assert frame[0] == WIRE_VERSION
+    assert int.from_bytes(frame[1:5], "big") == len(frame) - HEADER_SIZE
+
+
+def test_wrong_version_rejected_loudly():
+    frame = bytearray(encode_message(Message(kind="k", src="a", dst="b", payload={})))
+    frame[0] = WIRE_VERSION + 1
+    with pytest.raises(WireError, match="version"):
+        split_frame(bytes(frame))
+
+
+def test_oversized_length_rejected():
+    header = bytes([WIRE_VERSION]) + (MAX_FRAME + 1).to_bytes(4, "big")
+    with pytest.raises(WireError, match="MAX_FRAME"):
+        split_frame(header + b"x")
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(WireError, match="truncated"):
+        split_frame(b"\x01\x00")
+
+
+def test_length_body_mismatch_rejected():
+    frame = encode_message(Message(kind="k", src="a", dst="b", payload={}))
+    with pytest.raises(WireError):
+        split_frame(frame + b"trailing")
+
+
+def test_frame_kind_peeks_without_decoding():
+    frame = encode_message(Message(kind="hb/keepalive", src="a", dst="b", payload={}))
+    assert frame_kind(frame) == "hb/keepalive"
+    assert frame_kind(b"\x01\x00\x00\x00\x03abc") is None
+
+
+def _read_from_bytes(data: bytes):
+    import asyncio
+
+    from repro.rt.wire import read_frame
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+def test_read_frame_rejects_wrong_version_on_stream():
+    bad = bytearray(encode_message(Message(kind="k", src="a", dst="b", payload={})))
+    bad[0] = 9
+    with pytest.raises(WireError, match="version"):
+        _read_from_bytes(bytes(bad))
+
+
+def test_read_frame_rejects_oversized_length_on_stream():
+    with pytest.raises(WireError, match="MAX_FRAME"):
+        _read_from_bytes(bytes([WIRE_VERSION]) + (2**31).to_bytes(4, "big"))
